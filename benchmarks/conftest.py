@@ -1,0 +1,32 @@
+"""Benchmark configuration.
+
+Benches regenerate the paper's tables and figures.  By default they run on
+reduced subsets so `pytest benchmarks/ --benchmark-only` completes in
+minutes; set FVEVAL_FULL=1 to run the full paper-scale configuration
+(all 8 models, 300 machine problems, 96 designs per category).
+"""
+
+import os
+
+import pytest
+
+FULL = os.environ.get("FVEVAL_FULL", "0") == "1"
+
+#: subset sizes for the default (CI-friendly) run
+HUMAN_MODELS = None if FULL else ["gpt-4o", "gemini-1.5-flash",
+                                  "llama-3.1-70b", "llama-3-8b"]
+MACHINE_COUNT = 300 if FULL else 100
+MACHINE_MODELS = None if FULL else ["gpt-4o", "gemini-1.5-pro",
+                                    "llama-3.1-8b"]
+SAMPLING_LIMIT = None if FULL else 40
+DESIGN_COUNT = 96 if FULL else 10
+DESIGN_MODELS_SUBSET = None if FULL else ["gpt-4o", "gemini-1.5-flash",
+                                          "llama-3.1-70b"]
+#: formal-check width cap for Design2SVA benches (the sweep includes
+#: 128-bit instances; COI keeps control proofs narrow either way)
+DESIGN_PROVER = {"max_bmc": 6, "max_k": 4, "sim_traces": 6, "sim_cycles": 20}
+
+
+@pytest.fixture(scope="session")
+def full_mode():
+    return FULL

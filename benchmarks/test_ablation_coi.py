@@ -1,0 +1,78 @@
+"""Ablation: cone-of-influence reduction and simulation-first falsification.
+
+DESIGN.md decisions 2 and 3.  Measures proof time and problem size with and
+without COI on a control assertion over a wide-datapath pipeline, and
+falsification time with and without the simulation pre-pass.
+"""
+
+import time
+
+from repro.datasets.design2sva.pipeline_gen import (
+    PipelineConfig, generate_pipeline,
+)
+from repro.formal.coi import assertion_roots, coi_stats, cone_of_influence
+from repro.formal.prover import Prover
+from repro.rtl.elaborate import elaborate
+from repro.sva.parser import parse_assertion
+
+
+def _setup(width=64):
+    gen = generate_pipeline(PipelineConfig(n_units=2, width=width, seed=1))
+    design = elaborate(gen.source, top="pipeline")
+    depth = gen.meta["total_depth"]
+    good = parse_assertion(
+        f"assert property (@(posedge clk) disable iff (!reset_) "
+        f"in_vld |-> ##{depth} out_vld);")
+    bad = parse_assertion(
+        f"assert property (@(posedge clk) disable iff (!reset_) "
+        f"in_vld |-> ##{max(1, depth - 1)} out_vld);")
+    return design, good, bad
+
+
+def test_coi_shrinks_problem(benchmark):
+    design, good, _bad = _setup()
+
+    def run():
+        red = cone_of_influence(design, assertion_roots(good))
+        return coi_stats(design, red)
+
+    stats = benchmark.pedantic(run, iterations=1, rounds=3)
+    print(f"\nCOI: {stats}")
+    assert stats["bits_after"] < stats["bits_before"] / 8
+
+
+def test_coi_speeds_proof(benchmark):
+    design, good, _bad = _setup(width=32)
+
+    def with_coi():
+        return Prover(design, use_coi=True).prove(good)
+
+    t0 = time.time()
+    r1 = with_coi()
+    t_with = time.time() - t0
+    t0 = time.time()
+    r2 = Prover(design, use_coi=False, max_conflicts=120_000).prove(good)
+    t_without = time.time() - t0
+    print(f"\nproof with COI: {r1.status} in {t_with:.2f}s; "
+          f"without: {r2.status} in {t_without:.2f}s")
+    assert r1.is_proven
+    benchmark.pedantic(with_coi, iterations=1, rounds=1)
+
+
+def test_simulation_first_falsification(benchmark):
+    design, _good, bad = _setup(width=32)
+
+    def sim_first():
+        return Prover(design, use_simulation=True).prove(bad)
+
+    t0 = time.time()
+    r_sim = sim_first()
+    t_sim = time.time() - t0
+    t0 = time.time()
+    r_sat = Prover(design, use_simulation=False).prove(bad)
+    t_sat = time.time() - t0
+    print(f"\nfalsify via simulation: {r_sim.status} ({r_sim.engine}) "
+          f"{t_sim:.2f}s; via BMC: {r_sat.status} ({r_sat.engine}) "
+          f"{t_sat:.2f}s")
+    assert r_sim.status == "cex" and r_sat.status == "cex"
+    benchmark.pedantic(sim_first, iterations=1, rounds=1)

@@ -1,0 +1,37 @@
+"""Ablation: the formal critic in the NL2SVA-Machine data pipeline.
+
+DESIGN.md decision 4: without the critic, sloppy descriptions ship; the
+bench measures first-attempt acceptance and the end-to-end faithfulness of
+the shipped descriptions with and without the critic loop.
+"""
+
+from repro.datasets.nl2sva_machine.critic import (
+    acceptance_stats, build_problems, criticize,
+)
+
+
+def test_critic_acceptance_rate(benchmark):
+    stats = benchmark.pedantic(
+        acceptance_stats, kwargs={"count": 60, "sloppiness": 0.15},
+        iterations=1, rounds=1)
+    print(f"\ncritic stats @ sloppiness 0.15: {stats}")
+    assert 0.7 < stats["first_attempt_acceptance"] <= 1.0
+
+
+def test_no_critic_ships_unfaithful_descriptions(benchmark):
+    def run():
+        shipped = build_problems(count=60, sloppiness=0.35,
+                                 use_critic=False)
+        bad = sum(1 for p in shipped
+                  if not criticize(p, p.description).accepted)
+        return bad
+
+    bad = benchmark.pedantic(run, iterations=1, rounds=1)
+    print(f"\nunfaithful shipped without critic: {bad}/60")
+    assert bad > 0  # the critic is load-bearing
+
+    with_critic = build_problems(count=60, sloppiness=0.35, use_critic=True)
+    still_bad = sum(1 for p in with_critic
+                    if not criticize(p, p.description).accepted)
+    print(f"unfaithful shipped with critic: {still_bad}/60")
+    assert still_bad == 0

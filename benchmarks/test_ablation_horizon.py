@@ -1,0 +1,44 @@
+"""Ablation: bounded-horizon stability of equivalence verdicts.
+
+DESIGN.md decision 1: verdicts are computed at two horizons and must agree.
+This bench measures verdict stability across horizon choices and the cost
+of larger horizons.
+"""
+
+from repro.core.tasks import Nl2SvaMachineTask
+from repro.formal.equivalence import check_equivalence
+from repro.datasets.nl2sva_machine.generator import SIGNAL_WIDTHS
+
+
+def _verdicts_at(horizons, problems):
+    out = []
+    for p in problems:
+        r = check_equivalence(p.assertion, p.sva, dict(SIGNAL_WIDTHS),
+                              horizons=horizons)
+        out.append(r.verdict)
+    return out
+
+
+def test_horizon_stability(benchmark):
+    task = Nl2SvaMachineTask(count=40)
+    problems = task.problems()
+
+    def run():
+        small = _verdicts_at((6,), problems)
+        large = _verdicts_at((12,), problems)
+        return small, large
+
+    small, large = benchmark.pedantic(run, iterations=1, rounds=1)
+    agree = sum(1 for a, b in zip(small, large) if a == b)
+    print(f"\nhorizon 6 vs 12 verdict agreement: {agree}/{len(small)}")
+    assert agree == len(small)  # self-equivalence is horizon-stable
+
+
+def test_horizon_cost_scaling(benchmark):
+    task = Nl2SvaMachineTask(count=20)
+    problems = task.problems()
+
+    def run_large():
+        return _verdicts_at((20,), problems)
+
+    benchmark.pedantic(run_large, iterations=1, rounds=1)

@@ -1,0 +1,31 @@
+"""Extension: tool-feedback (agentic) loop, the paper's Section 6 proposal.
+
+Measures how much a generate -> formal-check -> feedback -> retry loop lifts
+syntax and functional rates over single-shot generation, per model tier.
+Syntax errors should nearly vanish (the tool names the offending operator);
+functional rates improve more modestly (counterexamples are hard to use).
+"""
+
+from repro.core.tasks import Nl2SvaHumanTask
+from repro.models.agentic import run_agentic_suite
+
+
+def test_agentic_feedback_loop(benchmark):
+    task = Nl2SvaHumanTask()
+
+    def run():
+        return {name: run_agentic_suite(name, task, max_rounds=3)
+                for name in ("gpt-4o", "llama-3-8b")}
+
+    stats = benchmark.pedantic(run, iterations=1, rounds=1)
+    for name, s in stats.items():
+        print(f"\n{name}: syntax {s['syntax_first']:.3f} -> "
+              f"{s['syntax_final']:.3f}; func {s['func_first']:.3f} -> "
+              f"{s['func_final']:.3f}; mean rounds {s['mean_rounds']:.2f}")
+        assert s["syntax_final"] >= s["syntax_first"]
+        assert s["func_final"] >= s["func_first"]
+    # the loop must deliver a real lift somewhere
+    assert any(s["func_final"] > s["func_first"] + 0.05
+               for s in stats.values())
+    # syntax feedback nearly eliminates front-end rejections
+    assert all(s["syntax_final"] > 0.93 for s in stats.values())

@@ -1,0 +1,16 @@
+"""Figure 2 (right): token-length distributions of the human corpus."""
+
+from repro.core.reports import figure2_human_lengths, render_histogram
+from repro.eval.metrics import mean
+
+
+def test_fig2(benchmark):
+    data = benchmark.pedantic(figure2_human_lengths, iterations=1, rounds=3)
+    print("\n" + render_histogram(data["nl_lengths"],
+                                  label="NL spec token lengths"))
+    print(render_histogram(data["sva_lengths"],
+                           label="Reference SVA token lengths"))
+    # paper shows a wide spread with NL specs tens of tokens long
+    assert 10 < mean(data["nl_lengths"]) < 80
+    assert 10 < mean(data["sva_lengths"]) < 80
+    assert max(data["nl_lengths"]) > 2 * min(data["nl_lengths"])

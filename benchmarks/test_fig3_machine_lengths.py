@@ -1,0 +1,19 @@
+"""Figure 3 (right): token-length distributions of NL2SVA-Machine."""
+
+from conftest import MACHINE_COUNT
+
+from repro.core.reports import figure3_machine_lengths, render_histogram
+from repro.eval.metrics import mean
+
+
+def test_fig3(benchmark):
+    data = benchmark.pedantic(figure3_machine_lengths,
+                              kwargs={"count": MACHINE_COUNT},
+                              iterations=1, rounds=1)
+    print("\n" + render_histogram(data["nl_lengths"],
+                                  label="Machine NL token lengths"))
+    print(render_histogram(data["sva_lengths"],
+                           label="Machine SVA token lengths"))
+    assert 10 < mean(data["nl_lengths"]) < 120
+    # tiered grammar gives a wide spread
+    assert max(data["sva_lengths"]) > 2 * min(data["sva_lengths"])

@@ -1,0 +1,21 @@
+"""Figure 4: complexity (token length) distributions of generated designs."""
+
+from conftest import FULL
+
+from repro.core.reports import figure4_design_complexity, render_histogram
+from repro.eval.metrics import mean
+
+#: generation is cheap; always sweep enough of the grid for a real spread
+FIG4_COUNT = 96 if FULL else 48
+
+
+def test_fig4(benchmark):
+    data = benchmark.pedantic(figure4_design_complexity,
+                              kwargs={"count": FIG4_COUNT},
+                              iterations=1, rounds=1)
+    for cat in ("pipeline", "fsm"):
+        print("\n" + render_histogram(data[cat],
+                                      label=f"{cat} source token lengths"))
+        assert max(data[cat]) > 1.3 * min(data[cat])  # controlled spread
+    # pipelines (multi-module) are larger than FSMs on average
+    assert mean(data["pipeline"]) > mean(data["fsm"])

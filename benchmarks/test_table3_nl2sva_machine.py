@@ -1,0 +1,33 @@
+"""Table 3: NL2SVA-Machine, 0-shot vs 3-shot, all models.
+
+Paper reference (func 0-shot -> 3-shot):
+    gpt-4o          0.430 -> 0.467      gemini-1.5-pro 0.137 -> 0.417
+    llama-3.1-8b    0.320 -> 0.267 (ICL distraction)
+"""
+
+from conftest import MACHINE_COUNT, MACHINE_MODELS
+
+from repro.core.reports import table3_nl2sva_machine
+from repro.models.profiles import get_profile
+
+
+def test_table3(benchmark):
+    table = benchmark.pedantic(
+        table3_nl2sva_machine,
+        kwargs={"models": MACHINE_MODELS, "count": MACHINE_COUNT},
+        iterations=1, rounds=1)
+    print("\n" + table.render())
+    rows = {r[0]: r for r in table.rows}
+    for name, row in rows.items():
+        profile = get_profile(name)
+        func0, func3 = row[2], row[6]
+        assert abs(func0 - profile.machine_0shot.func) < 0.08
+        assert abs(func3 - profile.machine_3shot.func) < 0.08
+    # ICL helps gemini-pro dramatically (paper: 0.137 -> 0.417)
+    if "gemini-1.5-pro" in rows:
+        r = rows["gemini-1.5-pro"]
+        assert r[6] > r[2] + 0.15
+    # ICL distracts the 8B model (paper: 0.320 -> 0.267)
+    if "llama-3.1-8b" in rows:
+        r = rows["llama-3.1-8b"]
+        assert r[6] < r[2]

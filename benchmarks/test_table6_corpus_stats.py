@@ -1,0 +1,16 @@
+"""Table 6: NL2SVA-Human corpus composition (must match the paper exactly)."""
+
+from repro.core.reports import table6_corpus_stats
+
+
+def test_table6(benchmark):
+    table = benchmark.pedantic(table6_corpus_stats, iterations=1, rounds=3)
+    print("\n" + table.render())
+    rows = {r[0]: (r[1], r[2]) for r in table.rows}
+    assert rows["1R1W FIFO"] == (4, 20)
+    assert rows["Multi-Port FIFO"] == (1, 6)
+    assert rows["Arbiter"] == (4, 37)
+    assert rows["FSM"] == (2, 4)
+    assert rows["Counter"] == (1, 5)
+    assert rows["RAM"] == (1, 7)
+    assert rows["Total"] == (13, 79)

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Domain scenario: bring up a generated design end to end.
+
+Generates a synthetic FSM (the Design2SVA workload), simulates it, asks a
+simulated model to draft assertions from the RTL alone, and formally checks
+each draft -- the "LLM drafts a formal testbench" workflow the paper's
+Section 4.4 anticipates.
+"""
+
+from repro.core import Design2SvaTask
+from repro.models import SimulatedModel
+from repro.models.base import GenerationRequest
+from repro.rtl import Simulator, elaborate
+
+
+def main() -> None:
+    task = Design2SvaTask("fsm", count=4)
+    design_case = task.problems()[1]
+    print(f"instance: {design_case.instance_id}")
+    print(f"graph: default_next={design_case.meta['default_next']} "
+          f"+{sum(len(v) for v in design_case.meta['cond_edges'].values())} "
+          "conditional edges\n")
+
+    # 1. simulate the DUT for a few cycles
+    design = elaborate(design_case.source, top="fsm")
+    sim = Simulator(design, seed=7)
+    sim.reset()
+    sim.run_random(8)
+    states = [frame["state"] for frame in sim.history]
+    print(f"simulated state trace: {states}\n")
+
+    # 2. have a simulated model draft assertions, then check each draft
+    model = SimulatedModel("gemini-1.5-pro")
+    request = GenerationRequest(task="design2sva", problem=design_case,
+                                n_samples=5, temperature=0.8)
+    print(f"{'draft':8s} {'syntax':8s} {'proof':14s} engine")
+    print("-" * 48)
+    proven = 0
+    for i, response in enumerate(model.generate(request)):
+        record = task.evaluate(design_case, response)
+        proven += record.func
+        print(f"#{i:<7d} {'ok' if record.syntax_ok else 'FAIL':8s} "
+              f"{record.verdict:14s} {record.meta.get('engine', '')}")
+    print(f"\n{proven}/5 drafts proven -- the engineer keeps those and "
+          "discards the rest (paper Section 4.4).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's qualitative failure-mode listings (Figs. 7-9).
+
+Prints model responses with their syntax / functionality verdicts in the
+paper's format: hallucinated operators, partial equivalences from weak vs
+strong liveness, and Design2SVA attempts where one sample is proven and
+another refuted.
+"""
+
+from repro.core import Design2SvaTask, Nl2SvaHumanTask, RunConfig
+from repro.core.runner import run_model_on_task
+from repro.models import SimulatedModel
+from repro.models.base import GenerationRequest
+
+
+def show(title: str, question: str, reference: str, entries) -> None:
+    print("=" * 72)
+    print(title)
+    print(f"Question: {question}")
+    print(f"Reference Solution:\n    {reference}\n")
+    for model, response, verdict_line in entries:
+        print(f"{model} Response:")
+        for line in response.strip().splitlines():
+            print(f"    {line}")
+        print(f"    {verdict_line}\n")
+
+
+def figure7_style() -> None:
+    task = Nl2SvaHumanTask()
+    problem = next(p for p in task.problems()
+                   if p.problem_id == "fifo_1r1w_4")
+    entries = []
+    for name in ("gpt-4o", "llama-3.1-70b", "llama-3-8b"):
+        result = run_model_on_task(name, task, RunConfig())
+        record = next(r for r in result.records
+                      if r.problem_id == problem.problem_id)
+        verdict = (f"Syntax: {'pass' if record.syntax_ok else 'fail'} | "
+                   f"Functionality: "
+                   f"{'pass' if record.func else 'partial pass' if record.partial else 'fail'}")
+        entries.append((name, record.response, verdict))
+    show("Failure modes on a liveness property (cf. paper Figure 7)",
+         problem.question_text, problem.reference, entries)
+
+
+def figure9_style() -> None:
+    task = Design2SvaTask("fsm", count=4)
+    problem = task.problems()[0]
+    model = SimulatedModel("gpt-4o")
+    request = GenerationRequest(task="design2sva", problem=problem,
+                                n_samples=2, temperature=0.8)
+    entries = []
+    for i, response in enumerate(model.generate(request)):
+        record = task.evaluate(problem, response)
+        verdict = (f"Syntax: {'pass' if record.syntax_ok else 'fail'} | "
+                   f"Functionality (is proven): "
+                   f"{'pass' if record.func else 'fail'}")
+        entries.append((f"gpt-4o | Attempt {i + 1}", response, verdict))
+    show(f"Design2SVA attempts on {problem.instance_id} "
+         "(cf. paper Figure 9)",
+         "generate 1 SVA assertion(s) for the given design RTL that is "
+         "most important to verify.",
+         "(open-ended: any provable assertion counts)", entries)
+
+
+if __name__ == "__main__":
+    figure7_style()
+    figure9_style()

@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Quickstart: the FVEval evaluation loop in a few lines.
+
+Evaluates one simulated model on a handful of NL2SVA-Human problems and
+prints per-problem verdicts plus the aggregate row, then shows a single
+assertion-to-assertion equivalence check -- the primitive the whole
+benchmark is built on.
+"""
+
+from repro.core import Nl2SvaHumanTask, RunConfig, run_model_on_task
+from repro.formal import check_equivalence
+
+def main() -> None:
+    # --- 1. run a model on the benchmark ---------------------------------
+    task = Nl2SvaHumanTask()
+    result = run_model_on_task("gpt-4o", task, RunConfig(limit=10))
+
+    print("NL2SVA-Human, first 10 problems, simulated gpt-4o\n")
+    for record in result.records:
+        mark = ("PASS " if record.func else
+                "PART " if record.partial else
+                "FAIL " if record.syntax_ok else "SYNT ")
+        print(f"  {mark} {record.problem_id:28s} {record.verdict}")
+    print(f"\n  syntax={result.syntax_rate:.3f}  func={result.func_rate:.3f}"
+          f"  partial={result.partial_rate:.3f}  bleu={result.bleu:.3f}")
+
+    # --- 2. the underlying primitive: formal equivalence ------------------
+    widths = {"clk": 1, "tb_reset": 1, "wr_push": 1, "rd_pop": 1}
+    reference = ("assert property (@(posedge clk) disable iff (tb_reset) "
+                 "wr_push |-> strong(##[0:$] rd_pop));")
+    candidate = ("assert property (@(posedge clk) disable iff (tb_reset) "
+                 "wr_push |-> ##[1:$] rd_pop);")
+    verdict = check_equivalence(reference, candidate, widths)
+    print("\nEquivalence check (paper Figure 7's famous case):")
+    print(f"  reference: {reference}")
+    print(f"  candidate: {candidate}")
+    print(f"  verdict  : {verdict.verdict.value} "
+          f"(weak eventuality is trivially true, so the reference "
+          f"one-sidedly implies it)")
+
+
+if __name__ == "__main__":
+    main()

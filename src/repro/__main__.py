@@ -1,0 +1,111 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+    tables [--full] [--out DIR]     regenerate the paper's tables
+    verify FILE [--assume SVA ...]  prove a file's assertions on itself
+    equiv REF CAND [--width N=W]    assertion-to-assertion equivalence
+    generate {fsm,pipeline} [--seed N]   emit a synthetic design to stdout
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_tables(args) -> int:
+    from .core import reports
+    from .core.results import save_records
+    kwargs = {}
+    if not args.full:
+        kwargs = {"models": ["gpt-4o", "gemini-1.5-flash", "llama-3-8b"]}
+    print(reports.table6_corpus_stats().render(), "\n")
+    print(reports.table1_nl2sva_human(**kwargs).render(), "\n")
+    count = 300 if args.full else 60
+    print(reports.table3_nl2sva_machine(count=count, **kwargs).render())
+    return 0
+
+
+def _cmd_verify(args) -> int:
+    from .formal import Prover
+    from .rtl import elaborate
+    from .sva import parse_assertion
+    source = open(args.file).read()
+    design = elaborate(source)
+    assumes = tuple(parse_assertion(a, params=design.params)
+                    for a in args.assume or ())
+    prover = Prover(design)
+    targets = design.assertions or []
+    if not targets:
+        print("no concurrent assertions found in the design", file=sys.stderr)
+        return 1
+    failed = 0
+    for assertion in targets:
+        result = prover.prove(assertion, assumes=assumes)
+        label = assertion.label or "<unnamed>"
+        print(f"{label:24s} {result.status:14s} {result.engine}")
+        failed += result.status == "cex"
+    return 1 if failed else 0
+
+
+def _cmd_equiv(args) -> int:
+    from .formal import check_equivalence
+    widths = {}
+    for spec in args.width or ():
+        name, _, w = spec.partition("=")
+        widths[name] = int(w)
+    result = check_equivalence(args.reference, args.candidate,
+                               signal_widths=widths)
+    print(result.verdict.value)
+    if result.counterexample:
+        print("counterexample:")
+        for name, values in sorted(result.counterexample.items()):
+            print(f"  {name}: {values}")
+    return 0 if result.is_full else 2
+
+
+def _cmd_generate(args) -> int:
+    from .datasets.design2sva.fsm_gen import FsmConfig, generate_fsm
+    from .datasets.design2sva.pipeline_gen import (
+        PipelineConfig, generate_pipeline,
+    )
+    if args.category == "fsm":
+        design = generate_fsm(FsmConfig(seed=args.seed))
+    else:
+        design = generate_pipeline(PipelineConfig(seed=args.seed))
+    print(design.source)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro",
+                                     description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("tables", help="regenerate the paper's tables")
+    p.add_argument("--full", action="store_true")
+    p.set_defaults(fn=_cmd_tables)
+
+    p = sub.add_parser("verify", help="prove a design's own assertions")
+    p.add_argument("file")
+    p.add_argument("--assume", action="append")
+    p.set_defaults(fn=_cmd_verify)
+
+    p = sub.add_parser("equiv", help="check two assertions for equivalence")
+    p.add_argument("reference")
+    p.add_argument("candidate")
+    p.add_argument("--width", action="append",
+                   help="signal width, e.g. --width data=8")
+    p.set_defaults(fn=_cmd_equiv)
+
+    p = sub.add_parser("generate", help="emit a synthetic design")
+    p.add_argument("category", choices=["fsm", "pipeline"])
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_generate)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,30 @@
+"""FVEval core: benchmark task definitions, run orchestration, reporting.
+
+This package is the paper's primary contribution -- the benchmark and
+evaluation framework.  The three sub-benchmarks (NL2SVA-Human,
+NL2SVA-Machine, Design2SVA) are defined in :mod:`~repro.core.tasks`;
+:mod:`~repro.core.runner` evaluates (simulated) models against them, and
+:mod:`~repro.core.reports` regenerates every table and figure of the paper's
+evaluation section.
+"""
+
+from .prompts import (
+    design2sva_prompt,
+    nl2sva_human_prompt,
+    nl2sva_machine_prompt,
+)
+from .runner import RunConfig, RunResult, run_model_on_task, run_suite
+from .tasks import (
+    Design2SvaTask,
+    EvalRecord,
+    Nl2SvaHumanTask,
+    Nl2SvaMachineTask,
+    default_tasks,
+)
+
+__all__ = [
+    "Design2SvaTask", "EvalRecord", "Nl2SvaHumanTask", "Nl2SvaMachineTask",
+    "RunConfig", "RunResult", "default_tasks", "design2sva_prompt",
+    "nl2sva_human_prompt", "nl2sva_machine_prompt", "run_model_on_task",
+    "run_suite",
+]

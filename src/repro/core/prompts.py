@@ -1,0 +1,105 @@
+"""Prompt construction, following the paper's Appendix A.2 / B.1 / C.2.
+
+The simulated models do not literally read these prompts (their behaviour is
+profile-driven), but the harness builds and records them faithfully: prompt
+text feeds the context-length accounting (Design2SVA excludes <32K-context
+models) and the examples/ scripts display them as the paper's appendix does.
+"""
+
+from __future__ import annotations
+
+SYSTEM_NL2SVA = (
+    "You are an AI assistant tasked with formal verification of register "
+    "transfer level (RTL) designs.\n"
+    "Your job is to translate a description of an assertion to concrete "
+    "SystemVerilog Assertion (SVA) implementation.")
+
+SYSTEM_DESIGN2SVA = (
+    "You are an AI assistant tasked with formal verification of register "
+    "transfer level (RTL) designs.\n"
+    "Your job is to generate a SystemVerilog assertion for the "
+    "design-under-test provided.")
+
+_OUTPUT_RULES = (
+    "Do not add code to output an error message string. Enclose your SVA "
+    "code with ```systemverilog and ```.\n"
+    "Only output the code snippet and do NOT output anything else.\n"
+    "For example,\n"
+    "```systemverilog\n"
+    "asrt: assert property (@(posedge clk) disable iff (tb_reset)\n"
+    "  (a && b) != 1'b1\n"
+    ");\n"
+    "```")
+
+#: The three fixed in-context examples for NL2SVA-Machine (paper Figure 15).
+MACHINE_ICL_EXAMPLES = [
+    (
+        "Create a SVA assertion that checks: Whenever sig_A is high and "
+        "sig_B is low, sig_C will be high on the next clock edge.",
+        "assert property(@(posedge clk)\n"
+        "  (sig_A && !sig_B) |-> sig_C\n"
+        ");",
+    ),
+    (
+        "Create a SVA assertion that checks: If sig_C contains at least one "
+        "'1' bit or sig_D is not equal to sig_A, then sig_F must eventually "
+        "be true",
+        "assert property(@(posedge clk)\n"
+        "  (|sig_C || (sig_D !== sig_A)) |=> s_eventually(sig_F)\n"
+        ");",
+    ),
+    (
+        "Create a SVA assertion that checks: Whenever the value of sig_J is "
+        "less than the result of the XOR operation between sig_C and the "
+        "negation of the bitwise negation of sig_H, and this result is "
+        "equal to the result of the OR operation between the identity "
+        "comparison of sig_A and the negation of sig_J and sig_B, the "
+        "assertion is true",
+        "assert property(@(posedge clk)\n"
+        "  ((sig_J < (sig_B == (sig_C ^ ~|sig_H))) == "
+        "((|sig_A === !sig_J) || sig_B))\n"
+        ");",
+    ),
+]
+
+
+def nl2sva_human_prompt(testbench_source: str, question: str) -> str:
+    return (
+        f"Here is the testbench to perform your translation:\n\n"
+        f"{testbench_source}\n\n"
+        f"Question: {question}\n\n"
+        f"{_OUTPUT_RULES}\n\nAnswer:")
+
+
+def nl2sva_machine_prompt(question: str, shots: int = 0) -> str:
+    parts = []
+    if shots:
+        parts.append("More detailed examples of correct translations from "
+                     "description into an SVA assertion:\n")
+        for q, a in MACHINE_ICL_EXAMPLES[:shots]:
+            parts.append(f"Question: {q} {_OUTPUT_RULES}\n"
+                         f"Answer:\n```systemverilog\n{a}\n```\n")
+    parts.append(f"Question: {question}\n\n{_OUTPUT_RULES}\n\nAnswer:")
+    return "\n".join(parts)
+
+
+def design2sva_prompt(design_source: str, tb_source: str) -> str:
+    return (
+        f"Here is the design RTL to generate assertions for:\n\n"
+        f"{design_source}\n\n"
+        f"Here is a partial testbench for you to work on:\n\n"
+        f"{tb_source}\n\n"
+        "Question: generate a single SVA assertion for the given design RTL "
+        "that is most important to verify.\n"
+        "If necessary, produce any extra code, including wires, registers, "
+        "and their assignments.\n"
+        "Do NOT use signals from the design RTL, only use the module input "
+        "signals or internal signals you have added.\n"
+        "Do NOT use any 'initial' blocks. This testbench is not for running "
+        "RTL simulation but for formal verification.\n"
+        "Do NOT instantiate the design module inside the testbench.\n"
+        "When implementing the assertion, generate a concurrent SVA "
+        "assertion and do not add code to output an error message string.\n"
+        "Enclose your SystemVerilog code with ```systemverilog and ```.\n"
+        "Only output the code snippet and do NOT output anything else.\n"
+        "Remember to output only one assertion.\n\nAnswer:")

@@ -1,0 +1,47 @@
+"""Result persistence: save/load raw evaluation records as JSONL.
+
+A benchmark run's records round-trip through JSON so that table regeneration
+and post-hoc analysis (the Figure 6 scatter, failure-mode listings) can run
+without re-executing the formal checks.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+
+from .runner import RunResult
+from .tasks import EvalRecord
+
+
+def save_records(result: RunResult, path: str | Path) -> int:
+    """Write one run's records as JSON lines; returns the record count."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as fh:
+        header = {"model": result.model, "task": result.task,
+                  "kind": "fveval-run"}
+        fh.write(json.dumps(header) + "\n")
+        for record in result.records:
+            fh.write(json.dumps(asdict(record)) + "\n")
+    return len(result.records)
+
+
+def load_records(path: str | Path) -> RunResult:
+    """Reload a run saved by :func:`save_records`."""
+    path = Path(path)
+    with path.open() as fh:
+        lines = [json.loads(line) for line in fh if line.strip()]
+    if not lines or lines[0].get("kind") != "fveval-run":
+        raise ValueError(f"{path} is not a saved FVEval run")
+    header = lines[0]
+    result = RunResult(model=header["model"], task=header["task"])
+    for payload in lines[1:]:
+        result.records.append(EvalRecord(**payload))
+    return result
+
+
+def merge_runs(results: list[RunResult]) -> dict[str, RunResult]:
+    """Index runs by model name (latest wins on collision)."""
+    return {r.model: r for r in results}

@@ -1,0 +1,131 @@
+"""Benchmark orchestration: model x task x samples -> evaluation records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..eval.metrics import corpus_bleu, mean, pass_at_k
+from ..models.base import GenerationRequest, SimulatedModel
+from .tasks import Design2SvaTask, EvalRecord
+
+
+@dataclass
+class RunConfig:
+    """Decoding + subset settings for one benchmark run."""
+
+    n_samples: int = 1
+    temperature: float = 0.0
+    shots: int = 0
+    limit: int | None = None  # evaluate only the first N problems
+
+
+@dataclass
+class RunResult:
+    """All records of one (model, task) run plus aggregate metrics."""
+
+    model: str
+    task: str
+    records: list[EvalRecord] = field(default_factory=list)
+
+    # -- aggregates ------------------------------------------------------------
+
+    def _by_problem(self) -> dict[str, list[EvalRecord]]:
+        grouped: dict[str, list[EvalRecord]] = {}
+        for r in self.records:
+            grouped.setdefault(r.problem_id, []).append(r)
+        return grouped
+
+    def rate(self, predicate) -> float:
+        """Mean of a per-record predicate over first samples (greedy rate)."""
+        firsts = [r for r in self.records if r.sample_idx == 0]
+        return mean(1.0 if predicate(r) else 0.0 for r in firsts)
+
+    @property
+    def syntax_rate(self) -> float:
+        return self.rate(lambda r: r.syntax_ok)
+
+    @property
+    def func_rate(self) -> float:
+        return self.rate(lambda r: r.func)
+
+    @property
+    def partial_rate(self) -> float:
+        return self.rate(lambda r: r.partial)
+
+    @property
+    def bleu(self) -> float:
+        pairs = [(r.response, r.meta.get("reference", ""))
+                 for r in self.records if r.sample_idx == 0
+                 and r.meta.get("reference")]
+        if pairs:
+            return corpus_bleu(pairs)
+        return mean(r.bleu for r in self.records if r.sample_idx == 0)
+
+    def pass_at(self, k: int, predicate) -> float:
+        """Mean unbiased pass@k of a per-record predicate."""
+        values = []
+        for _pid, records in sorted(self._by_problem().items()):
+            n = len(records)
+            c = sum(1 for r in records if predicate(r))
+            values.append(pass_at_k(n, c, k))
+        return mean(values)
+
+    def syntax_at(self, k: int) -> float:
+        return self.pass_at(k, lambda r: r.syntax_ok)
+
+    def func_at(self, k: int) -> float:
+        return self.pass_at(k, lambda r: r.func)
+
+    def partial_at(self, k: int) -> float:
+        return self.pass_at(k, lambda r: r.partial)
+
+
+def run_model_on_task(model: SimulatedModel | str, task,
+                      config: RunConfig | None = None) -> RunResult:
+    """Evaluate one model on one task under the given decoding config."""
+    if isinstance(model, str):
+        model = SimulatedModel(model)
+    config = config or RunConfig()
+    problems = task.problems()
+    if config.limit is not None:
+        problems = problems[:config.limit]
+    result = RunResult(model=model.name, task=task.name)
+    total = len(problems)
+    for index, problem in enumerate(problems):
+        context = (task.context(problem)
+                   if hasattr(task, "context") else {})
+        request = GenerationRequest(
+            task=_request_task(task), problem=problem,
+            n_samples=config.n_samples, temperature=config.temperature,
+            shots=config.shots, params=dict(context.get("params", {})),
+            widths=dict(context.get("widths", {})),
+            quantile=(index + 0.5) / total)
+        responses = model.generate(request)
+        for i, response in enumerate(responses):
+            record = task.evaluate(problem, response, model=model.name,
+                                   sample_idx=i)
+            record.meta.setdefault("reference", _reference_of(problem))
+            record.meta["shots"] = config.shots
+            result.records.append(record)
+    return result
+
+
+def _request_task(task) -> str:
+    if isinstance(task, Design2SvaTask):
+        return "design2sva"
+    return task.name
+
+
+def _reference_of(problem) -> str:
+    for attr in ("reference", "sva"):
+        value = getattr(problem, attr, None)
+        if value:
+            return value
+    return ""
+
+
+def run_suite(model_names: list[str], task,
+              config: RunConfig | None = None) -> dict[str, RunResult]:
+    """Run several models on a task; returns name -> result."""
+    return {name: run_model_on_task(name, task, config)
+            for name in model_names}

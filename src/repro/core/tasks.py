@@ -1,0 +1,212 @@
+"""The three FVEval sub-benchmark task definitions.
+
+Each task exposes ``problems()``, ``prompt(problem)`` and
+``evaluate(problem, response)``; the latter issues the *measured* verdicts
+through the formal engine (syntax via :mod:`repro.sva.syntax`, equivalence
+via :mod:`repro.formal.equivalence`, proofs via :mod:`repro.formal.prover`),
+exactly mirroring the JasperGold-backed flow of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+from ..datasets.design2sva.pipeline_gen import GeneratedDesign
+from ..datasets.design2sva.sweep import build_benchmark
+from ..datasets.design2sva.testbench_gen import SpliceError, merge_for_eval
+from ..datasets.nl2sva_human import corpus
+from ..datasets.nl2sva_human.corpus import HumanProblem
+from ..datasets.nl2sva_machine.critic import build_problems
+from ..datasets.nl2sva_machine.generator import (
+    SIGNAL_WIDTHS,
+    MachineProblem,
+)
+from ..formal.equivalence import Verdict, check_equivalence
+from ..formal.prover import Prover
+from ..rtl.elaborate import Design, ElaborationError, elaborate
+from ..sva.lexer import strip_code_fences
+from ..sva.syntax import check_assertion_syntax
+from ..eval.metrics import sentence_bleu
+from . import prompts
+
+
+@dataclass
+class EvalRecord:
+    """Per-response evaluation outcome (one row of raw results)."""
+
+    task: str
+    model: str
+    problem_id: str
+    sample_idx: int
+    response: str
+    syntax_ok: bool = False
+    verdict: str = ""       # equivalence verdict / proof status
+    func: bool = False      # full equivalence / proven
+    partial: bool = False   # relaxed functional credit
+    bleu: float = 0.0
+    detail: str = ""
+    meta: dict = field(default_factory=dict)
+
+
+class Nl2SvaHumanTask:
+    """NL2SVA-Human: assertion generation against real-world testbenches."""
+
+    name = "nl2sva_human"
+
+    def __init__(self):
+        self._design_cache: dict[str, Design] = {}
+
+    def problems(self) -> list[HumanProblem]:
+        return corpus.problems()
+
+    def testbench_design(self, problem: HumanProblem) -> Design:
+        design = self._design_cache.get(problem.testbench)
+        if design is None:
+            design = elaborate(corpus.testbench_source(problem.testbench))
+            self._design_cache[problem.testbench] = design
+        return design
+
+    def context(self, problem: HumanProblem) -> dict:
+        design = self.testbench_design(problem)
+        return {"widths": design.widths, "params": design.params}
+
+    def prompt(self, problem: HumanProblem) -> str:
+        return prompts.nl2sva_human_prompt(
+            corpus.testbench_source(problem.testbench),
+            problem.question_text)
+
+    def evaluate(self, problem: HumanProblem, response: str,
+                 model: str = "", sample_idx: int = 0) -> EvalRecord:
+        design = self.testbench_design(problem)
+        record = EvalRecord(task=self.name, model=model,
+                            problem_id=problem.problem_id,
+                            sample_idx=sample_idx, response=response)
+        report = check_assertion_syntax(response,
+                                        signal_widths=design.widths,
+                                        params=design.params)
+        record.syntax_ok = report.ok
+        record.bleu = sentence_bleu(response, problem.reference)
+        if not report.ok:
+            record.verdict = "syntax_error"
+            record.detail = "; ".join(report.errors[:2])
+            return record
+        result = check_equivalence(problem.reference,
+                                   strip_code_fences(response),
+                                   signal_widths=design.widths,
+                                   params=design.params)
+        record.verdict = result.verdict.value
+        record.func = result.is_full
+        record.partial = result.is_partial
+        record.detail = result.detail
+        return record
+
+
+class Nl2SvaMachineTask:
+    """NL2SVA-Machine: synthetic NL-to-SVA translation stress test."""
+
+    name = "nl2sva_machine"
+
+    def __init__(self, count: int = 300, seed: int = 0):
+        self.count = count
+        self.seed = seed
+        self._problems: list[MachineProblem] | None = None
+
+    def problems(self) -> list[MachineProblem]:
+        if self._problems is None:
+            self._problems = build_problems(self.count, self.seed)
+        return self._problems
+
+    def context(self, problem: MachineProblem) -> dict:
+        return {"widths": dict(SIGNAL_WIDTHS), "params": {}}
+
+    def prompt(self, problem: MachineProblem, shots: int = 0) -> str:
+        return prompts.nl2sva_machine_prompt(problem.question_text, shots)
+
+    def evaluate(self, problem: MachineProblem, response: str,
+                 model: str = "", sample_idx: int = 0) -> EvalRecord:
+        record = EvalRecord(task=self.name, model=model,
+                            problem_id=problem.problem_id,
+                            sample_idx=sample_idx, response=response)
+        report = check_assertion_syntax(response,
+                                        signal_widths=dict(SIGNAL_WIDTHS),
+                                        extra_signals={"clk"})
+        record.syntax_ok = report.ok
+        record.bleu = sentence_bleu(response, problem.sva)
+        if not report.ok:
+            record.verdict = "syntax_error"
+            record.detail = "; ".join(report.errors[:2])
+            return record
+        result = check_equivalence(problem.assertion,
+                                   strip_code_fences(response),
+                                   signal_widths=dict(SIGNAL_WIDTHS))
+        record.verdict = result.verdict.value
+        record.func = result.is_full
+        record.partial = result.is_partial
+        record.detail = result.detail
+        return record
+
+
+class Design2SvaTask:
+    """Design2SVA: propose a provable assertion from design RTL alone."""
+
+    name = "design2sva"
+
+    def __init__(self, category: str = "fsm", count: int = 96, seed: int = 0,
+                 prover_kwargs: dict | None = None):
+        self.category = category
+        self.count = count
+        self.seed = seed
+        self.prover_kwargs = dict(prover_kwargs or {})
+        self.prover_kwargs.setdefault("max_bmc", 8)
+        self.prover_kwargs.setdefault("max_k", 5)
+        self.prover_kwargs.setdefault("sim_traces", 8)
+        self.prover_kwargs.setdefault("sim_cycles", 24)
+        self._problems: list[GeneratedDesign] | None = None
+
+    def problems(self) -> list[GeneratedDesign]:
+        if self._problems is None:
+            self._problems = build_benchmark(self.category, self.count,
+                                             self.seed)
+        return self._problems
+
+    def prompt(self, problem: GeneratedDesign) -> str:
+        return prompts.design2sva_prompt(problem.source, problem.tb_source)
+
+    def evaluate(self, problem: GeneratedDesign, response: str,
+                 model: str = "", sample_idx: int = 0) -> EvalRecord:
+        record = EvalRecord(task=self.name, model=model,
+                            problem_id=problem.instance_id,
+                            sample_idx=sample_idx, response=response)
+        code = strip_code_fences(response)
+        try:
+            merged = merge_for_eval(problem, problem.tb_source, code)
+            design = elaborate(merged.source_file, top=merged.top)
+        except (SpliceError, ElaborationError, ValueError) as exc:
+            record.verdict = "syntax_error"
+            record.detail = str(exc)[:160]
+            return record
+        if not design.assertions:
+            record.verdict = "syntax_error"
+            record.detail = "response contains no concurrent assertion"
+            return record
+        record.syntax_ok = True
+        assertion = design.assertions[-1]
+        result = Prover(design, **self.prover_kwargs).prove(assertion)
+        record.verdict = result.status
+        record.func = result.is_proven
+        record.partial = result.is_proven
+        record.detail = result.detail
+        record.meta = {"engine": result.engine, "depth": result.depth,
+                       "vacuous": result.vacuous}
+        return record
+
+
+@lru_cache(maxsize=None)
+def default_tasks() -> dict[str, object]:
+    return {
+        "nl2sva_human": Nl2SvaHumanTask(),
+        "nl2sva_machine": Nl2SvaMachineTask(),
+        "design2sva_fsm": Design2SvaTask("fsm"),
+        "design2sva_pipeline": Design2SvaTask("pipeline"),
+    }

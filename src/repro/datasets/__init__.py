@@ -1,0 +1,2 @@
+"""Benchmark datasets: the NL2SVA-Human corpus and the synthetic
+NL2SVA-Machine / Design2SVA generators."""

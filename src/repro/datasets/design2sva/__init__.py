@@ -1,0 +1,14 @@
+"""Design2SVA synthetic RTL benchmark (pipelines and FSMs)."""
+
+from .arbiter_gen import ArbiterConfig, arbiter_configs, generate_arbiter
+from .fsm_gen import FsmConfig, generate_fsm
+from .pipeline_gen import GeneratedDesign, PipelineConfig, generate_pipeline
+from .sweep import build_benchmark, fsm_configs, pipeline_configs
+from .testbench_gen import SpliceError, generate_testbench, merge_for_eval
+
+__all__ = ["ArbiterConfig", "FsmConfig", "GeneratedDesign",
+           "PipelineConfig", "SpliceError",
+           "arbiter_configs", "generate_arbiter",
+           "build_benchmark", "fsm_configs", "generate_fsm",
+           "generate_pipeline", "generate_testbench", "merge_for_eval",
+           "pipeline_configs"]

@@ -1,0 +1,173 @@
+"""Extension design category: round-robin arbiter controllers.
+
+The paper's Section 6 anticipates "synthetic data generation with different
+styles of design modules besides the arithmetic pipeline and FSMs".  This
+generator adds a third category -- priority/round-robin arbiters with a
+busy/hold protocol -- exercising design shapes the other two categories do
+not: one-hot control vectors, rotating state, and mutually exclusive grant
+logic.  Used by ``benchmarks/test_ext_arbiter_category.py``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from .pipeline_gen import GeneratedDesign
+
+
+@dataclass(frozen=True)
+class ArbiterConfig:
+    """Generator control parameters for one arbiter test case."""
+
+    n_clients: int = 4
+    rotating: bool = True  # round-robin vs fixed priority
+    with_busy: bool = True
+    seed: int = 0
+
+    @property
+    def instance_id(self) -> str:
+        kind = "rr" if self.rotating else "fixed"
+        busy = "busy" if self.with_busy else "nobusy"
+        return f"arb_{kind}_{busy}_nc_{self.n_clients}_{self.seed}"
+
+
+def _priority_chain(order: list[int], n: int, vec: str = "req") -> str:
+    """Nested ternary selecting the first requesting client in *order*."""
+    expr = f"{n}'d0"
+    for client in reversed(order):
+        onehot = 1 << client
+        expr = f"({vec}[{client}]) ? {n}'d{onehot} : ({expr})"
+    return expr
+
+
+def generate_arbiter(config: ArbiterConfig) -> GeneratedDesign:
+    """Generate one arbiter design in the benchmark's RTL style."""
+    rng = random.Random(config.seed * 6151 + config.n_clients)
+    n = config.n_clients
+    ptr_w = max(1, (n - 1).bit_length())
+
+    if config.rotating:
+        # per-pointer priority orders (rotated) selected by rr_ptr
+        arms = []
+        for start in range(n):
+            order = [(start + k) % n for k in range(n)]
+            arms.append(f"    {ptr_w}'d{start}: "
+                        f"gnt_next = {_priority_chain(order, n)};")
+        select = (f"  case (rr_ptr)\n" + "\n".join(arms) +
+                  f"\n    default: gnt_next = {n}'d0;\n  endcase")
+        pointer_logic = f"""
+always @(posedge clk) begin
+  if (!reset_) rr_ptr <= 'd0;
+  else if (|gnt) rr_ptr <= rr_ptr + 'd1;
+end"""
+        pointer_decl = f"reg [{ptr_w - 1}:0] rr_ptr;"
+    else:
+        order = list(range(n))
+        rng.shuffle(order)
+        select = f"  gnt_next = {_priority_chain(order, n)};"
+        pointer_logic = ""
+        pointer_decl = f"// fixed priority order: {order}"
+
+    busy_gate = "!busy && " if config.with_busy else ""
+    busy_port = "busy," if config.with_busy else ""
+    busy_decl = "input busy;" if config.with_busy else ""
+
+    source = f"""module arbiter (
+  clk,
+  reset_,
+  req,
+  {busy_port}
+  gnt
+);
+parameter N_CLIENTS = {n};
+
+input clk;
+input reset_;
+input [N_CLIENTS-1:0] req;
+{busy_decl}
+output reg [N_CLIENTS-1:0] gnt;
+
+{pointer_decl}
+reg [N_CLIENTS-1:0] gnt_next;
+
+always_comb begin
+{select}
+end
+
+always @(posedge clk) begin
+  if (!reset_) gnt <= 'd0;
+  else if ({busy_gate}|req) gnt <= gnt_next;
+  else gnt <= 'd0;
+end
+{pointer_logic}
+endmodule
+"""
+    return GeneratedDesign(
+        instance_id=config.instance_id,
+        category="arbiter",
+        source=source,
+        top="arbiter",
+        meta={
+            "n_clients": n,
+            "rotating": config.rotating,
+            "with_busy": config.with_busy,
+            "ptr_width": ptr_w,
+        })
+
+
+def arbiter_configs(count: int = 32, seed: int = 0) -> list[ArbiterConfig]:
+    grid = [(nc, rot, busy)
+            for nc in (2, 3, 4)
+            for rot in (True, False)
+            for busy in (True, False)]
+    out = []
+    i = 0
+    while len(out) < count:
+        nc, rot, busy = grid[i % len(grid)]
+        out.append(ArbiterConfig(n_clients=nc, rotating=rot, with_busy=busy,
+                                 seed=seed * 1000 + i))
+        i += 1
+    return out
+
+
+def arbiter_correct_response(design: GeneratedDesign,
+                             rng: random.Random) -> str:
+    """A provable assertion for an arbiter design."""
+    n = design.meta["n_clients"]
+    roll = rng.random()
+    if roll < 0.5:
+        # grants are one-hot (mutual exclusion: the headline property)
+        return ("```systemverilog\n"
+                "assert property (@(posedge clk) disable iff (tb_reset)\n"
+                "  $onehot0(gnt)\n);\n```")
+    if roll < 0.8:
+        # a grant is only ever given to a requester (one cycle earlier)
+        return ("```systemverilog\n"
+                "assert property (@(posedge clk) disable iff (tb_reset)\n"
+                "  |gnt |-> (($past(req) & gnt) != 'd0)\n);\n```")
+    # no request (and not mid-grant) means no grant next cycle
+    return ("```systemverilog\n"
+            "assert property (@(posedge clk) disable iff (tb_reset)\n"
+            f"  (req == 'd0) |-> ##1 (gnt == {n}'d0)\n);\n```")
+
+
+def arbiter_flawed_response(design: GeneratedDesign,
+                            rng: random.Random) -> str:
+    """A refutable assertion (misread grant timing or exclusivity)."""
+    n = design.meta["n_clients"]
+    roll = rng.random()
+    if roll < 0.4:
+        # same-cycle grant confusion (grant is registered)
+        return ("```systemverilog\n"
+                "assert property (@(posedge clk) disable iff (tb_reset)\n"
+                "  |req |-> |gnt\n);\n```")
+    if roll < 0.7:
+        # claims exactly-one grant even when idle
+        return ("```systemverilog\n"
+                "assert property (@(posedge clk) disable iff (tb_reset)\n"
+                "  $onehot(gnt)\n);\n```")
+    # claims client 0 always wins (wrong under rotation / shuffled priority)
+    return ("```systemverilog\n"
+            "assert property (@(posedge clk) disable iff (tb_reset)\n"
+            f"  |gnt |-> gnt[0]\n);\n```")

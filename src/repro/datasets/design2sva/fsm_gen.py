@@ -1,0 +1,168 @@
+"""Synthetic FSM RTL generation for Design2SVA.
+
+Generates finite-state-machine designs in the style of the paper's
+Appendix C.1 FSM example: an ``always_ff`` state register with asynchronous
+active-low reset and an ``always_comb`` next-state case over a random
+transition graph whose edge conditions are random comparisons over the wide
+data inputs ``in_A .. in_D``.  Control parameters (paper Figure 4): number of
+states (nodes), number of transitions (edges), input bit width, and the
+complexity of the transition conditions.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from .pipeline_gen import GeneratedDesign
+
+_INPUTS = ["in_A", "in_B", "in_C", "in_D"]
+
+
+@dataclass(frozen=True)
+class FsmConfig:
+    """Generator control parameters for one FSM test case."""
+
+    n_states: int = 4
+    n_edges: int = 8
+    width: int = 32
+    cond_complexity: int = 1
+    seed: int = 0
+
+    @property
+    def instance_id(self) -> str:
+        return (f"fsm_ni_4_nn_{self.n_states}_ne_{self.n_edges}"
+                f"_wd_{self.width}_cx_{self.cond_complexity}_{self.seed}")
+
+
+def _fsm_width(n_states: int) -> int:
+    return max(1, (n_states - 1).bit_length())
+
+
+def random_condition(rng: random.Random, complexity: int) -> str:
+    """A random boolean condition over the data inputs (paper style)."""
+    def atom() -> str:
+        a, b = rng.sample(_INPUTS, 2)
+        roll = rng.random()
+        if roll < 0.3:
+            return f"(({a} || {b}) == 'd0)"
+        if roll < 0.55:
+            return f"(({a} <= 'd{rng.randint(0, 3)}) != {b})"
+        if roll < 0.75:
+            op = rng.choice(["==", "!=", "<", ">="])
+            return f"({a} {op} {b})"
+        return f"({a}[{rng.randint(0, 3)}] == 1'b{rng.randint(0, 1)})"
+
+    expr = atom()
+    for _ in range(complexity - 1):
+        op = rng.choice(["&&", "||"])
+        expr = f"({expr} {op} {atom()})"
+    return expr
+
+
+def generate_fsm(config: FsmConfig) -> GeneratedDesign:
+    """Generate one FSM design (and its transition graph metadata)."""
+    rng = random.Random(config.seed * 104_729 + config.n_states * 31
+                        + config.n_edges)
+    n = config.n_states
+    fsm_w = _fsm_width(n)
+
+    # transition graph: every state gets a default successor; extra edges are
+    # conditional.  Keep the graph connected from S0.
+    default_next = {}
+    for s in range(n):
+        default_next[s] = rng.randrange(n)
+    # ensure progress out of reset state
+    if default_next[0] == 0:
+        default_next[0] = 1 % n
+    extra = max(0, config.n_edges - n)
+    cond_edges: dict[int, list[tuple[str, int]]] = {s: [] for s in range(n)}
+    for _ in range(extra):
+        s = rng.randrange(n)
+        dest = rng.randrange(n)
+        cond = random_condition(rng, config.cond_complexity)
+        cond_edges[s].append((cond, dest))
+
+    # next-state case arms
+    arms = []
+    for s in range(n):
+        lines = []
+        conds = cond_edges[s]
+        if conds:
+            first_cond, first_dest = conds[0]
+            lines.append(f"      if ({first_cond}) begin\n"
+                         f"        next_state = S{first_dest};\n"
+                         f"      end")
+            for cond, dest in conds[1:]:
+                lines.append(f"      else if ({cond}) begin\n"
+                             f"        next_state = S{dest};\n"
+                             f"      end")
+            lines.append(f"      else begin\n"
+                         f"        next_state = S{default_next[s]};\n"
+                         f"      end")
+        else:
+            lines.append(f"      next_state = S{default_next[s]};")
+        arms.append(f"    S{s}: begin\n" + "\n".join(lines) + "\n    end")
+
+    state_params = ", ".join(
+        f"S{s} = {fsm_w}'d{s}" for s in range(n))
+    source = f"""`define WIDTH {config.width}
+
+module fsm (
+  clk,
+  reset_,
+  in_A,
+  in_B,
+  in_C,
+  in_D,
+  fsm_out
+);
+parameter WIDTH = `WIDTH;
+parameter FSM_WIDTH = {fsm_w};
+parameter {state_params};
+
+input clk;
+input reset_;
+input [WIDTH-1:0] in_A;
+input [WIDTH-1:0] in_B;
+input [WIDTH-1:0] in_C;
+input [WIDTH-1:0] in_D;
+output reg [FSM_WIDTH-1:0] fsm_out;
+
+reg [FSM_WIDTH-1:0] state, next_state;
+
+always_ff @(posedge clk or negedge reset_) begin
+  if (!reset_) begin
+    state <= S0;
+  end else begin
+    state <= next_state;
+  end
+end
+
+always_comb begin
+  case(state)
+{chr(10).join(arms)}
+    default: next_state = S0;
+  endcase
+end
+
+always_comb begin
+  fsm_out = state;
+end
+endmodule
+"""
+    return GeneratedDesign(
+        instance_id=config.instance_id,
+        category="fsm",
+        source=source,
+        top="fsm",
+        meta={
+            "n_states": n,
+            "n_edges": config.n_edges,
+            "width": config.width,
+            "fsm_width": fsm_w,
+            "cond_complexity": config.cond_complexity,
+            "default_next": default_next,
+            "cond_edges": {s: [(c, d) for c, d in e]
+                           for s, e in cond_edges.items()},
+        })

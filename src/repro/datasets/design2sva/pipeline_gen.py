@@ -1,0 +1,182 @@
+"""Synthetic arithmetic-pipeline RTL generation for Design2SVA.
+
+Generates designs in the style of the paper's Appendix C.1 example: a
+``pipeline`` top module chaining randomized ``exec_unit_k`` modules, each a
+shift register of ``ready``/``data`` stages whose data path applies a random
+combinational expression per stage.  Control parameters (paper Figure 4):
+number of execution units, total pipeline depth, data bit width, and the
+complexity of the random combinational logic.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Generator control parameters for one pipeline test case."""
+
+    n_units: int = 2
+    width: int = 32
+    expr_complexity: int = 2  # nesting depth of the random arithmetic
+    seed: int = 0
+
+    @property
+    def instance_id(self) -> str:
+        return (f"pipeline_nu_{self.n_units}_wd_{self.width}"
+                f"_cx_{self.expr_complexity}_{self.seed}")
+
+
+@dataclass
+class GeneratedDesign:
+    """A generated RTL test instance plus its metadata."""
+
+    instance_id: str
+    category: str  # 'pipeline' | 'fsm'
+    source: str    # full SystemVerilog of the design
+    top: str       # top module name
+    tb_source: str = ""  # accompanying testbench header
+    tb_top: str = ""
+    meta: dict = field(default_factory=dict)
+
+
+_ARITH_OPS = ["^", "+", "-", "&", "|"]
+_SHIFT_OPS = ["<<<", ">>>"]
+
+
+def random_arith_expr(rng: random.Random, var: str, depth: int) -> str:
+    """A random combinational expression over *var* (paper style)."""
+    if depth <= 0:
+        if rng.random() < 0.7:
+            return var
+        return str(rng.randint(1, 9))
+    roll = rng.random()
+    if roll < 0.25:
+        inner = random_arith_expr(rng, var, depth - 1)
+        op = rng.choice(_SHIFT_OPS)
+        return f"({inner} {op} {rng.randint(1, 8)})"
+    left = random_arith_expr(rng, var, depth - 1)
+    right = random_arith_expr(rng, var, depth - 1)
+    if right == left == var and rng.random() < 0.5:
+        right = str(rng.randint(1, 9))
+    op = rng.choice(_ARITH_OPS)
+    return f"({left} {op} {right})"
+
+
+def _exec_unit(index: int, depth: int, expr: str) -> str:
+    return f"""module exec_unit_{index} (
+  clk,
+  reset_,
+  in_data,
+  in_vld,
+  out_data,
+  out_vld
+);
+parameter WIDTH = `WIDTH;
+localparam DEPTH = {depth};
+input clk;
+input reset_;
+input [WIDTH-1:0] in_data;
+input in_vld;
+output [WIDTH-1:0] out_data;
+output out_vld;
+
+logic [DEPTH:0] ready;
+logic [DEPTH:0][WIDTH-1:0] data;
+assign ready[0] = in_vld;
+assign data[0] = in_data;
+assign out_vld = ready[DEPTH];
+assign out_data = data[DEPTH];
+
+generate
+for (genvar i=0; i < DEPTH; i=i+1) begin : gen
+  always @(posedge clk) begin
+    if (!reset_) begin
+      ready[i+1] <= 'd0;
+      data[i+1] <= 'd0;
+    end else begin
+      ready[i+1] <= ready[i];
+      data[i+1] <= {expr};
+    end
+  end
+end
+endgenerate
+endmodule
+"""
+
+
+def generate_pipeline(config: PipelineConfig) -> GeneratedDesign:
+    """Generate one pipeline design (and metadata) from *config*."""
+    rng = random.Random(config.seed * 7919 + config.n_units * 131
+                        + config.width)
+    unit_depths = [rng.randint(1, 4) for _ in range(config.n_units)]
+    total_depth = sum(unit_depths)
+
+    units = []
+    exprs = []
+    for k, depth in enumerate(unit_depths):
+        expr = random_arith_expr(rng, "data[i]", config.expr_complexity)
+        if expr in ("data[i]",) or expr.isdigit():
+            expr = f"(data[i] ^ {rng.randint(1, 9)})"
+        exprs.append(expr)
+        units.append(_exec_unit(k, depth, expr))
+
+    # chain instances through the top-level data/ready vectors
+    instances = []
+    offset = 0
+    for k, depth in enumerate(unit_depths):
+        instances.append(f"""exec_unit_{k} #(.WIDTH(WIDTH)) unit_{k} (
+  .clk(clk),
+  .reset_(reset_),
+  .in_data(data[{offset}]),
+  .in_vld(ready[{offset}]),
+  .out_data(data[{offset + depth}]),
+  .out_vld(ready[{offset + depth}])
+);""")
+        offset += depth
+
+    top = f"""module pipeline (
+  clk,
+  reset_,
+  in_vld,
+  in_data,
+  out_vld,
+  out_data
+);
+parameter WIDTH=`WIDTH;
+parameter DEPTH=`DEPTH;
+input clk;
+input reset_;
+input in_vld;
+input [WIDTH-1:0] in_data;
+output out_vld;
+output [WIDTH-1:0] out_data;
+
+wire [DEPTH:0] ready;
+wire [DEPTH:0][WIDTH-1:0] data;
+assign ready[0] = in_vld;
+assign data[0] = in_data;
+assign out_vld = ready[DEPTH];
+assign out_data = data[DEPTH];
+
+{chr(10).join(instances)}
+endmodule
+"""
+    source = (f"`define WIDTH {config.width}\n"
+              f"`define DEPTH {total_depth}\n\n"
+              + "\n".join(units) + "\n" + top)
+    return GeneratedDesign(
+        instance_id=config.instance_id,
+        category="pipeline",
+        source=source,
+        top="pipeline",
+        meta={
+            "n_units": config.n_units,
+            "unit_depths": unit_depths,
+            "total_depth": total_depth,
+            "width": config.width,
+            "expr_complexity": config.expr_complexity,
+            "stage_exprs": exprs,
+        })

@@ -1,0 +1,12 @@
+"""NL2SVA-Human corpus (13 testbenches / 79 assertions, Table 6)."""
+
+from .corpus import (
+    HumanProblem,
+    corpus_stats,
+    problems,
+    testbench_names,
+    testbench_source,
+)
+
+__all__ = ["HumanProblem", "corpus_stats", "problems", "testbench_names",
+           "testbench_source"]

@@ -1,0 +1,14 @@
+"""NL2SVA-Machine synthetic benchmark (generate -> describe -> criticize)."""
+
+from .critic import acceptance_stats, build_problems, criticize
+from .generator import (
+    SIGNAL_WIDTHS,
+    AssertionGenerator,
+    MachineProblem,
+    generate_raw_problems,
+)
+from .naturalizer import Naturalizer
+
+__all__ = ["AssertionGenerator", "MachineProblem", "Naturalizer",
+           "SIGNAL_WIDTHS", "acceptance_stats", "build_problems",
+           "criticize", "generate_raw_problems"]

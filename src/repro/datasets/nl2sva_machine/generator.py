@@ -1,0 +1,179 @@
+"""Random SVA assertion generation for NL2SVA-Machine.
+
+Follows the paper's pipeline step (1): random sampling of SVA operators over
+symbolic signal names ``sig_A .. sig_J``.  Assertions are built as ASTs from
+a tiered grammar so that the 300-case benchmark spans simple boolean
+properties through nested implications with delay ranges and strong
+eventualities (Figure 3's length distribution).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ...sva.ast_nodes import (
+    Assertion,
+    Binary,
+    ClockingEvent,
+    Delay,
+    Expr,
+    Identifier,
+    Implication,
+    Number,
+    PropNode,
+    PropSeq,
+    SeqExpr,
+    SeqNode,
+    StrongWeak,
+    SystemCall,
+    Unary,
+)
+from ...sva.unparse import unparse
+
+#: Symbolic signal profile: name -> bit width.  Mixed widths exercise both
+#: boolean usage and reduction/count operators, as in the paper's examples.
+SIGNAL_WIDTHS: dict[str, int] = {
+    "sig_A": 1, "sig_B": 4, "sig_C": 4, "sig_D": 1, "sig_E": 4,
+    "sig_F": 1, "sig_G": 4, "sig_H": 4, "sig_I": 1, "sig_J": 1,
+}
+
+BOOL_SIGNALS = [s for s, w in SIGNAL_WIDTHS.items() if w == 1]
+VEC_SIGNALS = [s for s, w in SIGNAL_WIDTHS.items() if w > 1]
+
+
+@dataclass
+class MachineProblem:
+    """One synthetic NL-to-SVA test case."""
+
+    problem_id: str
+    assertion: Assertion
+    sva: str
+    tier: int
+    description: str = ""  # filled by the naturalizer
+    retries: int = 0       # description attempts the critic rejected
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def question_text(self) -> str:
+        return f"Create a SVA assertion that checks: {self.description}"
+
+
+def _num(value: int, width: int | None = None) -> Number:
+    text = f"{width}'d{value}" if width else str(value)
+    return Number(value=value, width=width, text=text)
+
+
+class AssertionGenerator:
+    """Seeded random generator over the machine-benchmark SVA grammar."""
+
+    def __init__(self, seed: int = 0):
+        self.rng = random.Random(seed)
+
+    # -- boolean atoms -----------------------------------------------------
+
+    def gen_atom(self) -> Expr:
+        r = self.rng.random()
+        if r < 0.30:
+            sig = self.rng.choice(BOOL_SIGNALS)
+            expr: Expr = Identifier(sig)
+            if self.rng.random() < 0.35:
+                expr = Unary("!", expr)
+            return expr
+        if r < 0.50:
+            sig = self.rng.choice(VEC_SIGNALS)
+            op = self.rng.choice(["|", "&", "^"])
+            return Unary(op, Identifier(sig))
+        if r < 0.62:
+            sig = self.rng.choice(VEC_SIGNALS)
+            fn = self.rng.choice(["$onehot", "$onehot0"])
+            return SystemCall(fn, (Identifier(sig),))
+        if r < 0.80:
+            sig = self.rng.choice(VEC_SIGNALS)
+            op = self.rng.choice(["==", "!=", "<", "<=", ">", ">="])
+            value = self.rng.randint(0, (1 << SIGNAL_WIDTHS[sig]) - 1)
+            return Binary(op, Identifier(sig), _num(value))
+        if r < 0.90:
+            a, b = self.rng.sample(VEC_SIGNALS, 2)
+            op = self.rng.choice(["==", "!="])
+            return Binary(op, Identifier(a), Identifier(b))
+        sig = self.rng.choice(VEC_SIGNALS)
+        fn = self.rng.choice(["$rose", "$fell", "$stable"])
+        arg = Identifier(self.rng.choice(BOOL_SIGNALS)) \
+            if fn in ("$rose", "$fell") else Identifier(sig)
+        return SystemCall(fn, (arg,))
+
+    # -- boolean combinations --------------------------------------------------
+
+    def gen_cond(self, depth: int) -> Expr:
+        if depth <= 0 or self.rng.random() < 0.4:
+            return self.gen_atom()
+        op = self.rng.choice(["&&", "||"])
+        left = self.gen_cond(depth - 1)
+        right = self.gen_cond(depth - 1)
+        return Binary(op, left, right)
+
+    # -- properties -----------------------------------------------------------
+
+    def gen_property(self, tier: int) -> PropNode:
+        if tier <= 1:
+            if self.rng.random() < 0.5:
+                return PropSeq(SeqExpr(self.gen_cond(1)))
+            return Implication(
+                antecedent=SeqExpr(self.gen_cond(0)),
+                consequent=PropSeq(SeqExpr(self.gen_cond(0))),
+                overlapping=self.rng.random() < 0.7)
+        if tier == 2:
+            ante = SeqExpr(self.gen_cond(1))
+            cons_expr = self.gen_cond(0)
+            cons = self._delayed(cons_expr)
+            return Implication(antecedent=ante, consequent=cons,
+                               overlapping=True)
+        # tier 3: richer consequents (ranges, eventualities, negations)
+        ante = SeqExpr(self.gen_cond(2))
+        roll = self.rng.random()
+        if roll < 0.35:
+            cons = self._delayed(self.gen_cond(1))
+        elif roll < 0.60:
+            lo = self.rng.randint(1, 3)
+            hi = lo + self.rng.randint(1, 4)
+            cons = PropSeq(Delay(lo=lo, hi=hi,
+                                 rhs=SeqExpr(self.gen_cond(0))))
+        elif roll < 0.80:
+            cons = StrongWeak(
+                seq=Delay(lo=self.rng.randint(0, 1), hi=None,
+                          rhs=SeqExpr(self.gen_cond(0))),
+                strong=True)
+        else:
+            inner = Unary("!", self.gen_atom())
+            cons = self._delayed(inner)
+        return Implication(antecedent=ante, consequent=cons,
+                           overlapping=True)
+
+    def _delayed(self, expr: Expr) -> PropNode:
+        n = self.rng.randint(1, 5)
+        return PropSeq(Delay(lo=n, hi=n, rhs=SeqExpr(expr)))
+
+    def gen_assertion(self, tier: int) -> Assertion:
+        prop = self.gen_property(tier)
+        return Assertion(
+            prop=prop,
+            clocking=ClockingEvent(edge="posedge", signal=Identifier("clk")),
+            disable=None)
+
+
+def generate_problem(index: int, seed: int = 0) -> MachineProblem:
+    """Generate problem *index* of the benchmark (deterministic per seed)."""
+    tier = 1 + index % 3
+    gen = AssertionGenerator(seed=seed * 100_003 + index)
+    assertion = gen.gen_assertion(tier)
+    return MachineProblem(
+        problem_id=f"nl2sva_machine_{tier}_{index}_0",
+        assertion=assertion,
+        sva=unparse(assertion),
+        tier=tier)
+
+
+def generate_raw_problems(count: int = 300, seed: int = 0) -> list[MachineProblem]:
+    """The benchmark's raw assertions (descriptions not yet attached)."""
+    return [generate_problem(i, seed) for i in range(count)]

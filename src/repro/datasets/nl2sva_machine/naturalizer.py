@@ -1,0 +1,253 @@
+"""NL description generation for machine-generated assertions.
+
+Plays the role of the paper's gpt-4o "naturalizer" (pipeline step 2):
+renders an assertion AST into a natural-language description with seeded
+lexical variation.  A *sloppiness* knob makes the renderer occasionally drop
+or blur information (exact delay counts, reduction kind, overlap), which the
+formal critic (:mod:`repro.datasets.nl2sva_machine.critic`) then catches and
+retries -- reproducing the generate/criticize/retry loop of the paper.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ...sva.ast_nodes import (
+    Assertion,
+    Binary,
+    Delay,
+    Expr,
+    Identifier,
+    Implication,
+    Number,
+    PropNode,
+    PropSeq,
+    SeqExpr,
+    StrongWeak,
+    SystemCall,
+    Unary,
+)
+
+_NUMBER_WORDS = ["zero", "one", "two", "three", "four", "five", "six",
+                 "seven", "eight", "nine", "ten"]
+
+
+def _flatten(op: str, expr):
+    """Flatten an associative &&/|| chain into its operand list."""
+    from ...sva.ast_nodes import Binary as _B
+    if isinstance(expr, _B) and expr.op == op:
+        return _flatten(op, expr.left) + _flatten(op, expr.right)
+    return [expr]
+
+
+class NaturalizeError(ValueError):
+    """AST shape outside the naturalizer's template fragment."""
+
+
+class Naturalizer:
+    """Seeded AST -> NL renderer with synonym pools."""
+
+    def __init__(self, seed: int = 0, sloppiness: float = 0.0):
+        self.rng = random.Random(seed)
+        self.sloppiness = sloppiness
+
+    def _pick(self, *options: str) -> str:
+        return self.rng.choice(options)
+
+    def _sloppy(self) -> bool:
+        return self.rng.random() < self.sloppiness
+
+    def _count(self, n: int) -> str:
+        if self.rng.random() < 0.5 and 0 <= n <= 10:
+            return _NUMBER_WORDS[n]
+        return str(n)
+
+    # -- entry ------------------------------------------------------------
+
+    def describe(self, assertion: Assertion) -> str:
+        return self.describe_property(assertion.prop)
+
+    def describe_property(self, prop: PropNode) -> str:
+        if isinstance(prop, PropSeq) and isinstance(prop.seq, SeqExpr):
+            cond = self.cond(prop.seq.expr)
+            return self._pick(
+                f"at every clock cycle, {cond}",
+                f"at each cycle, {cond}",
+            )
+        if isinstance(prop, Implication):
+            return self._implication(prop)
+        raise NaturalizeError(
+            f"no template for property {type(prop).__name__}")
+
+    def _implication(self, prop: Implication) -> str:
+        if not isinstance(prop.antecedent, SeqExpr):
+            raise NaturalizeError("antecedent template requires an expression")
+        ante = self.cond(prop.antecedent.expr)
+        lead = self._pick("If", "When", "Whenever")
+        cons, time = self._consequent(prop.consequent, prop.overlapping)
+        time_part = f" {time}" if time else ""
+        return f"{lead} {ante}, then {cons}{time_part}"
+
+    def _consequent(self, cons: PropNode,
+                    overlapping: bool) -> tuple[str, str]:
+        offset = 0 if overlapping else 1
+        if isinstance(cons, PropSeq) and isinstance(cons.seq, SeqExpr):
+            time = self._time_phrase(offset, offset)
+            return self.cond(cons.seq.expr), time
+        if isinstance(cons, PropSeq) and isinstance(cons.seq, Delay) \
+                and cons.seq.lhs is None \
+                and isinstance(cons.seq.rhs, SeqExpr):
+            d = cons.seq
+            lo, hi = d.lo + offset, (None if d.hi is None else d.hi + offset)
+            if hi is None:
+                raise NaturalizeError("weak unbounded consequent")
+            return self.cond(d.rhs.expr), self._time_phrase(lo, hi)
+        if isinstance(cons, StrongWeak) and cons.strong \
+                and isinstance(cons.seq, Delay) and cons.seq.lhs is None \
+                and cons.seq.hi is None \
+                and isinstance(cons.seq.rhs, SeqExpr):
+            lo = cons.seq.lo + offset
+            body = self.cond(cons.seq.rhs.expr)
+            if self._sloppy():
+                # blur: "within a few cycles" reads as a bounded window
+                return body, "within a few cycles"
+            if lo == 0:
+                return body, self._pick("must eventually hold",
+                                        "eventually holds")
+            return body, self._pick(
+                "must eventually hold after the current cycle",
+                "eventually holds after the current cycle")
+        raise NaturalizeError(
+            f"no template for consequent {type(cons).__name__}")
+
+    def _time_phrase(self, lo: int, hi: int | None) -> str:
+        if hi is not None and lo == hi:
+            if lo == 0:
+                return self._pick("in the same cycle", "at the same cycle")
+            if self._sloppy():
+                return "a few cycles later"  # drops the exact count
+            if lo == 1:
+                return self._pick("one clock cycle later", "on the next "
+                                  "clock cycle")
+            n = self._count(lo)
+            return self._pick(f"{n} clock cycles later", f"{n} cycles later")
+        lo_s, hi_s = self._count(lo), self._count(hi)
+        return self._pick(
+            f"between {lo_s} and {hi_s} clock cycles later",
+            f"between {lo_s} and {hi_s} cycles later")
+
+    # -- conditions ------------------------------------------------------------
+
+    def cond(self, expr: Expr, depth: int = 0) -> str:
+        if isinstance(expr, Binary) and expr.op == "||":
+            operands = [self._or_operand(e) for e in _flatten("||", expr)]
+            if len(operands) == 2:
+                return f"either {operands[0]} or {operands[1]}"
+            return "either " + ", or ".join(operands)
+        if isinstance(expr, Binary) and expr.op == "&&":
+            children = _flatten("&&", expr)
+            if all(self._is_atomic(c) for c in children) and len(children) == 2:
+                return (f"both {self.atom(children[0])} "
+                        f"and {self.atom(children[1])}")
+            return ", and ".join(self._and_operand(c) for c in children)
+        return self.atom(expr)
+
+    def _or_operand(self, expr: Expr) -> str:
+        if self._is_atomic(expr):
+            return self.atom(expr)
+        if isinstance(expr, Binary) and expr.op == "&&":
+            children = _flatten("&&", expr)
+            if all(self._is_atomic(c) for c in children) and len(children) == 2:
+                return (f"both {self.atom(children[0])} "
+                        f"and {self.atom(children[1])}")
+        raise NaturalizeError("or-operand too complex for template set")
+
+    def _and_operand(self, expr: Expr) -> str:
+        if self._is_atomic(expr):
+            return self.atom(expr)
+        if isinstance(expr, Binary) and expr.op == "||":
+            operands = [self._or_operand(e) for e in _flatten("||", expr)]
+            if len(operands) == 2:
+                return f"either {operands[0]} or {operands[1]}"
+            return "either " + ", or ".join(operands)
+        raise NaturalizeError("and-operand too complex for template set")
+
+    @staticmethod
+    def _is_atomic(expr: Expr) -> bool:
+        return not (isinstance(expr, Binary) and expr.op in ("&&", "||"))
+
+    # -- atoms ------------------------------------------------------------
+
+    def atom(self, expr: Expr) -> str:
+        if isinstance(expr, Identifier):
+            return self._pick(f"{expr.name} is high", f"{expr.name} is true",
+                              f"{expr.name} is asserted")
+        if isinstance(expr, Unary) and expr.op == "!":
+            inner = expr.operand
+            if isinstance(inner, Identifier):
+                return self._pick(f"{inner.name} is low",
+                                  f"{inner.name} is false",
+                                  f"{inner.name} is not high")
+            return f"it is not the case that {self.atom(inner)}"
+        if isinstance(expr, Unary) and expr.op in ("|", "&", "^"):
+            name = self._ident_name(expr.operand)
+            if expr.op == "|":
+                return self._pick(
+                    f"at least one bit of {name} is set",
+                    f"{name} contains at least one '1' bit")
+            if expr.op == "&":
+                if self._sloppy():
+                    return f"{name} is set"  # blurs all-bits vs any-bit
+                return self._pick(f"all bits of {name} are 1",
+                                  f"every bit of {name} is set")
+            return self._pick(
+                f"{name} has an odd number of bits set to '1'",
+                f"{name} has odd parity")
+        if isinstance(expr, SystemCall):
+            return self._syscall_atom(expr)
+        if isinstance(expr, Binary):
+            return self._compare_atom(expr)
+        raise NaturalizeError(f"no template for atom {type(expr).__name__}")
+
+    def _syscall_atom(self, call: SystemCall) -> str:
+        name = self._ident_name(call.args[0])
+        if call.name == "$onehot":
+            return f"exactly one bit of {name} is set"
+        if call.name == "$onehot0":
+            return f"at most one bit of {name} is set"
+        if call.name == "$rose":
+            return self._pick(f"{name} rises",
+                              f"{name} goes from low to high")
+        if call.name == "$fell":
+            return self._pick(f"{name} falls",
+                              f"{name} goes from high to low")
+        if call.name == "$stable":
+            return self._pick(
+                f"{name} is unchanged from the previous cycle",
+                f"{name} holds its previous value")
+        raise NaturalizeError(f"no template for {call.name}")
+
+    def _compare_atom(self, expr: Binary) -> str:
+        lhs = self._ident_name(expr.left)
+        if isinstance(expr.right, Number):
+            rhs = str(expr.right.value)
+        else:
+            rhs = self._ident_name(expr.right)
+        phrases = {
+            "==": (f"{lhs} equals {rhs}", f"{lhs} is equal to {rhs}"),
+            "!=": (f"{lhs} is not equal to {rhs}",
+                   f"{lhs} differs from {rhs}"),
+            "<": (f"{lhs} is less than {rhs}",),
+            "<=": (f"{lhs} is at most {rhs}",),
+            ">": (f"{lhs} is greater than {rhs}",),
+            ">=": (f"{lhs} is at least {rhs}",),
+        }
+        if expr.op not in phrases:
+            raise NaturalizeError(f"no template for comparison {expr.op}")
+        return self._pick(*phrases[expr.op])
+
+    @staticmethod
+    def _ident_name(expr: Expr) -> str:
+        if isinstance(expr, Identifier):
+            return expr.name
+        raise NaturalizeError("expected a signal name")

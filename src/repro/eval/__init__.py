@@ -1,0 +1,16 @@
+"""Evaluation metrics and tokenization."""
+
+from .metrics import (
+    corpus_bleu,
+    mean,
+    pass_at_k,
+    pearson_corr,
+    sentence_bleu,
+    sva_tokens,
+)
+from .tokenizer import count_tokens, length_histogram, tokenize_text
+
+__all__ = [
+    "corpus_bleu", "count_tokens", "length_histogram", "mean", "pass_at_k",
+    "pearson_corr", "sentence_bleu", "sva_tokens", "tokenize_text",
+]

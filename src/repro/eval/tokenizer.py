@@ -1,0 +1,71 @@
+"""Subword tokenizer for length statistics (Figures 2, 3, 4).
+
+The paper measures NL/SVA lengths with the Llama-3 tokenizer, which is not
+available offline; this module provides a deterministic BPE-like substitute
+calibrated to a similar tokens-per-character ratio (~0.3 for English prose,
+denser for code).  Only length *distributions* are consumed downstream, so
+the substitution preserves the figures' shape (DESIGN.md "Substitutions").
+"""
+
+from __future__ import annotations
+
+import re
+
+_WORD_RE = re.compile(
+    r"[A-Za-z]+|\d+|\s+|[^\sA-Za-z0-9]")
+
+#: Common English/Verilog fragments kept as single tokens, mimicking a BPE
+#: vocabulary's frequent merges.
+_COMMON = frozenset("""
+    the and that all one assert property posedge clock cycle cycles later
+    module input output wire assign always begin end signal high low true
+    false must then when whenever eventually hold holds bits bit set
+    reg logic parameter if else case state next data valid ready reset
+""".split())
+
+_CHUNK = 4  # max characters per subword chunk
+
+
+def tokenize_text(text: str) -> list[str]:
+    """Split *text* into subword tokens."""
+    out: list[str] = []
+    for piece in _WORD_RE.findall(text):
+        if piece.isspace():
+            continue
+        lower = piece.lower()
+        if lower in _COMMON or len(piece) <= _CHUNK:
+            out.append(piece)
+            continue
+        if piece.isdigit():
+            # digit runs tokenize in small groups
+            for i in range(0, len(piece), 3):
+                out.append(piece[i:i + 3])
+            continue
+        # split long words into BPE-like chunks
+        for i in range(0, len(piece), _CHUNK):
+            out.append(piece[i:i + _CHUNK])
+    return out
+
+
+def count_tokens(text: str) -> int:
+    """Approximate Llama-3 token count of *text*."""
+    return len(tokenize_text(text))
+
+
+def length_histogram(lengths: list[int], bins: int = 12,
+                     lo: int | None = None,
+                     hi: int | None = None) -> list[tuple[int, int, int]]:
+    """Bucket lengths into (lo, hi, count) bins for figure rendering."""
+    if not lengths:
+        return []
+    lo = min(lengths) if lo is None else lo
+    hi = max(lengths) if hi is None else hi
+    if hi <= lo:
+        hi = lo + 1
+    width = max(1, (hi - lo + bins - 1) // bins)
+    counts: dict[int, int] = {}
+    for value in lengths:
+        b = min((value - lo) // width, bins - 1)
+        counts[b] = counts.get(b, 0) + 1
+    return [(lo + b * width, lo + (b + 1) * width - 1, counts.get(b, 0))
+            for b in range(bins)]

@@ -1,0 +1,197 @@
+"""And-Inverter Graph (AIG) with structural hashing.
+
+The formal engine's boolean layer.  Word-level expressions are bit-blasted
+(:mod:`repro.formal.bitvec`) into AIG literals; property semantics
+(:mod:`repro.formal.semantics`) compose those literals; the result is
+Tseitin-converted to CNF and handed to the CDCL solver
+(:mod:`repro.formal.sat`).
+
+Literal encoding: literal ``2*n`` is node *n*, literal ``2*n+1`` is its
+negation.  Node 0 is the constant TRUE, so ``TRUE == 0`` and ``FALSE == 1``.
+"""
+
+from __future__ import annotations
+
+TRUE = 0
+FALSE = 1
+
+
+def neg(lit: int) -> int:
+    """Negate an AIG literal."""
+    return lit ^ 1
+
+
+class AIG:
+    """Structurally hashed And-Inverter Graph."""
+
+    def __init__(self) -> None:
+        # fanins[n] = (a, b) literals for AND node n; inputs/const have None
+        self._fanins: list[tuple[int, int] | None] = [None]  # node 0 = TRUE
+        self._hash: dict[tuple[int, int], int] = {}
+        self.num_inputs = 0
+
+    # -- construction --------------------------------------------------------
+
+    def new_input(self) -> int:
+        """Create a fresh primary input; returns its positive literal."""
+        self._fanins.append(None)
+        self.num_inputs += 1
+        return (len(self._fanins) - 1) * 2
+
+    def and_(self, a: int, b: int) -> int:
+        """AND of two literals, with constant folding and structural hashing."""
+        if a == FALSE or b == FALSE or a == neg(b):
+            return FALSE
+        if a == TRUE:
+            return b
+        if b == TRUE or a == b:
+            return a
+        key = (a, b) if a < b else (b, a)
+        node = self._hash.get(key)
+        if node is None:
+            self._fanins.append(key)
+            node = len(self._fanins) - 1
+            self._hash[key] = node
+        return node * 2
+
+    def or_(self, a: int, b: int) -> int:
+        return neg(self.and_(neg(a), neg(b)))
+
+    def xor_(self, a: int, b: int) -> int:
+        return self.or_(self.and_(a, neg(b)), self.and_(neg(a), b))
+
+    def xnor_(self, a: int, b: int) -> int:
+        return neg(self.xor_(a, b))
+
+    def mux_(self, sel: int, if_true: int, if_false: int) -> int:
+        """``sel ? if_true : if_false``."""
+        return self.or_(self.and_(sel, if_true), self.and_(neg(sel), if_false))
+
+    def implies_(self, a: int, b: int) -> int:
+        return self.or_(neg(a), b)
+
+    def and_many(self, lits) -> int:
+        out = TRUE
+        for lit in lits:
+            out = self.and_(out, lit)
+        return out
+
+    def or_many(self, lits) -> int:
+        out = FALSE
+        for lit in lits:
+            out = self.or_(out, lit)
+        return out
+
+    # -- inspection ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._fanins)
+
+    def is_input(self, node: int) -> bool:
+        return node != 0 and self._fanins[node] is None
+
+    def fanin(self, node: int) -> tuple[int, int] | None:
+        return self._fanins[node]
+
+    def cone(self, roots: list[int]) -> list[int]:
+        """Topologically ordered nodes in the transitive fanin of *roots*."""
+        seen: set[int] = set()
+        order: list[int] = []
+        stack = [lit >> 1 for lit in roots]
+        # iterative DFS with explicit post-order
+        visit: list[tuple[int, bool]] = [(n, False) for n in stack]
+        while visit:
+            node, processed = visit.pop()
+            if processed:
+                order.append(node)
+                continue
+            if node in seen:
+                continue
+            seen.add(node)
+            visit.append((node, True))
+            fi = self._fanins[node]
+            if fi is not None:
+                visit.append((fi[0] >> 1, False))
+                visit.append((fi[1] >> 1, False))
+        return order
+
+    def simulate(self, input_values: dict[int, bool], lits: list[int]) -> list[bool]:
+        """Evaluate *lits* under an assignment of input literals to booleans.
+
+        ``input_values`` maps *positive input literals* to values.  Used for
+        counterexample replay and for cross-checking the bit-blaster against
+        the concrete interpreter.
+        """
+        values: dict[int, bool] = {0: True}
+        for lit, val in input_values.items():
+            values[lit >> 1] = bool(val)
+
+        def node_value(node: int) -> bool:
+            order = self.cone([node * 2])
+            for n in order:
+                if n in values:
+                    continue
+                fi = self._fanins[n]
+                if fi is None:
+                    values[n] = False  # unconstrained input defaults to 0
+                    continue
+                a, b = fi
+                va = values[a >> 1] ^ bool(a & 1)
+                vb = values[b >> 1] ^ bool(b & 1)
+                values[n] = va and vb
+            return values[node]
+
+        return [node_value(lit >> 1) ^ bool(lit & 1) for lit in lits]
+
+    # -- CNF export (Tseitin) --------------------------------------------------
+
+    def to_cnf(self, roots: list[int]) -> tuple[list[list[int]], dict[int, int], int]:
+        """Tseitin-encode the cone of *roots*.
+
+        Returns ``(clauses, node2var, num_vars)`` where ``node2var`` maps AIG
+        node index to a positive DIMACS-style variable (1-based).  Constant
+        TRUE gets a dedicated variable pinned by a unit clause.
+        """
+        order = self.cone(roots)
+        node2var: dict[int, int] = {}
+        clauses: list[list[int]] = []
+
+        def var_of(node: int) -> int:
+            v = node2var.get(node)
+            if v is None:
+                v = len(node2var) + 1
+                node2var[node] = v
+            return v
+
+        def cnf_lit(lit: int) -> int:
+            v = var_of(lit >> 1)
+            return -v if lit & 1 else v
+
+        if 0 in order or any((self._fanins[n] is not None and
+                              (self._fanins[n][0] >> 1 == 0 or
+                               self._fanins[n][1] >> 1 == 0))
+                             for n in order):
+            pass  # constants are folded during construction; node 0 unused
+        for node in order:
+            fi = self._fanins[node]
+            if fi is None:
+                if node == 0:
+                    clauses.append([var_of(0)])  # TRUE must be true
+                else:
+                    var_of(node)
+                continue
+            a, b = fi
+            o = var_of(node)
+            la, lb = cnf_lit(a), cnf_lit(b)
+            clauses.append([-o, la])
+            clauses.append([-o, lb])
+            clauses.append([o, -la, -lb])
+        return clauses, node2var, len(node2var)
+
+    def cnf_literal(self, lit: int, node2var: dict[int, int]) -> int:
+        """Translate an AIG literal to a CNF literal given ``node2var``."""
+        node = lit >> 1
+        if node not in node2var:
+            raise KeyError(f"node {node} not in CNF cone")
+        v = node2var[node]
+        return -v if lit & 1 else v

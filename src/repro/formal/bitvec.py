@@ -1,0 +1,748 @@
+"""Word-level expression evaluation: bit-blasting and concrete interpretation.
+
+A single evaluator (:class:`ExprEvaluator`) implements SystemVerilog
+expression semantics -- width inference, zero extension, unsigned arithmetic,
+reduction operators, system functions -- over an abstract word
+:class:`Backend`.  Two backends are provided:
+
+* :class:`AigBackend` -- words are tuples of AIG literals (bit-blasting, used
+  by the equivalence checker and the prover), and
+* :class:`IntBackend` -- words are Python ints (used by the RTL simulator and
+  as a cross-check oracle in the test suite).
+
+Width rules follow LRM clause 11.6 restricted to the unsigned subset used by
+the benchmark: operands of binary arithmetic/bitwise/comparison operators are
+zero-extended to a common width; shifts are self-determined on the right;
+reductions and logical operators produce one bit; unsized literals are 32 bits
+wide.  ``===``/``!==`` evaluate as ``==``/``!=`` (2-state semantics; see
+DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from ..sva.ast_nodes import (
+    Binary,
+    Concat,
+    Expr,
+    Identifier,
+    Index,
+    Number,
+    RangeSelect,
+    Replication,
+    SystemCall,
+    Ternary,
+    Unary,
+)
+from .aig import AIG, FALSE, TRUE, neg
+
+UNSIZED_WIDTH = 32
+
+
+class EvalError(ValueError):
+    """Raised for expressions outside the supported 2-state subset."""
+
+
+class Backend:
+    """Abstract word backend.  A word is an opaque payload plus a width the
+    evaluator tracks externally."""
+
+    def const(self, value: int, width: int):
+        raise NotImplementedError
+
+    def input_bits(self, bits):
+        """Package backend-specific raw bits (AIG only)."""
+        raise NotImplementedError
+
+    def zext(self, a, from_w: int, to_w: int):
+        raise NotImplementedError
+
+    def not_(self, a, w: int):
+        raise NotImplementedError
+
+    def bitop(self, op: str, a, b, w: int):
+        raise NotImplementedError
+
+    def add(self, a, b, w: int):
+        raise NotImplementedError
+
+    def sub(self, a, b, w: int):
+        raise NotImplementedError
+
+    def mul(self, a, b, w: int):
+        raise NotImplementedError
+
+    def divmod_(self, a, b, w: int):
+        raise NotImplementedError
+
+    def shift(self, op: str, a, wa: int, b, wb: int):
+        raise NotImplementedError
+
+    def eq(self, a, b, w: int):
+        """Returns a 1-bit word."""
+        raise NotImplementedError
+
+    def ult(self, a, b, w: int):
+        raise NotImplementedError
+
+    def reduce(self, op: str, a, w: int):
+        raise NotImplementedError
+
+    def mux(self, cond_bit, a, b, w: int):
+        raise NotImplementedError
+
+    def concat(self, parts):
+        """parts: list of (payload, width), MSB part first."""
+        raise NotImplementedError
+
+    def extract(self, a, w: int, hi: int, lo: int):
+        raise NotImplementedError
+
+    def select_var(self, a, w: int, idx, idx_w: int):
+        """Single-bit select with a non-constant index."""
+        raise NotImplementedError
+
+    def popcount(self, a, w: int):
+        raise NotImplementedError
+
+    def bool_(self, a, w: int):
+        """OR-reduction to a single bit (truthiness)."""
+        return self.reduce("|", a, w)
+
+
+# ---------------------------------------------------------------------------
+# Concrete backend
+# ---------------------------------------------------------------------------
+
+
+def _mask(w: int) -> int:
+    return (1 << w) - 1
+
+
+class IntBackend(Backend):
+    """Words are plain Python ints, masked to their width."""
+
+    def const(self, value: int, width: int) -> int:
+        return value & _mask(width)
+
+    def zext(self, a: int, from_w: int, to_w: int) -> int:
+        return a & _mask(to_w)
+
+    def not_(self, a: int, w: int) -> int:
+        return ~a & _mask(w)
+
+    def bitop(self, op: str, a: int, b: int, w: int) -> int:
+        if op == "&":
+            return a & b
+        if op == "|":
+            return a | b
+        if op == "^":
+            return a ^ b
+        raise EvalError(f"bad bitop {op}")
+
+    def add(self, a: int, b: int, w: int) -> int:
+        return (a + b) & _mask(w)
+
+    def sub(self, a: int, b: int, w: int) -> int:
+        return (a - b) & _mask(w)
+
+    def mul(self, a: int, b: int, w: int) -> int:
+        return (a * b) & _mask(w)
+
+    def divmod_(self, a: int, b: int, w: int) -> tuple[int, int]:
+        if b == 0:
+            # x in 4-state; 2-state tools saturate -- we define div-by-0 = all
+            # ones, rem = a (documented; generators never emit /0)
+            return _mask(w), a
+        return a // b, a % b
+
+    def shift(self, op: str, a: int, wa: int, b: int, wb: int) -> int:
+        if b >= wa:
+            return 0
+        if op in ("<<", "<<<"):
+            return (a << b) & _mask(wa)
+        return a >> b  # >> and >>> identical on unsigned operands
+
+    def eq(self, a: int, b: int, w: int) -> int:
+        return 1 if a == b else 0
+
+    def ult(self, a: int, b: int, w: int) -> int:
+        return 1 if a < b else 0
+
+    def reduce(self, op: str, a: int, w: int) -> int:
+        if op == "|":
+            return 1 if a != 0 else 0
+        if op == "&":
+            return 1 if a == _mask(w) else 0
+        if op == "^":
+            return bin(a).count("1") & 1
+        raise EvalError(f"bad reduction {op}")
+
+    def mux(self, cond_bit: int, a: int, b: int, w: int) -> int:
+        return a if cond_bit else b
+
+    def concat(self, parts) -> int:
+        out = 0
+        for payload, width in parts:  # MSB part first
+            out = (out << width) | (payload & _mask(width))
+        return out
+
+    def extract(self, a: int, w: int, hi: int, lo: int) -> int:
+        return (a >> lo) & _mask(hi - lo + 1)
+
+    def select_var(self, a: int, w: int, idx: int, idx_w: int) -> int:
+        if idx >= w:
+            return 0
+        return (a >> idx) & 1
+
+    def popcount(self, a: int, w: int) -> int:
+        return bin(a).count("1")
+
+
+# ---------------------------------------------------------------------------
+# Symbolic (AIG) backend
+# ---------------------------------------------------------------------------
+
+
+class AigBackend(Backend):
+    """Words are tuples of AIG literals, LSB first."""
+
+    def __init__(self, aig: AIG):
+        self.aig = aig
+
+    def const(self, value: int, width: int):
+        return tuple(TRUE if (value >> i) & 1 else FALSE for i in range(width))
+
+    def input_bits(self, bits):
+        return tuple(bits)
+
+    def zext(self, a, from_w: int, to_w: int):
+        if to_w <= from_w:
+            return tuple(a[:to_w])
+        return tuple(a) + (FALSE,) * (to_w - from_w)
+
+    def not_(self, a, w: int):
+        return tuple(neg(x) for x in a)
+
+    def bitop(self, op: str, a, b, w: int):
+        g = self.aig
+        fn = {"&": g.and_, "|": g.or_, "^": g.xor_}[op]
+        return tuple(fn(x, y) for x, y in zip(a, b))
+
+    def add(self, a, b, w: int):
+        return self._adder(a, b, FALSE, w)
+
+    def _adder(self, a, b, carry: int, w: int):
+        g = self.aig
+        out = []
+        for i in range(w):
+            x, y = a[i], b[i]
+            s = g.xor_(g.xor_(x, y), carry)
+            carry = g.or_(g.and_(x, y), g.and_(carry, g.xor_(x, y)))
+            out.append(s)
+        return tuple(out)
+
+    def sub(self, a, b, w: int):
+        return self._adder(a, self.not_(b, w), TRUE, w)
+
+    def mul(self, a, b, w: int):
+        g = self.aig
+        acc = self.const(0, w)
+        for i in range(w):
+            partial = tuple(
+                g.and_(b[i], a[j - i]) if j >= i else FALSE for j in range(w))
+            acc = self.add(acc, partial, w)
+        return acc
+
+    def divmod_(self, a, b, w: int):
+        """Restoring division; div-by-0 = (all ones, a) as in IntBackend."""
+        g = self.aig
+        wx = w + 1  # one extra remainder bit so the shift cannot overflow
+        bx = self.zext(b, w, wx)
+        rem = self.const(0, wx)
+        quo = []
+        for i in range(w - 1, -1, -1):
+            rem = (a[i],) + tuple(rem[:wx - 1])  # shift left, bring in a[i]
+            ge = neg(self.ult(rem, bx, wx)[0])
+            diff = self.sub(rem, bx, wx)
+            rem = tuple(g.mux_(ge, d, r) for d, r in zip(diff, rem))
+            quo.append(ge)
+        quo.reverse()
+        bzero = neg(self.reduce("|", b, w)[0])
+        quo = tuple(g.mux_(bzero, TRUE, q) for q in quo)
+        remw = tuple(g.mux_(bzero, x, r) for x, r in zip(a, rem[:w]))
+        return tuple(quo), remw
+
+    def shift(self, op: str, a, wa: int, b, wb: int):
+        g = self.aig
+        # only the low ceil(log2(wa))+1 bits of the amount matter; if any
+        # higher bit is set the result is zero
+        sig_bits = max(1, wa.bit_length())
+        cur = tuple(a)
+        for i in range(min(sig_bits, wb)):
+            amt = 1 << i
+            if amt >= wa:
+                shifted = (FALSE,) * wa
+            elif op in ("<<", "<<<"):
+                shifted = (FALSE,) * amt + cur[:wa - amt]
+            else:
+                shifted = cur[amt:] + (FALSE,) * amt
+            cur = tuple(g.mux_(b[i], s, c) for s, c in zip(shifted, cur))
+        overflow = g.or_many(b[min(sig_bits, wb):])
+        return tuple(g.and_(neg(overflow), c) for c in cur)
+
+    def eq(self, a, b, w: int):
+        g = self.aig
+        return (g.and_many(g.xnor_(x, y) for x, y in zip(a, b)),)
+
+    def ult(self, a, b, w: int):
+        g = self.aig
+        lt = FALSE
+        for i in range(w):  # LSB to MSB; MSB dominates
+            bit_lt = g.and_(neg(a[i]), b[i])
+            bit_eq = g.xnor_(a[i], b[i])
+            lt = g.or_(bit_lt, g.and_(bit_eq, lt))
+        return (lt,)
+
+    def reduce(self, op: str, a, w: int):
+        g = self.aig
+        if op == "|":
+            return (g.or_many(a),)
+        if op == "&":
+            return (g.and_many(a),)
+        out = FALSE
+        for x in a:
+            out = g.xor_(out, x)
+        return (out,)
+
+    def mux(self, cond_bit, a, b, w: int):
+        g = self.aig
+        c = cond_bit[0] if isinstance(cond_bit, tuple) else cond_bit
+        return tuple(g.mux_(c, x, y) for x, y in zip(a, b))
+
+    def concat(self, parts):
+        out: tuple = ()
+        for payload, width in reversed(parts):  # build LSB-first
+            out = out + tuple(payload[:width])
+        return out
+
+    def extract(self, a, w: int, hi: int, lo: int):
+        return tuple(a[lo:hi + 1])
+
+    def select_var(self, a, w: int, idx, idx_w: int):
+        g = self.aig
+        out = FALSE
+        for i in range(w):
+            hit = self.eq(idx, self.const(i, idx_w), idx_w)[0]
+            out = g.or_(out, g.and_(hit, a[i]))
+        return (out,)
+
+    def popcount(self, a, w: int):
+        out_w = max(1, w.bit_length())
+        acc = self.const(0, out_w)
+        for bit in a:
+            acc = self.add(acc, (bit,) + (FALSE,) * (out_w - 1), out_w)
+        return acc
+
+
+# ---------------------------------------------------------------------------
+# The generic evaluator
+# ---------------------------------------------------------------------------
+
+
+class _Fill:
+    """Sentinel for '0/'1 fill literals awaiting a context width."""
+
+    def __init__(self, bit: int):
+        self.bit = bit
+
+
+class SignalSource:
+    """Provides signal values per cycle for an :class:`ExprEvaluator`.
+
+    ``read(name, t)`` returns ``(payload, width)`` in the chosen backend's
+    representation.  ``t`` may be negative for ``$past`` prehistory.
+    """
+
+    def read(self, name: str, t: int):
+        raise NotImplementedError
+
+    def width(self, name: str) -> int:
+        raise NotImplementedError
+
+
+class ExprEvaluator:
+    """Evaluates expression ASTs at a given cycle over a backend + source."""
+
+    def __init__(self, backend: Backend, source: SignalSource,
+                 params: dict[str, int] | None = None):
+        self.be = backend
+        self.source = source
+        self.params = dict(params or {})
+
+    # public API ------------------------------------------------------------
+
+    def eval(self, expr: Expr, t: int):
+        """Returns ``(payload, width)``."""
+        v, w = self._eval(expr, t)
+        if isinstance(v, _Fill):
+            # a bare fill literal defaults to width 1
+            return self.be.const(_mask(1) if v.bit else 0, 1), 1
+        return v, w
+
+    def eval_bool(self, expr: Expr, t: int):
+        """Returns a 1-bit payload (truthiness of the expression)."""
+        v, w = self.eval(expr, t)
+        b = self.be.bool_(v, w)
+        return b[0] if isinstance(b, tuple) else b
+
+    # internals ---------------------------------------------------------------
+
+    def _eval(self, expr: Expr, t: int):
+        if isinstance(expr, Number):
+            return self._eval_number(expr)
+        if isinstance(expr, Identifier):
+            return self._eval_identifier(expr, t)
+        if isinstance(expr, Unary):
+            return self._eval_unary(expr, t)
+        if isinstance(expr, Binary):
+            return self._eval_binary(expr, t)
+        if isinstance(expr, Ternary):
+            return self._eval_ternary(expr, t)
+        if isinstance(expr, SystemCall):
+            return self._eval_syscall(expr, t)
+        if isinstance(expr, Concat):
+            parts = [self._materialize(self._eval(p, t)) for p in expr.parts]
+            width = sum(w for _, w in parts)
+            return self.be.concat(parts), width
+        if isinstance(expr, Replication):
+            n = self._as_const(expr.count)
+            if n is None:
+                raise EvalError("replication count must be constant")
+            val, vw = self._materialize(self._eval(expr.value, t))
+            return self.be.concat([(val, vw)] * n), vw * n
+        if isinstance(expr, Index):
+            return self._eval_index(expr, t)
+        if isinstance(expr, RangeSelect):
+            return self._eval_range(expr, t)
+        raise EvalError(f"unsupported expression {type(expr).__name__}")
+
+    def _materialize(self, vw):
+        v, w = vw
+        if isinstance(v, _Fill):
+            raise EvalError("fill literal needs a sized context")
+        return v, w
+
+    def _eval_number(self, num: Number):
+        if num.is_fill:
+            if num.fill_bit is None:
+                raise EvalError("x/z fill literal in 2-state evaluation")
+            return _Fill(num.fill_bit), 0
+        if num.value is None:
+            raise EvalError(f"x/z literal {num.text!r} in 2-state evaluation")
+        width = num.width if num.width is not None else UNSIZED_WIDTH
+        return self.be.const(num.value, width), width
+
+    def _eval_identifier(self, ident: Identifier, t: int):
+        if ident.name in self.params:
+            value = self.params[ident.name]
+            return self.be.const(value, UNSIZED_WIDTH), UNSIZED_WIDTH
+        return self.source.read(ident.name, t)
+
+    def _eval_unary(self, expr: Unary, t: int):
+        op = expr.op
+        if op == "!":
+            v, w = self._materialize(self._eval(expr.operand, t))
+            return self._invert_bit(self.be.bool_(v, w)), 1
+        if op in ("&", "|", "^", "~&", "~|", "~^", "^~"):
+            v, w = self._materialize(self._eval(expr.operand, t))
+            base = op.replace("~", "") if op != "^~" else "^"
+            r = self.be.reduce(base, v, w)
+            if op.startswith("~") or op == "^~":
+                r = self._invert_bit(r)
+            return r, 1
+        if op == "~":
+            v, w = self._materialize(self._eval(expr.operand, t))
+            return self.be.not_(v, w), w
+        if op == "-":
+            v, w = self._materialize(self._eval(expr.operand, t))
+            zero = self.be.const(0, w)
+            return self.be.sub(zero, v, w), w
+        if op == "+":
+            return self._materialize(self._eval(expr.operand, t))
+        raise EvalError(f"unsupported unary {op}")
+
+    def _invert_bit(self, b):
+        """Invert a 1-bit word (int for IntBackend, 1-tuple for AigBackend)."""
+        if isinstance(b, tuple):
+            return (neg(b[0]),)
+        return 1 - (b & 1)
+
+    def _common(self, left, right, t):
+        lv, lw = self._eval(left, t)
+        rv, rw = self._eval(right, t)
+        if isinstance(lv, _Fill) and isinstance(rv, _Fill):
+            raise EvalError("fill literals on both operands")
+        if isinstance(lv, _Fill):
+            lv, lw = self.be.const(_mask(rw) if lv.bit else 0, rw), rw
+        if isinstance(rv, _Fill):
+            rv, rw = self.be.const(_mask(lw) if rv.bit else 0, lw), lw
+        w = max(lw, rw)
+        if lw < w:
+            lv = self.be.zext(lv, lw, w)
+        if rw < w:
+            rv = self.be.zext(rv, rw, w)
+        return lv, rv, w
+
+    def _eval_binary(self, expr: Binary, t: int):
+        op = expr.op
+        if op in ("&&", "||"):
+            a = self.eval_bool(expr.left, t)
+            b = self.eval_bool(expr.right, t)
+            if isinstance(self.be, IntBackend):
+                return (a and b if op == "&&" else a or b), 1
+            g = self.be.aig
+            return ((g.and_(a, b) if op == "&&" else g.or_(a, b)),), 1
+
+        if op in ("==", "!=", "===", "!=="):
+            lv, rv, w = self._common(expr.left, expr.right, t)
+            r = self.be.eq(lv, rv, w)
+            if op in ("!=", "!=="):
+                r = self._invert_bit(r)
+            return r, 1
+
+        if op in ("<", "<=", ">", ">="):
+            lv, rv, w = self._common(expr.left, expr.right, t)
+            if op == "<":
+                r = self.be.ult(lv, rv, w)
+            elif op == ">":
+                r = self.be.ult(rv, lv, w)
+            elif op == ">=":
+                r = self._invert_bit(self.be.ult(lv, rv, w))
+            else:
+                r = self._invert_bit(self.be.ult(rv, lv, w))
+            return r, 1
+
+        if op in ("&", "|", "^", "^~", "~^"):
+            lv, rv, w = self._common(expr.left, expr.right, t)
+            if op in ("^~", "~^"):
+                return self.be.not_(self.be.bitop("^", lv, rv, w), w), w
+            return self.be.bitop(op, lv, rv, w), w
+
+        if op in ("+", "-", "*"):
+            lv, rv, w = self._common(expr.left, expr.right, t)
+            fn = {"+": self.be.add, "-": self.be.sub, "*": self.be.mul}[op]
+            return fn(lv, rv, w), w
+
+        if op in ("/", "%"):
+            lv, rv, w = self._common(expr.left, expr.right, t)
+            q, r = self.be.divmod_(lv, rv, w)
+            return (q if op == "/" else r), w
+
+        if op in ("<<", ">>", "<<<", ">>>"):
+            lv, lw = self._materialize(self._eval(expr.left, t))
+            amount = self._as_const(expr.right)
+            if amount is not None:
+                if isinstance(self.be, IntBackend):
+                    return self.be.shift(op, lv, lw, amount, UNSIZED_WIDTH), lw
+                rv = self.be.const(amount, max(1, amount.bit_length()))
+                return self.be.shift(op, lv, lw,
+                                     rv, max(1, amount.bit_length())), lw
+            rv, rw = self._materialize(self._eval(expr.right, t))
+            return self.be.shift(op, lv, lw, rv, rw), lw
+
+        if op == "**":
+            base = self._as_const(expr.left)
+            exp = self._as_const(expr.right)
+            if base is None or exp is None:
+                raise EvalError("** requires constant operands")
+            return self.be.const(base ** exp, UNSIZED_WIDTH), UNSIZED_WIDTH
+
+        raise EvalError(f"unsupported binary {op}")
+
+    def _eval_ternary(self, expr: Ternary, t: int):
+        c = self.eval_bool(expr.cond, t)
+        lv, lw = self._eval(expr.if_true, t)
+        rv, rw = self._eval(expr.if_false, t)
+        if isinstance(lv, _Fill):
+            lv, lw = self.be.const(_mask(rw) if lv.bit else 0, rw), rw
+        if isinstance(rv, _Fill):
+            rv, rw = self.be.const(_mask(lw) if rv.bit else 0, lw), lw
+        w = max(lw, rw)
+        lv = self.be.zext(lv, lw, w) if lw < w else lv
+        rv = self.be.zext(rv, rw, w) if rw < w else rv
+        return self.be.mux(c, lv, rv, w), w
+
+    def _eval_index(self, expr: Index, t: int):
+        base, w = self._materialize(self._eval(expr.base, t))
+        idx_const = self._as_const(expr.index)
+        if idx_const is not None:
+            if idx_const >= w:
+                return self.be.const(0, 1), 1
+            return self.be.extract(base, w, idx_const, idx_const), 1
+        idx, iw = self._materialize(self._eval(expr.index, t))
+        return self.be.select_var(base, w, idx, iw), 1
+
+    def _eval_range(self, expr: RangeSelect, t: int):
+        base, w = self._materialize(self._eval(expr.base, t))
+        hi = self._as_const(expr.msb)
+        lo = self._as_const(expr.lsb)
+        if hi is None or lo is None:
+            raise EvalError("part-select bounds must be constant")
+        if lo > hi:
+            raise EvalError("reversed part-select")
+        hi = min(hi, w - 1)
+        return self.be.extract(base, w, hi, lo), hi - lo + 1
+
+    def _as_const(self, expr: Expr) -> int | None:
+        if isinstance(expr, Number) and expr.value is not None:
+            return expr.value
+        if isinstance(expr, Identifier) and expr.name in self.params:
+            return self.params[expr.name]
+        if isinstance(expr, Binary):
+            a = self._as_const(expr.left)
+            b = self._as_const(expr.right)
+            if a is None or b is None:
+                return None
+            try:
+                return {"+": a + b, "-": a - b, "*": a * b,
+                        "/": a // b if b else None,
+                        "%": a % b if b else None,
+                        "<<": a << b, ">>": a >> b, "**": a ** b}.get(expr.op)
+            except (ZeroDivisionError, ValueError):
+                return None
+        return None
+
+    # system functions ---------------------------------------------------------
+
+    def _eval_syscall(self, call: SystemCall, t: int):
+        name = call.name
+        if name == "$countones":
+            v, w = self._materialize(self._eval(call.args[0], t))
+            pc = self.be.popcount(v, w)
+            out_w = max(1, w.bit_length())
+            return pc, out_w
+        if name == "$onehot":
+            v, w = self._materialize(self._eval(call.args[0], t))
+            pc = self.be.popcount(v, w)
+            pw = max(1, w.bit_length())
+            return self.be.eq(pc, self.be.const(1, pw), pw), 1
+        if name == "$onehot0":
+            v, w = self._materialize(self._eval(call.args[0], t))
+            pc = self.be.popcount(v, w)
+            pw = max(1, w.bit_length())
+            le1 = self.be.ult(pc, self.be.const(2, pw), pw)
+            return le1, 1
+        if name == "$isunknown":
+            return self.be.const(0, 1), 1  # 2-state: never unknown
+        if name == "$past":
+            ticks = 1
+            if len(call.args) >= 2:
+                ticks = self._as_const(call.args[1]) or 1
+            return self._eval(call.args[0], t - ticks)
+        if name in ("$rose", "$fell", "$stable", "$changed"):
+            return self._eval_edge(name, call.args[0], t)
+        if name == "$sampled":
+            return self._eval(call.args[0], t)
+        if name == "$bits":
+            w = self._static_width(call.args[0])
+            return self.be.const(w, UNSIZED_WIDTH), UNSIZED_WIDTH
+        if name == "$clog2":
+            n = self._as_const(call.args[0])
+            if n is None:
+                raise EvalError("$clog2 requires a constant")
+            return self.be.const(max(0, (n - 1).bit_length()),
+                                 UNSIZED_WIDTH), UNSIZED_WIDTH
+        if name in ("$signed", "$unsigned"):
+            return self._eval(call.args[0], t)
+        if name == "$size":
+            w = self._static_width(call.args[0])
+            return self.be.const(w, UNSIZED_WIDTH), UNSIZED_WIDTH
+        raise EvalError(f"unsupported system function {name}")
+
+    def _eval_edge(self, name: str, arg: Expr, t: int):
+        cur, w = self._materialize(self._eval(arg, t))
+        prev, pw = self._materialize(self._eval(arg, t - 1))
+        if name in ("$rose", "$fell"):
+            cur_b = self.be.extract(cur, w, 0, 0)
+            prev_b = self.be.extract(prev, pw, 0, 0)
+            if isinstance(self.be, IntBackend):
+                if name == "$rose":
+                    return (1 if cur_b and not prev_b else 0), 1
+                return (1 if prev_b and not cur_b else 0), 1
+            g = self.be.aig
+            cb, pb = cur_b[0], prev_b[0]
+            if name == "$rose":
+                return (g.and_(cb, neg(pb)),), 1
+            return (g.and_(pb, neg(cb)),), 1
+        wmax = max(w, pw)
+        cur = self.be.zext(cur, w, wmax) if w < wmax else cur
+        prev = self.be.zext(prev, pw, wmax) if pw < wmax else prev
+        same = self.be.eq(cur, prev, wmax)
+        if name == "$stable":
+            return same, 1
+        return self._invert_bit(same), 1
+
+    def _static_width(self, expr: Expr) -> int:
+        """Best-effort static width for $bits/$size."""
+        if isinstance(expr, Identifier):
+            return self.source.width(expr.name)
+        if isinstance(expr, Number):
+            return expr.width if expr.width is not None else UNSIZED_WIDTH
+        if isinstance(expr, Concat):
+            return sum(self._static_width(p) for p in expr.parts)
+        if isinstance(expr, RangeSelect):
+            hi = self._as_const(expr.msb)
+            lo = self._as_const(expr.lsb)
+            if hi is not None and lo is not None:
+                return hi - lo + 1
+        if isinstance(expr, Index):
+            return 1
+        raise EvalError("$bits argument must have a static width")
+
+
+class FreeSignalSource(SignalSource):
+    """Every (signal, cycle) pair is a fresh free input -- the trace universe
+    for assertion-to-assertion equivalence checking."""
+
+    def __init__(self, aig: AIG, widths: dict[str, int],
+                 default_width: int = 1):
+        self.aig = aig
+        self.widths = dict(widths)
+        self.default_width = default_width
+        self._cache: dict[tuple[str, int], tuple] = {}
+
+    def width(self, name: str) -> int:
+        return self.widths.get(name, self.default_width)
+
+    def read(self, name: str, t: int):
+        w = self.width(name)
+        key = (name, t)
+        bits = self._cache.get(key)
+        if bits is None:
+            bits = tuple(self.aig.new_input() for _ in range(w))
+            self._cache[key] = bits
+        return bits, w
+
+
+class FixedTraceSource(SignalSource):
+    """Concrete trace playback for the IntBackend (testing / simulation)."""
+
+    def __init__(self, trace: dict[str, list[int]], widths: dict[str, int],
+                 default_width: int = 1):
+        self.trace = trace
+        self.widths = dict(widths)
+        self.default_width = default_width
+
+    def width(self, name: str) -> int:
+        return self.widths.get(name, self.default_width)
+
+    def read(self, name: str, t: int):
+        w = self.width(name)
+        values = self.trace.get(name)
+        if values is None:
+            raise EvalError(f"no trace for signal {name!r}")
+        if t < 0:
+            return 0, w
+        if t >= len(values):
+            raise EvalError(f"trace for {name!r} too short (t={t})")
+        return values[t] & _mask(w), w

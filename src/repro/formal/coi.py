@@ -1,0 +1,78 @@
+"""Cone-of-influence (COI) reduction.
+
+Before bit-blasting a proof obligation, prune the design to the signals that
+can influence the assertion.  This is what keeps control-path proofs on wide
+datapath designs tractable: an assertion over the valid/ready chain of a
+128-bit pipeline never touches the arithmetic at all (DESIGN.md decision 2;
+measured in ``benchmarks/test_ablation_coi.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..sva.ast_nodes import Assertion, Identifier, signals_of
+from ..rtl.elaborate import Design
+
+
+def assertion_roots(assertion: Assertion) -> set[str]:
+    """Signals referenced by an assertion (property + disable + clock)."""
+    roots = signals_of(assertion.prop)
+    if assertion.disable is not None:
+        roots |= signals_of(assertion.disable)
+    return roots
+
+
+def cone_of_influence(design: Design, roots: set[str]) -> Design:
+    """Restrict *design* to the transitive fanin of *roots*.
+
+    Returns a new :class:`Design`; the original is untouched.
+    """
+    deps: dict[str, set[str]] = {}
+    for name, expr in design.comb_exprs.items():
+        deps[name] = {n.name for n in expr.walk() if isinstance(n, Identifier)}
+    for name, expr in design.next_exprs.items():
+        deps.setdefault(name, set()).update(
+            n.name for n in expr.walk() if isinstance(n, Identifier))
+
+    keep: set[str] = set()
+    frontier = [r for r in roots if r in design.widths]
+    frontier.extend(r for r in design.resets if r in design.widths)
+    if design.clock and design.clock in design.widths:
+        frontier.append(design.clock)
+    while frontier:
+        name = frontier.pop()
+        if name in keep:
+            continue
+        keep.add(name)
+        for dep in deps.get(name, ()):
+            if dep not in keep:
+                frontier.append(dep)
+
+    return replace(
+        design,
+        widths={n: w for n, w in design.widths.items() if n in keep},
+        inputs=[n for n in design.inputs if n in keep],
+        outputs=[n for n in design.outputs if n in keep],
+        state=[n for n in design.state if n in keep],
+        init={n: v for n, v in design.init.items() if n in keep},
+        next_exprs={n: e for n, e in design.next_exprs.items() if n in keep},
+        comb_exprs={n: e for n, e in design.comb_exprs.items() if n in keep},
+        assertions=list(design.assertions),
+        warnings=list(design.warnings),
+    )
+
+
+def coi_stats(design: Design, reduced: Design) -> dict[str, int]:
+    """Size comparison used by the ablation bench."""
+    def total_bits(d: Design) -> int:
+        return sum(d.widths.values())
+
+    return {
+        "signals_before": len(design.widths),
+        "signals_after": len(reduced.widths),
+        "bits_before": total_bits(design),
+        "bits_after": total_bits(reduced),
+        "state_before": len(design.state),
+        "state_after": len(reduced.state),
+    }

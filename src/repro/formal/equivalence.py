@@ -1,0 +1,245 @@
+"""Formal assertion-to-assertion equivalence and implication checking.
+
+Reproduces the role of the paper's custom JasperGold app: given a
+model-generated assertion and the human-written reference, decide whether
+they are logically **equivalent** over all signal traces, and if not, whether
+one **implies** the other (the paper's *partial equivalence* tier).
+
+Method: both assertions are encoded under the bounded trace semantics of
+:mod:`repro.formal.semantics` with every (signal, cycle) pair a free SAT
+variable; the miter ``P xor Q`` (resp. ``P and not Q``) is Tseitin-converted
+and dispatched to the CDCL solver.  Verdicts are computed at two horizons and
+must agree -- a horizon-sensitivity guard documented in DESIGN.md (ablation:
+``benchmarks/test_ablation_horizon.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from ..sva.ast_nodes import Assertion
+from ..sva.parser import ParseError, parse_assertion
+from .aig import AIG, FALSE, TRUE, neg
+from .bitvec import FreeSignalSource
+from .sat import solve_cnf
+from .semantics import EncodingError, PropertyEncoder, horizon_of
+
+MAX_HORIZON = 40
+DEFAULT_MAX_CONFLICTS = 400_000
+
+
+class Verdict(Enum):
+    """Outcome of comparing a candidate assertion against a reference."""
+
+    EQUIVALENT = "equivalent"
+    CANDIDATE_IMPLIES_REF = "candidate_implies_ref"
+    REF_IMPLIES_CANDIDATE = "ref_implies_candidate"
+    INEQUIVALENT = "inequivalent"
+    UNDETERMINED = "undetermined"
+    ENCODING_ERROR = "encoding_error"
+
+    @property
+    def is_full(self) -> bool:
+        return self is Verdict.EQUIVALENT
+
+    @property
+    def is_partial(self) -> bool:
+        """Paper's relaxed metric: full equivalence or either implication."""
+        return self in (Verdict.EQUIVALENT, Verdict.CANDIDATE_IMPLIES_REF,
+                        Verdict.REF_IMPLIES_CANDIDATE)
+
+
+@dataclass
+class EquivalenceResult:
+    verdict: Verdict
+    horizons: tuple[int, ...] = ()
+    counterexample: dict[str, list[int]] | None = None
+    #: index of cycle 0 within the counterexample series ($past/$rose
+    #: prehistory occupies indices [0, cex_offset))
+    cex_offset: int = 0
+    stable: bool = True  # same verdict at both horizons
+    detail: str = ""
+    stats: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def is_full(self) -> bool:
+        return self.verdict.is_full
+
+    @property
+    def is_partial(self) -> bool:
+        return self.verdict.is_partial
+
+
+def _coerce(assertion: Assertion | str,
+            params: dict[str, int] | None) -> Assertion:
+    if isinstance(assertion, Assertion):
+        return assertion
+    return parse_assertion(assertion, params=params)
+
+
+def _clocks_compatible(a: Assertion, b: Assertion) -> bool:
+    if a.clocking is None or b.clocking is None:
+        return True  # unclocked side adopts the other's clock
+    from ..sva.unparse import unparse
+    ea = a.clocking.edge or "posedge"
+    eb = b.clocking.edge or "posedge"
+    return ea == eb and unparse(a.clocking.signal) == unparse(b.clocking.signal)
+
+
+class _Check:
+    """One bounded check at a fixed horizon."""
+
+    def __init__(self, ref: Assertion, cand: Assertion, horizon: int,
+                 widths: dict[str, int], default_width: int,
+                 params: dict[str, int] | None):
+        self.aig = AIG()
+        self.source = FreeSignalSource(self.aig, widths, default_width)
+        encoder = PropertyEncoder(self.aig, self.source, horizon, params)
+        self.ref_lit = encoder.encode_assertion(ref)
+        self.cand_lit = encoder.encode_assertion(cand)
+        self.horizon = horizon
+        self.conflicts = 0
+
+    def _sat(self, lit: int, max_conflicts: int):
+        """Solve satisfiability of an AIG literal; returns (status, model)."""
+        if lit == TRUE:
+            return "sat", ({}, 0)
+        if lit == FALSE:
+            return "unsat", None
+        clauses, node2var, nv = self.aig.to_cnf([lit])
+        root = self.aig.cnf_literal(lit, node2var)
+        clauses.append([root])
+        result = solve_cnf(nv, clauses, max_conflicts=max_conflicts)
+        self.conflicts += result.conflicts
+        if result.is_sat:
+            return "sat", self._extract_trace(result.model, node2var)
+        if result.is_unsat:
+            return "unsat", None
+        return "unknown", None
+
+    def _extract_trace(self, model,
+                       node2var) -> tuple[dict[str, list[int]], int]:
+        """Returns (trace, offset): series are indexed from cycle
+        ``-offset`` so that $past/$rose prehistory is preserved."""
+        times: dict[str, dict[int, int]] = {}
+        for (name, t), bits in self.source._cache.items():
+            value = 0
+            for i, bit_lit in enumerate(bits):
+                var = node2var.get(bit_lit >> 1)
+                if var is not None and model.get(var, False):
+                    value |= 1 << i
+            times.setdefault(name, {})[t] = value
+        if not times:
+            return {}, 0
+        lo = min((min(by_t) for by_t in times.values()), default=0)
+        lo = min(lo, 0)
+        hi = max((max(by_t) for by_t in times.values()), default=0)
+        trace = {name: [by_t.get(t, 0) for t in range(lo, hi + 1)]
+                 for name, by_t in times.items()}
+        return trace, -lo
+
+    def verdict(self, max_conflicts: int) -> tuple[Verdict, object]:
+        g = self.aig
+        miter = g.xor_(self.ref_lit, self.cand_lit)
+        status, cex = self._sat(miter, max_conflicts)
+        if status == "unsat":
+            return Verdict.EQUIVALENT, None
+        if status == "unknown":
+            return Verdict.UNDETERMINED, None
+        # not equivalent; check each implication direction
+        cand_not_ref = g.and_(self.cand_lit, neg(self.ref_lit))
+        s1, _ = self._sat(cand_not_ref, max_conflicts)
+        if s1 == "unsat":
+            return Verdict.CANDIDATE_IMPLIES_REF, cex
+        ref_not_cand = g.and_(self.ref_lit, neg(self.cand_lit))
+        s2, _ = self._sat(ref_not_cand, max_conflicts)
+        if s2 == "unsat":
+            return Verdict.REF_IMPLIES_CANDIDATE, cex
+        if s1 == "unknown" or s2 == "unknown":
+            return Verdict.UNDETERMINED, cex
+        return Verdict.INEQUIVALENT, cex
+
+
+def check_equivalence(
+    reference: Assertion | str,
+    candidate: Assertion | str,
+    signal_widths: dict[str, int] | None = None,
+    params: dict[str, int] | None = None,
+    default_width: int = 1,
+    horizons: tuple[int, ...] | None = None,
+    max_conflicts: int = DEFAULT_MAX_CONFLICTS,
+) -> EquivalenceResult:
+    """Compare *candidate* against *reference* over all bounded traces.
+
+    Returns an :class:`EquivalenceResult` whose verdict distinguishes full
+    equivalence, one-directional implication (the paper's partial credit),
+    and inequivalence.  Parse or encoding failures on the candidate yield
+    ``ENCODING_ERROR`` (the evaluation harness scores those as functional
+    failures; the *syntax* metric is computed separately).
+    """
+    try:
+        ref = _coerce(reference, params)
+    except ParseError as exc:
+        raise ValueError(f"reference assertion does not parse: {exc}") from exc
+    try:
+        cand = _coerce(candidate, params)
+    except ParseError as exc:
+        return EquivalenceResult(Verdict.ENCODING_ERROR,
+                                 detail=f"candidate parse error: {exc}")
+
+    if not _clocks_compatible(ref, cand):
+        return EquivalenceResult(Verdict.INEQUIVALENT,
+                                 detail="clocking events differ")
+
+    if horizons is None:
+        base = max(horizon_of(ref), horizon_of(cand)) + 2
+        base = max(base, 4)
+        if base > MAX_HORIZON:
+            base = MAX_HORIZON
+        horizons = (base, min(base + 3, MAX_HORIZON + 3))
+
+    widths = dict(signal_widths or {})
+    verdicts: list[Verdict] = []
+    cex = None
+    cex_offset = 0
+    conflicts = 0
+    try:
+        for K in horizons:
+            chk = _Check(ref, cand, K, widths, default_width, params)
+            v, c = chk.verdict(max_conflicts)
+            conflicts += chk.conflicts
+            verdicts.append(v)
+            if c is not None:
+                cex, cex_offset = c
+    except EncodingError as exc:
+        return EquivalenceResult(Verdict.ENCODING_ERROR, detail=str(exc))
+
+    final = verdicts[-1]
+    stable = all(v == final for v in verdicts)
+    return EquivalenceResult(final, horizons=tuple(horizons),
+                             counterexample=cex, cex_offset=cex_offset,
+                             stable=stable,
+                             stats={"conflicts": conflicts})
+
+
+def is_tautology(assertion: Assertion | str,
+                 signal_widths: dict[str, int] | None = None,
+                 params: dict[str, int] | None = None,
+                 default_width: int = 1,
+                 horizon: int | None = None) -> bool:
+    """True iff the assertion holds on *every* trace (vacuously strong check
+    used by diagnostics and the NL2SVA-Machine critic)."""
+    a = _coerce(assertion, params)
+    K = horizon if horizon is not None else max(4, horizon_of(a) + 2)
+    aig = AIG()
+    source = FreeSignalSource(aig, dict(signal_widths or {}), default_width)
+    encoder = PropertyEncoder(aig, source, K, params)
+    lit = encoder.encode_assertion(a)
+    if lit == TRUE:
+        return True
+    if lit == FALSE:
+        return False
+    clauses, node2var, nv = aig.to_cnf([neg(lit)])
+    clauses.append([aig.cnf_literal(neg(lit), node2var)])
+    return solve_cnf(nv, clauses).is_unsat

@@ -1,0 +1,384 @@
+"""Model checking: prove or refute an assertion on an elaborated design.
+
+Replaces JasperGold's proof engines in the Design2SVA evaluation flow.
+Pipeline:
+
+1. **COI reduction** -- prune the design to the assertion's cone
+   (:mod:`repro.formal.coi`);
+2. **simulation-first falsification** -- random concrete traces replayed
+   through the property encoding (cheap counterexamples);
+3. **BMC** -- SAT search for a violating attempt reachable from the
+   post-reset initial state, up to a bounded depth;
+4. **k-induction** -- prove: if no violation is reachable in ``k`` steps and
+   any ``k`` consecutive satisfied attempts force the next one, the property
+   holds at all depths.
+
+Verdicts mirror a commercial tool: ``proven`` / ``cex`` / ``undetermined``
+(with the bound and engine recorded).  Properties containing *unbounded
+strong* operators (``strong(##[0:$] ...)``, ``s_eventually``, ``s_until``)
+are liveness obligations that bounded engines cannot prove; they are reported
+``undetermined`` unless falsified (documented substitution, DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+
+from ..rtl.elaborate import Design
+from ..sva.ast_nodes import (
+    Assertion,
+    Delay,
+    PropNode,
+    Repetition,
+    SEventually,
+    StrongWeak,
+    Until,
+)
+from .aig import AIG, FALSE, TRUE, neg
+from .bitvec import AigBackend, EvalError, ExprEvaluator, SignalSource
+from .coi import assertion_roots, cone_of_influence
+from .sat import solve_cnf
+from .semantics import EncodingError, PropertyEncoder, horizon_of
+
+
+def has_unbounded_strong(prop: PropNode) -> bool:
+    """True if the property contains a strong operator over an unbounded
+    window (a genuine liveness obligation)."""
+    for node in prop.walk():
+        if isinstance(node, SEventually):
+            return True
+        if isinstance(node, Until) and node.strong:
+            return True
+        if isinstance(node, StrongWeak) and node.strong:
+            for sub in node.seq.walk():
+                if isinstance(sub, Delay) and sub.hi is None:
+                    return True
+                if isinstance(sub, Repetition) and sub.hi is None:
+                    return True
+    return False
+
+
+@dataclass
+class ProofResult:
+    status: str  # 'proven' | 'cex' | 'undetermined' | 'error'
+    engine: str = ""
+    depth: int = 0
+    counterexample: dict[str, list[int]] | None = None
+    vacuous: bool = False
+    detail: str = ""
+    stats: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def is_proven(self) -> bool:
+        return self.status == "proven"
+
+
+class UnrolledSource(SignalSource):
+    """Signal source that unrolls a design's transition system over time.
+
+    * inputs: fresh SAT variables per cycle (reset pins forced inactive),
+    * state at t=0: post-reset constants (or fresh variables for the
+      k-induction step case),
+    * state at t>0: the registered ``next`` expression evaluated at t-1,
+    * combinational signals: their defining expression evaluated at t.
+    """
+
+    def __init__(self, aig: AIG, design: Design, free_init: bool = False):
+        self.aig = aig
+        self.design = design
+        self.free_init = free_init
+        self._memo: dict[tuple[str, int], tuple] = {}
+        self.evaluator = ExprEvaluator(AigBackend(aig), self, design.params)
+        self.input_vars: dict[tuple[str, int], tuple] = {}
+
+    def width(self, name: str) -> int:
+        try:
+            return self.design.widths[name]
+        except KeyError:
+            raise EvalError(f"unknown signal {name!r}") from None
+
+    def read(self, name: str, t: int):
+        w = self.width(name)
+        if t < 0:
+            return tuple([FALSE] * w), w
+        key = (name, t)
+        bits = self._memo.get(key)
+        if bits is not None:
+            return bits, w
+        # cycle-breaking placeholder is unnecessary: comb is topo-sorted and
+        # state recursion strictly decreases t
+        if name in self.design.resets:
+            from ..rtl.elaborate import reset_inactive_value
+            inactive = reset_inactive_value(name)
+            bits = tuple([TRUE if (inactive >> i) & 1 else FALSE
+                          for i in range(w)])  # reset held inactive
+        elif name in self.design.comb_exprs:
+            v, vw = self.evaluator.eval(self.design.comb_exprs[name], t)
+            bits = self._fit_bits(v, vw, w)
+        elif name in self.design.next_exprs:
+            if t == 0:
+                bits = self._initial_bits(name, w)
+            else:
+                v, vw = self.evaluator.eval(self.design.next_exprs[name], t - 1)
+                bits = self._fit_bits(v, vw, w)
+        elif name in self.design.inputs or name == self.design.clock:
+            bits = tuple(self.aig.new_input() for _ in range(w))
+            self.input_vars[key] = bits
+        else:
+            raise EvalError(f"undriven signal {name!r}")
+        self._memo[key] = bits
+        return bits, w
+
+    def _initial_bits(self, name: str, w: int):
+        if self.free_init:
+            bits = tuple(self.aig.new_input() for _ in range(w))
+            self.input_vars[(name, 0)] = bits
+            return bits
+        value = self.design.init.get(name, 0)
+        return tuple(TRUE if (value >> i) & 1 else FALSE for i in range(w))
+
+    @staticmethod
+    def _fit_bits(bits, have: int, want: int):
+        if have == want:
+            return tuple(bits)
+        if have > want:
+            return tuple(bits[:want])
+        return tuple(bits) + tuple([FALSE] * (want - have))
+
+
+class Prover:
+    """Proof orchestrator for one design."""
+
+    def __init__(self, design: Design, max_bmc: int = 12, max_k: int = 6,
+                 max_conflicts: int = 300_000, sim_traces: int = 24,
+                 sim_cycles: int = 40, use_coi: bool = True,
+                 use_simulation: bool = True):
+        self.design = design
+        self.max_bmc = max_bmc
+        self.max_k = max_k
+        self.max_conflicts = max_conflicts
+        self.sim_traces = sim_traces
+        self.sim_cycles = sim_cycles
+        self.use_coi = use_coi
+        self.use_simulation = use_simulation
+        self._assumes: tuple[Assertion, ...] = ()
+        if not design.init and design.state:
+            from ..rtl.simulator import derive_init
+            derive_init(design)
+
+    # -- public API -------------------------------------------------------------
+
+    def prove(self, assertion: Assertion,
+              assumes: tuple[Assertion, ...] = ()) -> ProofResult:
+        """Prove *assertion*, optionally under environment *assumes*
+        (input constraints, as a formal tool's assume directives)."""
+        sys.setrecursionlimit(max(sys.getrecursionlimit(), 100_000))
+        design = self.design
+        if self.use_coi:
+            roots = assertion_roots(assertion)
+            for a in assumes:
+                roots |= assertion_roots(a)
+            design = cone_of_influence(design, roots)
+        self._assumes = tuple(assumes)
+        try:
+            if has_unbounded_strong(assertion.prop):
+                # a finite window can neither witness nor soundly refute an
+                # unbounded strong obligation; report undetermined as the
+                # documented substitution for liveness engines (DESIGN.md)
+                return ProofResult(
+                    "undetermined", engine="none",
+                    detail="liveness obligation; bounded engines only")
+            if self.use_simulation:
+                cex = self._simulate_falsify(design, assertion)
+                if cex is not None:
+                    return ProofResult("cex", engine="simulation",
+                                       counterexample=cex)
+            bmc = self._bmc(design, assertion)
+            if bmc is not None:
+                return bmc
+            return self._k_induction(design, assertion)
+        except (EncodingError, EvalError) as exc:
+            return ProofResult("error", detail=str(exc))
+
+    # -- simulation falsifier --------------------------------------------------------
+
+    def _simulate_falsify(self, design: Design,
+                          assertion: Assertion) -> dict | None:
+        from ..rtl.simulator import Simulator
+        window = max(1, horizon_of(assertion) + 1)
+        for trial in range(self.sim_traces):
+            sim = Simulator(design, seed=0xF5E0A1 + trial)
+            sim.reset()
+            sim.run_random(self.sim_cycles)
+            trace = sim.trace()
+            start = 2  # skip the reset phase
+            if any(check_trace(a, trace, design.widths, design.params,
+                               first_attempt=start,
+                               last_attempt=len(sim) - window) is not None
+                   for a in self._assumes):
+                continue  # random stimulus broke an assumption; discard
+            bad = check_trace(assertion, trace, design.widths,
+                              design.params, first_attempt=start,
+                              last_attempt=len(sim) - window)
+            if bad is not None:
+                return {name: values for name, values in trace.items()}
+        return None
+
+    def _environment(self, encoder: PropertyEncoder, attempts: int) -> int:
+        """Conjunction of all assume attempts over the unrolled window."""
+        lits = []
+        for a in self._assumes:
+            for t in range(attempts + 1):
+                lits.append(encoder.encode_assertion(a, t))
+        return encoder.aig.and_many(lits)
+
+    # -- BMC -------------------------------------------------------------
+
+    def _bmc(self, design: Design, assertion: Assertion) -> ProofResult | None:
+        window = max(1, horizon_of(assertion) + 1)
+        K = self.max_bmc + window
+        aig = AIG()
+        source = UnrolledSource(aig, design, free_init=False)
+        encoder = PropertyEncoder(aig, source, K, design.params)
+        violations = []
+        for t in range(self.max_bmc + 1):
+            violations.append(neg(encoder.encode_assertion(assertion, t)))
+        any_violation = aig.and_(self._environment(encoder, self.max_bmc),
+                                 aig.or_many(violations))
+        if any_violation == FALSE:
+            return None  # structurally true at this bound; go prove
+        if any_violation == TRUE:
+            return ProofResult("cex", engine="bmc", depth=0,
+                               detail="assertion constant-false")
+        clauses, node2var, nv = aig.to_cnf([any_violation])
+        clauses.append([aig.cnf_literal(any_violation, node2var)])
+        result = solve_cnf(nv, clauses, max_conflicts=self.max_conflicts)
+        if result.is_sat:
+            cex = self._extract_cex(source, result.model, node2var)
+            return ProofResult("cex", engine="bmc", depth=self.max_bmc,
+                               counterexample=cex,
+                               stats={"conflicts": result.conflicts})
+        if result.status == "unknown":
+            return ProofResult("undetermined", engine="bmc",
+                               detail="conflict budget exhausted",
+                               stats={"conflicts": result.conflicts})
+        return None
+
+    # -- k-induction -------------------------------------------------------------
+
+    def _k_induction(self, design: Design,
+                     assertion: Assertion) -> ProofResult:
+        window = max(1, horizon_of(assertion) + 1)
+        total_conflicts = 0
+        for k in range(1, self.max_k + 1):
+            K = k + window + 1
+            aig = AIG()
+            source = UnrolledSource(aig, design, free_init=True)
+            encoder = PropertyEncoder(aig, source, K, design.params)
+            holds = [encoder.encode_assertion(assertion, t) for t in range(k)]
+            target = encoder.encode_assertion(assertion, k)
+            env = self._environment(encoder, k)
+            query = aig.and_(env, aig.and_(aig.and_many(holds), neg(target)))
+            if query == FALSE:
+                return ProofResult("proven", engine=f"k-induction", depth=k)
+            clauses, node2var, nv = aig.to_cnf([query])
+            clauses.append([aig.cnf_literal(query, node2var)])
+            result = solve_cnf(nv, clauses, max_conflicts=self.max_conflicts)
+            total_conflicts += result.conflicts
+            if result.is_unsat:
+                return ProofResult("proven", engine="k-induction", depth=k,
+                                   vacuous=self._is_vacuous(design, assertion),
+                                   stats={"conflicts": total_conflicts})
+            if result.status == "unknown":
+                return ProofResult("undetermined", engine="k-induction",
+                                   detail="conflict budget exhausted",
+                                   stats={"conflicts": total_conflicts})
+        return ProofResult("undetermined", engine="k-induction",
+                           depth=self.max_k,
+                           detail=f"not inductive up to k={self.max_k}",
+                           stats={"conflicts": total_conflicts})
+
+    # -- diagnostics -------------------------------------------------------------
+
+    def _is_vacuous(self, design: Design, assertion: Assertion) -> bool:
+        """An implication whose antecedent can never match is vacuously true
+        (reported as a flag, as commercial tools do)."""
+        from ..sva.ast_nodes import Implication
+        if not isinstance(assertion.prop, Implication):
+            return False
+        K = self.max_bmc + max(1, horizon_of(assertion) + 1)
+        aig = AIG()
+        source = UnrolledSource(aig, design, free_init=False)
+        encoder = PropertyEncoder(aig, source, K, design.params)
+        fire = []
+        for t in range(self.max_bmc + 1):
+            ends, _ = encoder.seq(assertion.prop.antecedent, t)
+            fire.append(aig.or_many(ends.values()))
+        any_fire = aig.or_many(fire)
+        if any_fire == FALSE:
+            return True
+        if any_fire == TRUE:
+            return False
+        clauses, node2var, nv = aig.to_cnf([any_fire])
+        clauses.append([aig.cnf_literal(any_fire, node2var)])
+        return solve_cnf(nv, clauses,
+                         max_conflicts=self.max_conflicts).is_unsat
+
+    def _extract_cex(self, source: UnrolledSource, model,
+                     node2var) -> dict[str, list[int]]:
+        frames: dict[str, dict[int, int]] = {}
+        for (name, t), bits in source.input_vars.items():
+            value = 0
+            for i, lit in enumerate(bits):
+                var = node2var.get(lit >> 1)
+                if var is not None and model.get(var, False):
+                    value |= 1 << i
+            frames.setdefault(name, {})[t] = value
+        return {name: [by_t.get(t, 0) for t in range(max(by_t) + 1)]
+                for name, by_t in frames.items()}
+
+
+def check_trace(assertion: Assertion, trace: dict[str, list[int]],
+                widths: dict[str, int], params: dict[str, int] | None = None,
+                first_attempt: int = 0,
+                last_attempt: int | None = None,
+                prehistory: int = 0) -> int | None:
+    """Evaluate an assertion on a concrete trace.
+
+    Returns the first attempt cycle that is violated, or None.  Attempts
+    whose window would be truncated are skipped (their verdict is unknown).
+    ``prehistory`` is the index of cycle 0 within the series (earlier
+    entries supply $past/$rose values before the first attempt).
+    """
+    length = min((len(v) for v in trace.values()), default=0) - prehistory
+    if length <= 0:
+        return None
+    from .bitvec import FreeSignalSource
+    aig = AIG()
+    source = FreeSignalSource(aig, dict(widths), default_width=1)
+    encoder = PropertyEncoder(aig, source, length, params)
+    window = max(1, horizon_of(assertion) + 1)
+    stop = last_attempt if last_attempt is not None else length - window
+    attempts = {}
+    for t in range(first_attempt, max(first_attempt, stop) + 1):
+        attempts[t] = encoder.encode_assertion(assertion, t)
+    assignment = {}
+    for (name, t), bits in source._cache.items():
+        idx = t + prehistory
+        series = trace.get(name, ())
+        value = series[idx] if 0 <= idx < len(series) else 0
+        for i, lit in enumerate(bits):
+            assignment[lit] = bool((value >> i) & 1)
+    lits = list(attempts.values())
+    values = aig.simulate(assignment, lits)
+    for (t, _lit), ok in zip(attempts.items(), values):
+        if not ok:
+            return t
+    return None
+
+
+def prove_assertion(design: Design, assertion: Assertion,
+                    **kwargs) -> ProofResult:
+    """One-shot convenience wrapper around :class:`Prover`."""
+    return Prover(design, **kwargs).prove(assertion)

@@ -1,0 +1,337 @@
+"""CDCL SAT solver (conflict-driven clause learning), from scratch.
+
+Standard architecture: two-watched-literal propagation, 1-UIP conflict
+analysis with clause learning, VSIDS-style activity ordering, phase saving,
+and Luby restarts.  This is the decision procedure underneath every formal
+verdict in the repo: assertion equivalence checking, BMC and k-induction.
+
+Literals use DIMACS convention: variable ``v`` (1-based) appears as ``v`` or
+``-v``.  Internally literals are mapped to ``2*v`` / ``2*v+1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def _iabs(x: int) -> int:
+    return -x if x < 0 else x
+
+
+def _luby(i: int) -> int:
+    """The Luby restart sequence: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ..."""
+    k = 1
+    while (1 << (k + 1)) - 1 <= i:
+        k += 1
+    while (1 << k) - 1 != i + 1:
+        i -= (1 << k) - 1
+        k = 1
+        while (1 << (k + 1)) - 1 <= i:
+            k += 1
+    return 1 << (k - 1)
+
+
+@dataclass
+class SatResult:
+    """Outcome of a solve call."""
+
+    status: str  # 'sat' | 'unsat' | 'unknown'
+    model: dict[int, bool] | None = None  # var -> value when sat
+    conflicts: int = 0
+    decisions: int = 0
+
+    @property
+    def is_sat(self) -> bool:
+        return self.status == "sat"
+
+    @property
+    def is_unsat(self) -> bool:
+        return self.status == "unsat"
+
+
+class Solver:
+    """A CDCL solver instance over a fixed clause database."""
+
+    def __init__(self, num_vars: int, clauses: list[list[int]]):
+        self.nv = num_vars
+        nlit = 2 * (num_vars + 1)
+        self.clauses: list[list[int]] = []  # internal-literal clauses
+        self.watches: list[list[int]] = [[] for _ in range(nlit)]
+        self.assign: list[int] = [-1] * (num_vars + 1)  # -1 unassigned, 0/1
+        self.level: list[int] = [0] * (num_vars + 1)
+        self.reason: list[int] = [-1] * (num_vars + 1)  # clause index
+        self.trail: list[int] = []  # internal lits in assignment order
+        self.trail_lim: list[int] = []
+        self.qhead = 0
+        self.activity: list[float] = [0.0] * (num_vars + 1)
+        self.var_inc = 1.0
+        self.var_decay = 1.0 / 0.95
+        self.phase: list[int] = [0] * (num_vars + 1)
+        self.ok = True
+        for c in clauses:
+            self._add_clause([self._ilit(x) for x in c])
+
+    # -- literal helpers -----------------------------------------------------
+
+    @staticmethod
+    def _ilit(ext: int) -> int:
+        v = _iabs(ext)
+        return 2 * v + (1 if ext < 0 else 0)
+
+    @staticmethod
+    def _var(ilit: int) -> int:
+        return ilit >> 1
+
+    def _value(self, ilit: int) -> int:
+        """-1 unassigned, 1 true, 0 false."""
+        a = self.assign[ilit >> 1]
+        if a < 0:
+            return -1
+        return a ^ (ilit & 1)
+
+    # -- clause database -----------------------------------------------------
+
+    def _add_clause(self, lits: list[int]) -> None:
+        if not self.ok:
+            return
+        # de-duplicate, detect tautology, simplify against level-0 assignment
+        seen = set()
+        out = []
+        for lit in lits:
+            if lit ^ 1 in seen:
+                return  # tautology
+            if lit in seen:
+                continue
+            val = self._value(lit)
+            if val == 1:
+                return  # already satisfied at level 0
+            if val == 0:
+                continue  # already falsified at level 0; drop literal
+            seen.add(lit)
+            out.append(lit)
+        if not out:
+            self.ok = False
+            return
+        if len(out) == 1:
+            if self._value(out[0]) == 0:
+                self.ok = False
+            elif self._value(out[0]) == -1:
+                self._enqueue(out[0], -1)
+                if self._propagate() != -1:
+                    self.ok = False
+            return
+        idx = len(self.clauses)
+        self.clauses.append(out)
+        self.watches[out[0]].append(idx)
+        self.watches[out[1]].append(idx)
+
+    # -- assignment / propagation ---------------------------------------------
+
+    def _enqueue(self, ilit: int, reason: int) -> None:
+        v = ilit >> 1
+        self.assign[v] = 0 if ilit & 1 else 1
+        self.level[v] = len(self.trail_lim)
+        self.reason[v] = reason
+        self.trail.append(ilit)
+
+    def _propagate(self) -> int:
+        """Unit propagation; returns conflicting clause index or -1."""
+        while self.qhead < len(self.trail):
+            p = self.trail[self.qhead]
+            self.qhead += 1
+            falsified = p ^ 1
+            watchlist = self.watches[falsified]
+            i = 0
+            j = 0
+            n = len(watchlist)
+            while i < n:
+                ci = watchlist[i]
+                i += 1
+                clause = self.clauses[ci]
+                # ensure falsified literal is at position 1
+                if clause[0] == falsified:
+                    clause[0], clause[1] = clause[1], clause[0]
+                first = clause[0]
+                if self._value(first) == 1:
+                    watchlist[j] = ci
+                    j += 1
+                    continue
+                # search replacement watch
+                found = False
+                for k in range(2, len(clause)):
+                    if self._value(clause[k]) != 0:
+                        clause[1], clause[k] = clause[k], clause[1]
+                        self.watches[clause[1]].append(ci)
+                        found = True
+                        break
+                if found:
+                    continue
+                # clause is unit or conflicting
+                watchlist[j] = ci
+                j += 1
+                if self._value(first) == 0:
+                    # conflict: keep remaining watches, then report
+                    while i < n:
+                        watchlist[j] = watchlist[i]
+                        j += 1
+                        i += 1
+                    del watchlist[j:]
+                    return ci
+                self._enqueue(first, ci)
+            del watchlist[j:]
+        return -1
+
+    # -- conflict analysis -----------------------------------------------------
+
+    def _analyze(self, confl: int) -> tuple[list[int], int]:
+        """1-UIP learning; returns (learned clause, backtrack level)."""
+        learned: list[int] = [0]  # placeholder for the asserting literal
+        seen = [False] * (self.nv + 1)
+        counter = 0
+        p = -1
+        index = len(self.trail) - 1
+        cur_level = len(self.trail_lim)
+        while True:
+            clause = self.clauses[confl]
+            for lit in clause:
+                if lit == p:
+                    continue  # skip the literal this clause is the reason for
+                v = lit >> 1
+                if not seen[v] and self.level[v] > 0:
+                    seen[v] = True
+                    self._bump(v)
+                    if self.level[v] >= cur_level:
+                        counter += 1
+                    else:
+                        learned.append(lit)
+            # pick next literal from trail
+            while not seen[self.trail[index] >> 1]:
+                index -= 1
+            p = self.trail[index]
+            index -= 1
+            v = p >> 1
+            seen[v] = False
+            counter -= 1
+            if counter == 0:
+                break
+            confl = self.reason[v]
+        learned[0] = p ^ 1
+        if len(learned) == 1:
+            return learned, 0
+        # find second-highest level for backtracking
+        max_i = 1
+        for i in range(2, len(learned)):
+            if self.level[learned[i] >> 1] > self.level[learned[max_i] >> 1]:
+                max_i = i
+        learned[1], learned[max_i] = learned[max_i], learned[1]
+        return learned, self.level[learned[1] >> 1]
+
+    def _bump(self, v: int) -> None:
+        self.activity[v] += self.var_inc
+        if self.activity[v] > 1e100:
+            for i in range(1, self.nv + 1):
+                self.activity[i] *= 1e-100
+            self.var_inc *= 1e-100
+
+    def _backtrack(self, target_level: int) -> None:
+        while len(self.trail_lim) > target_level:
+            limit = self.trail_lim.pop()
+            for i in range(len(self.trail) - 1, limit - 1, -1):
+                ilit = self.trail[i]
+                v = ilit >> 1
+                self.phase[v] = self.assign[v]
+                self.assign[v] = -1
+                self.reason[v] = -1
+            del self.trail[limit:]
+        self.qhead = min(self.qhead, len(self.trail))
+
+    # -- main search -----------------------------------------------------------
+
+    def solve(self, assumptions: list[int] | None = None,
+              max_conflicts: int | None = None) -> SatResult:
+        """Solve under optional assumptions (external literal convention).
+
+        ``max_conflicts`` bounds the search; exceeding it yields 'unknown'
+        (the prover maps that to an *undetermined* verdict, as a commercial
+        tool does on timeout).
+        """
+        if not self.ok:
+            return SatResult("unsat")
+        conflicts = 0
+        decisions = 0
+        restart_idx = 0
+        restart_budget = 32 * _luby(0)
+        assume = [self._ilit(a) for a in (assumptions or [])]
+        assume_pos = 0
+
+        while True:
+            confl = self._propagate()
+            if confl != -1:
+                conflicts += 1
+                if len(self.trail_lim) == 0:
+                    return SatResult("unsat", conflicts=conflicts,
+                                     decisions=decisions)
+                learned, back = self._analyze(confl)
+                self._backtrack(back)
+                # each assumption occupies one decision level; dropping below
+                # an assumption level means it must be re-placed
+                assume_pos = min(assume_pos, back)
+                if len(learned) == 1:
+                    if self._value(learned[0]) == 0:
+                        return SatResult("unsat", conflicts=conflicts,
+                                         decisions=decisions)
+                    if self._value(learned[0]) == -1:
+                        self._enqueue(learned[0], -1)
+                else:
+                    idx = len(self.clauses)
+                    self.clauses.append(learned)
+                    self.watches[learned[0]].append(idx)
+                    self.watches[learned[1]].append(idx)
+                    self._enqueue(learned[0], idx)
+                self.var_inc *= self.var_decay
+                if max_conflicts is not None and conflicts >= max_conflicts:
+                    return SatResult("unknown", conflicts=conflicts,
+                                     decisions=decisions)
+                if conflicts >= restart_budget:
+                    restart_idx += 1
+                    restart_budget = conflicts + 32 * _luby(restart_idx)
+                    self._backtrack(0)
+                    assume_pos = 0
+                continue
+
+            # place assumptions as pseudo-decisions
+            if assume_pos < len(assume):
+                lit = assume[assume_pos]
+                val = self._value(lit)
+                if val == 0:
+                    return SatResult("unsat", conflicts=conflicts,
+                                     decisions=decisions)
+                self.trail_lim.append(len(self.trail))
+                assume_pos += 1
+                if val == -1:
+                    self._enqueue(lit, -1)
+                continue
+
+            # pick branching variable by activity
+            best_v = 0
+            best_a = -1.0
+            for v in range(1, self.nv + 1):
+                if self.assign[v] < 0 and self.activity[v] > best_a:
+                    best_a = self.activity[v]
+                    best_v = v
+            if best_v == 0:
+                model = {v: bool(self.assign[v]) for v in range(1, self.nv + 1)}
+                self._backtrack(0)
+                return SatResult("sat", model=model, conflicts=conflicts,
+                                 decisions=decisions)
+            decisions += 1
+            self.trail_lim.append(len(self.trail))
+            # phase saving: re-try the variable's previous polarity
+            self._enqueue(2 * best_v + (0 if self.phase[best_v] else 1), -1)
+
+
+def solve_cnf(num_vars: int, clauses: list[list[int]],
+              assumptions: list[int] | None = None,
+              max_conflicts: int | None = None) -> SatResult:
+    """One-shot convenience wrapper around :class:`Solver`."""
+    return Solver(num_vars, clauses).solve(assumptions, max_conflicts)

@@ -1,0 +1,21 @@
+"""Simulated language models: calibrated behavioural stand-ins for the
+paper's LLM suite (see DESIGN.md "Substitutions")."""
+
+from .agentic import AgenticLoop, AgenticResult, run_agentic_suite
+from .base import GenerationRequest, SimulatedModel
+from .nl_parser import NLParseError, parse_description, parse_to_assertion
+from .profiles import (
+    DESIGN_MODELS,
+    PROFILES,
+    SAMPLING_MODELS,
+    TABLE_MODELS,
+    ModelProfile,
+    get_profile,
+)
+
+__all__ = [
+    "AgenticLoop", "AgenticResult", "run_agentic_suite",
+    "DESIGN_MODELS", "GenerationRequest", "ModelProfile", "NLParseError",
+    "PROFILES", "SAMPLING_MODELS", "SimulatedModel", "TABLE_MODELS",
+    "get_profile", "parse_description", "parse_to_assertion",
+]

@@ -1,0 +1,172 @@
+"""Tool-feedback generation loop (the paper's Section 6 future-work idea).
+
+The paper anticipates "ideas to incorporate tool-feedback or external
+symbolic reasoning tools as part of a LLM-agentic framework".  This module
+implements that loop on top of the simulated models: after each response,
+the *formal tools themselves* produce feedback -- the syntax checker's error
+list, or the equivalence checker's counterexample trace -- and the model
+retries with that feedback in context.
+
+For the simulated models, feedback is operationalized the way it works for
+real LLMs in practice: syntax feedback reliably repairs syntax (the error
+message names the offending operator), while semantic feedback
+(a counterexample) helps only probabilistically -- understanding *why* a
+trace refutes the assertion is the hard part.  The repair probabilities sit
+on the model profile so the ablation bench (`benchmarks/test_ext_agentic.py`)
+can measure the loop's value per model tier.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from ..formal.equivalence import Verdict
+
+if TYPE_CHECKING:  # circular at runtime: core.tasks -> datasets -> models
+    from ..core.tasks import EvalRecord
+from .base import (
+    OUTCOME_CORRECT,
+    OUTCOME_PARTIAL,
+    OUTCOME_SYNTAX,
+    OUTCOME_WRONG,
+    GenerationRequest,
+    SimulatedModel,
+    _stable_seed,
+)
+
+#: How strongly each feedback kind helps, per model tier.  Syntax messages
+#: are near-deterministic repairs; counterexamples are hit-or-miss.
+SYNTAX_REPAIR_P = {"proprietary": 0.9, "open": 0.75}
+CEX_REPAIR_P = {"proprietary": 0.35, "open": 0.2}
+
+
+@dataclass
+class AgenticResult:
+    """Outcome of one feedback-loop episode."""
+
+    problem_id: str
+    rounds: int
+    records: list["EvalRecord"] = field(default_factory=list)
+    feedback: list[str] = field(default_factory=list)
+
+    @property
+    def final(self) -> "EvalRecord":
+        return self.records[-1]
+
+    @property
+    def solved(self) -> bool:
+        return self.final.func
+
+    @property
+    def improved(self) -> bool:
+        first, last = self.records[0], self.records[-1]
+        score = {True: 2, False: 0}
+        return (score[last.func] + int(last.partial) >
+                score[first.func] + int(first.partial))
+
+
+def _feedback_text(record: "EvalRecord") -> str:
+    """Render tool output as the feedback message a harness would inject."""
+    if not record.syntax_ok:
+        return (f"The formal tool rejected your assertion: {record.detail}. "
+                "Fix the syntax and answer again.")
+    if record.verdict in (Verdict.CANDIDATE_IMPLIES_REF.value,
+                          Verdict.REF_IMPLIES_CANDIDATE.value):
+        return ("Your assertion is one-sidedly related to the intended "
+                "property (partial equivalence). Tighten it to match "
+                "exactly.")
+    return ("The equivalence check found a counterexample trace where your "
+            "assertion and the intended property disagree. Revise your "
+            "assertion.")
+
+
+class AgenticLoop:
+    """Generate -> check -> feed back -> retry, up to ``max_rounds``."""
+
+    def __init__(self, model: SimulatedModel | str, task,
+                 max_rounds: int = 3):
+        self.model = (model if isinstance(model, SimulatedModel)
+                      else SimulatedModel(model))
+        self.task = task
+        self.max_rounds = max_rounds
+
+    def _tier(self) -> str:
+        return "proprietary" if self.model.profile.proprietary else "open"
+
+    def run(self, problem, quantile: float | None = None) -> AgenticResult:
+        context = (self.task.context(problem)
+                   if hasattr(self.task, "context") else {})
+        request = GenerationRequest(
+            task=self.task.name, problem=problem,
+            params=dict(context.get("params", {})),
+            widths=dict(context.get("widths", {})),
+            quantile=quantile)
+        self._request = request
+        problem_id = self.model._problem_id(problem)
+        result = AgenticResult(problem_id=problem_id, rounds=0)
+        outcome = self.model._sample_outcomes(request, problem_id)[0]
+        for round_idx in range(self.max_rounds):
+            response = self.model._materialize(request, problem_id,
+                                               round_idx, outcome)
+            record = self.task.evaluate(problem, response,
+                                        model=self.model.name,
+                                        sample_idx=round_idx)
+            result.records.append(record)
+            result.rounds = round_idx + 1
+            if record.func:
+                break
+            if round_idx == self.max_rounds - 1:
+                break
+            feedback = _feedback_text(record)
+            result.feedback.append(feedback)
+            outcome = self._repair(problem_id, round_idx, record, outcome)
+        return result
+
+    def _repair(self, problem_id: str, round_idx: int, record: "EvalRecord",
+                outcome: str) -> str:
+        """Model the effect of tool feedback on the next attempt."""
+        rng = random.Random(_stable_seed(self.model.name, problem_id,
+                                         "repair", round_idx))
+        tier = self._tier()
+        if not record.syntax_ok:
+            if rng.random() < SYNTAX_REPAIR_P[tier]:
+                # syntax fixed; semantic quality redrawn from the profile
+                rates = self.model._rates(self._request)
+                return self.model._partition(rates, rng.random())
+            return OUTCOME_SYNTAX
+        if record.partial:
+            # partial feedback: "tighten it" -- moderately effective
+            if rng.random() < CEX_REPAIR_P[tier] * 1.5:
+                return OUTCOME_CORRECT
+            return OUTCOME_PARTIAL
+        if rng.random() < CEX_REPAIR_P[tier]:
+            return OUTCOME_CORRECT
+        if rng.random() < 0.3:
+            return OUTCOME_PARTIAL
+        return OUTCOME_WRONG
+
+def run_agentic_suite(model_name: str, task, limit: int | None = None,
+                      max_rounds: int = 3) -> dict[str, float]:
+    """Evaluate the feedback loop over a task; returns summary metrics."""
+    loop = AgenticLoop(model_name, task, max_rounds=max_rounds)
+    problems = task.problems()
+    if limit is not None:
+        problems = problems[:limit]
+    total = len(problems)
+    results = [loop.run(p, quantile=(i + 0.5) / total)
+               for i, p in enumerate(problems)]
+    first_func = sum(1 for r in results if r.records[0].func) / total
+    final_func = sum(1 for r in results if r.final.func) / total
+    first_syntax = sum(1 for r in results if r.records[0].syntax_ok) / total
+    final_syntax = sum(1 for r in results if r.final.syntax_ok) / total
+    return {
+        "problems": total,
+        "mean_rounds": sum(r.rounds for r in results) / total,
+        "syntax_first": first_syntax,
+        "syntax_final": final_syntax,
+        "func_first": first_func,
+        "func_final": final_func,
+        "improved": sum(1 for r in results if r.improved) / total,
+    }

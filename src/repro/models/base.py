@@ -1,0 +1,286 @@
+"""Simulated language models: the evaluation subjects of the benchmark.
+
+A :class:`SimulatedModel` exposes the same surface as an LLM endpoint in the
+paper's harness -- ``generate(request) -> list[str]`` returning fenced
+SystemVerilog responses -- but its behaviour is a calibrated error process
+(see :mod:`repro.models.profiles` and DESIGN.md "Substitutions"):
+
+1. an *oracle* derives the intended assertion (the reference solution for
+   NL2SVA-Human, the semantic parse of the NL description for
+   NL2SVA-Machine, a metadata-derived provable template for Design2SVA);
+2. a per-(model, problem) seeded draw picks the outcome class -- correct,
+   partial (one-sided implication), wrong, or syntax failure -- with
+   probabilities from the model's profile;
+3. the corresponding transform from :mod:`repro.models.perturb` materializes
+   the response, plus style transforms for lexical variance.
+
+Everything downstream (syntax checking, equivalence, proofs, metrics) is
+*measured*, not assumed: the formal engine issues the verdicts, so realized
+table numbers can drift from the profile targets exactly as far as the
+transforms' semantics allow.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, field
+
+from ..datasets.design2sva.pipeline_gen import GeneratedDesign
+from ..datasets.nl2sva_human.corpus import HumanProblem
+from ..datasets.nl2sva_machine.generator import MachineProblem
+from ..sva.ast_nodes import Assertion
+from ..sva.parser import ParseError, parse_assertion
+from . import design_assist, perturb
+from .nl_parser import NLParseError, parse_to_assertion
+from .profiles import ModelProfile, get_profile
+
+OUTCOME_CORRECT = "correct"
+OUTCOME_PARTIAL = "partial"
+OUTCOME_WRONG = "wrong"
+OUTCOME_SYNTAX = "syntax"
+
+
+@dataclass
+class GenerationRequest:
+    """One model invocation: a problem plus decoding settings."""
+
+    task: str  # 'nl2sva_human' | 'nl2sva_machine' | 'design2sva'
+    problem: object
+    n_samples: int = 1
+    temperature: float = 0.0
+    shots: int = 0
+    params: dict[str, int] = field(default_factory=dict)
+    widths: dict[str, int] = field(default_factory=dict)
+    #: problem's rank fraction within the run, for stratified difficulty
+    #: assignment (variance reduction; see EXPERIMENTS.md "Calibration")
+    quantile: float | None = None
+
+
+def _stable_seed(*parts) -> int:
+    digest = hashlib.md5("|".join(str(p) for p in parts).encode()).hexdigest()
+    return int(digest[:12], 16)
+
+
+class SimulatedModel:
+    """Behavioural simulation of one LLM from the paper's suite."""
+
+    def __init__(self, profile: ModelProfile | str):
+        self.profile = (profile if isinstance(profile, ModelProfile)
+                        else get_profile(profile))
+
+    @property
+    def name(self) -> str:
+        return self.profile.name
+
+    # -- public API -------------------------------------------------------------
+
+    def generate(self, request: GenerationRequest) -> list[str]:
+        """Produce ``n_samples`` fenced SystemVerilog responses."""
+        problem_id = self._problem_id(request.problem)
+        outcomes = self._sample_outcomes(request, problem_id)
+        return [self._materialize(request, problem_id, i, outcome)
+                for i, outcome in enumerate(outcomes)]
+
+    # -- outcome sampling -------------------------------------------------------
+
+    def _rates(self, request: GenerationRequest):
+        if request.task == "nl2sva_human":
+            return self.profile.human
+        if request.task == "nl2sva_machine":
+            return self.profile.machine(request.shots)
+        if request.task == "design2sva":
+            design: GeneratedDesign = request.problem
+            rates = self.profile.design(design.category)
+            if rates is None:
+                raise ValueError(
+                    f"{self.name} is not evaluated on Design2SVA "
+                    f"(context window {self.profile.context_window})")
+            return rates
+        raise ValueError(f"unknown task {request.task!r}")
+
+    def _sample_outcomes(self, request: GenerationRequest,
+                         problem_id: str) -> list[str]:
+        rates = self._rates(request)
+        rng = random.Random(_stable_seed(self.name, problem_id, request.task,
+                                         request.shots))
+        if request.task == "design2sva":
+            # per-sample independence: the paper's pass@k for Design2SVA is
+            # consistent with independent Bernoulli trials (EXPERIMENTS.md)
+            return [self._partition_design(rates, self._difficulty(
+                        request, rng, jitter=i))
+                    for i in range(request.n_samples)]
+        d = self._difficulty(request, rng)
+        greedy = self._partition(rates, d)
+        if request.temperature <= 0 and request.n_samples == 1:
+            return [greedy]
+        # sticky semantics, flaky syntax (Table 2/4 pass@k structure)
+        outcomes = []
+        for _i in range(request.n_samples):
+            outcomes.append(self._resample(rates, greedy, rng))
+        return outcomes
+
+    def _difficulty(self, request: GenerationRequest, rng: random.Random,
+                    jitter: int = 0) -> float:
+        """Per-(model, problem) difficulty draw.
+
+        With a runner-supplied quantile the draws form a per-model rotation
+        of a uniform grid over the problem set, so realized outcome rates
+        match the profile targets up to rounding while different models fail
+        on different problems.  Without a quantile, plain uniform draws.
+        """
+        if request.quantile is None:
+            return rng.random()
+        offset = _stable_seed(self.name, request.task, request.shots,
+                              jitter) % 10_000 / 10_000.0
+        return (request.quantile + offset) % 1.0
+
+    @staticmethod
+    def _partition(rates, d: float) -> str:
+        if d < rates.func:
+            return OUTCOME_CORRECT
+        if d < rates.partial:
+            return OUTCOME_PARTIAL
+        if d < rates.syntax:
+            return OUTCOME_WRONG
+        return OUTCOME_SYNTAX
+
+    @staticmethod
+    def _partition_design(rates, d: float) -> str:
+        if d < rates.func:
+            return OUTCOME_CORRECT
+        if d < rates.syntax:
+            return OUTCOME_WRONG
+        return OUTCOME_SYNTAX
+
+    def _resample(self, rates, greedy: str, rng: random.Random) -> str:
+        p = self.profile
+        roll = rng.random()
+        if greedy == OUTCOME_SYNTAX:
+            if roll < p.q_syntax_fix:
+                # escaped the syntax trap; semantic quality drawn fresh
+                d = rng.random() * max(rates.syntax, 1e-9)
+                return self._partition(rates, d)
+            return OUTCOME_SYNTAX
+        if greedy == OUTCOME_WRONG:
+            if roll < p.q_semantic_fix:
+                share = rates.partial or 1e-9
+                return (OUTCOME_CORRECT
+                        if rng.random() < rates.func / share
+                        else OUTCOME_PARTIAL)
+            return OUTCOME_WRONG
+        if greedy == OUTCOME_PARTIAL:
+            if roll < p.q_partial_up:
+                return OUTCOME_CORRECT
+            if roll < p.q_partial_up + p.q_correct_down:
+                return OUTCOME_WRONG
+            return OUTCOME_PARTIAL
+        if roll < p.q_correct_down:
+            return OUTCOME_PARTIAL
+        return OUTCOME_CORRECT
+
+    # -- response materialization ---------------------------------------------------
+
+    def _materialize(self, request: GenerationRequest, problem_id: str,
+                     sample_idx: int, outcome: str) -> str:
+        rng = random.Random(_stable_seed(self.name, problem_id, sample_idx,
+                                         outcome, request.temperature))
+        if request.task == "design2sva":
+            return self._materialize_design(request.problem, outcome, rng)
+        oracle = self._oracle(request)
+        if oracle is None:
+            # comprehension failure independent of outcome roll
+            return perturb.render(self._fallback_assertion(request), rng)
+        if outcome == OUTCOME_CORRECT:
+            styled = perturb.apply_style(oracle, rng,
+                                         self.profile.style_passes)
+            return perturb.render(styled, rng)
+        if outcome in (OUTCOME_PARTIAL, OUTCOME_WRONG):
+            mutated = self._calibrated_mutation(request, oracle, outcome, rng)
+            styled = perturb.apply_style(mutated, rng, 1)
+            return perturb.render(styled, rng)
+        # syntax failure: corrupt the rendered text
+        from ..sva.unparse import unparse
+        text = unparse(perturb.apply_style(oracle, rng, 1))
+        return f"```systemverilog\n{perturb.apply_syntax_break(text, rng)}\n```"
+
+    def _calibrated_mutation(self, request: GenerationRequest,
+                             oracle: Assertion, outcome: str,
+                             rng: random.Random) -> Assertion:
+        """Mutate the oracle until the formal verdict matches *outcome*.
+
+        The profiles encode rates *measured* by the paper's Jasper flow, so
+        the simulated error process validates (against the same formal
+        engine the harness uses) that each injected error lands in the
+        intended verdict class; otherwise the realized rates would drift by
+        however often a random edit happens to be semantics-preserving.
+        """
+        from ..formal.equivalence import Verdict, check_equivalence
+        transform = (perturb.apply_partial if outcome == OUTCOME_PARTIAL
+                     else perturb.apply_corrupt)
+        fallback = (perturb.apply_corrupt if outcome == OUTCOME_PARTIAL
+                    else perturb.apply_partial)
+        best = None
+        best_rank = -1
+        for attempt in range(6):
+            candidate = transform(oracle, rng)
+            if candidate is None:
+                candidate = fallback(oracle, rng)
+            if candidate is None:
+                break
+            result = check_equivalence(oracle, candidate,
+                                       signal_widths=request.widths or None,
+                                       params=request.params or None)
+            verdict = result.verdict
+            if outcome == OUTCOME_PARTIAL and verdict in (
+                    Verdict.CANDIDATE_IMPLIES_REF,
+                    Verdict.REF_IMPLIES_CANDIDATE):
+                return candidate
+            if outcome == OUTCOME_WRONG and verdict is Verdict.INEQUIVALENT:
+                return candidate
+            # rank fallbacks: any non-equivalent beats an accidentally
+            # semantics-preserving edit
+            rank = 1 if verdict is not Verdict.EQUIVALENT else 0
+            if rank > best_rank:
+                best, best_rank = candidate, rank
+        return best if best is not None else oracle
+
+    def _materialize_design(self, design: GeneratedDesign, outcome: str,
+                            rng: random.Random) -> str:
+        if outcome == OUTCOME_CORRECT:
+            return design_assist.correct_response(design, rng)
+        if outcome == OUTCOME_SYNTAX:
+            return design_assist.broken_response(design, rng)
+        return design_assist.flawed_response(design, rng)
+
+    # -- oracles ------------------------------------------------------------
+
+    def _oracle(self, request: GenerationRequest) -> Assertion | None:
+        problem = request.problem
+        if request.task == "nl2sva_human":
+            assert isinstance(problem, HumanProblem)
+            try:
+                return parse_assertion(problem.reference,
+                                       params=request.params)
+            except ParseError:
+                return None
+        if request.task == "nl2sva_machine":
+            assert isinstance(problem, MachineProblem)
+            try:
+                return parse_to_assertion(problem.description)
+            except NLParseError:
+                return None
+        return None
+
+    def _fallback_assertion(self, request: GenerationRequest) -> Assertion:
+        """Minimal syntactically valid guess when comprehension fails."""
+        return parse_assertion(
+            "assert property (@(posedge clk) 1'b1);")
+
+    @staticmethod
+    def _problem_id(problem) -> str:
+        for attr in ("problem_id", "instance_id"):
+            pid = getattr(problem, attr, None)
+            if pid:
+                return pid
+        raise ValueError("problem has no identifier")

@@ -1,0 +1,298 @@
+"""Rule-based semantic parser: NL assertion descriptions -> SVA ASTs.
+
+This is the *oracle comprehension core* of the simulated language models: a
+deterministic parser over the natural-language fragment that the benchmark's
+descriptions use (the naturalizer's template language plus its synonym
+pools).  Simulated models start from the oracle parse and inject
+profile-calibrated errors (:mod:`repro.models.perturb`); the NL2SVA-Machine
+critic uses the same parser for round-trip validation.
+
+Inherent ambiguities are resolved by documented conventions (e.g. "a few
+cycles later" reads as ``##2``, "X is set" reads as truthiness), which is
+what makes the formal critic in the data pipeline meaningful.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..sva.ast_nodes import (
+    Assertion,
+    Binary,
+    ClockingEvent,
+    Delay,
+    Expr,
+    Identifier,
+    Implication,
+    Number,
+    PropNode,
+    PropSeq,
+    SeqExpr,
+    StrongWeak,
+    SystemCall,
+    Unary,
+)
+
+_NUMBER_WORDS = {w: i for i, w in enumerate(
+    ["zero", "one", "two", "three", "four", "five", "six", "seven",
+     "eight", "nine", "ten"])}
+
+
+class NLParseError(ValueError):
+    """The description is outside the supported NL fragment."""
+
+
+def _num(text: str) -> int:
+    text = text.strip().lower()
+    if text in _NUMBER_WORDS:
+        return _NUMBER_WORDS[text]
+    if text.isdigit():
+        return int(text)
+    raise NLParseError(f"not a count: {text!r}")
+
+
+def _literal(value: int) -> Number:
+    return Number(value=value, text=str(value))
+
+
+_COUNT = r"(\d+|zero|one|two|three|four|five|six|seven|eight|nine|ten)"
+_SIG = r"([A-Za-z_][A-Za-z0-9_]*)"
+
+#: Atom patterns, tried in order.  Each maps match groups -> Expr.
+_ATOM_RULES: list[tuple[re.Pattern, object]] = [
+    (re.compile(rf"^{_SIG} is (?:high|true|asserted)$"),
+     lambda m: Identifier(m.group(1))),
+    (re.compile(rf"^{_SIG} is (?:low|false|deasserted|not high)$"),
+     lambda m: Unary("!", Identifier(m.group(1)))),
+    (re.compile(rf"^{_SIG} must not be high$"),
+     lambda m: Unary("!", Identifier(m.group(1)))),
+    (re.compile(rf"^at least one bit of {_SIG} is set$"),
+     lambda m: Unary("|", Identifier(m.group(1)))),
+    (re.compile(rf"^{_SIG} contains at least one '1' bit$"),
+     lambda m: Unary("|", Identifier(m.group(1)))),
+    (re.compile(rf"^{_SIG} is nonzero$"),
+     lambda m: Unary("|", Identifier(m.group(1)))),
+    (re.compile(rf"^all bits of {_SIG} are 1$"),
+     lambda m: Unary("&", Identifier(m.group(1)))),
+    (re.compile(rf"^every bit of {_SIG} is set$"),
+     lambda m: Unary("&", Identifier(m.group(1)))),
+    (re.compile(rf"^{_SIG} has an odd number of bits set to '1'$"),
+     lambda m: Unary("^", Identifier(m.group(1)))),
+    (re.compile(rf"^{_SIG} has odd parity$"),
+     lambda m: Unary("^", Identifier(m.group(1)))),
+    (re.compile(rf"^exactly one bit of {_SIG} is set$"),
+     lambda m: SystemCall("$onehot", (Identifier(m.group(1)),))),
+    (re.compile(rf"^at most one bit of {_SIG} is set$"),
+     lambda m: SystemCall("$onehot0", (Identifier(m.group(1)),))),
+    (re.compile(rf"^{_SIG} (?:rises|goes from low to high)$"),
+     lambda m: SystemCall("$rose", (Identifier(m.group(1)),))),
+    (re.compile(rf"^{_SIG} (?:falls|goes from high to low)$"),
+     lambda m: SystemCall("$fell", (Identifier(m.group(1)),))),
+    (re.compile(rf"^{_SIG} (?:is unchanged from the previous cycle"
+                r"|holds its previous value)$"),
+     lambda m: SystemCall("$stable", (Identifier(m.group(1)),))),
+    # convention: bare "X is set" reads as truthiness (any bit)
+    (re.compile(rf"^{_SIG} is set$"),
+     lambda m: Unary("|", Identifier(m.group(1)))),
+    (re.compile(rf"^{_SIG} (?:equals|is equal to) (\d+)$"),
+     lambda m: Binary("==", Identifier(m.group(1)),
+                      _literal(int(m.group(2))))),
+    (re.compile(rf"^{_SIG} (?:equals|is equal to) {_SIG}$"),
+     lambda m: Binary("==", Identifier(m.group(1)),
+                      Identifier(m.group(2)))),
+    (re.compile(rf"^{_SIG} (?:is not equal to|differs from) (\d+)$"),
+     lambda m: Binary("!=", Identifier(m.group(1)),
+                      _literal(int(m.group(2))))),
+    (re.compile(rf"^{_SIG} (?:is not equal to|differs from) {_SIG}$"),
+     lambda m: Binary("!=", Identifier(m.group(1)),
+                      Identifier(m.group(2)))),
+    (re.compile(rf"^{_SIG} is less than (\d+)$"),
+     lambda m: Binary("<", Identifier(m.group(1)),
+                      _literal(int(m.group(2))))),
+    (re.compile(rf"^{_SIG} is at most (\d+)$"),
+     lambda m: Binary("<=", Identifier(m.group(1)),
+                      _literal(int(m.group(2))))),
+    (re.compile(rf"^{_SIG} is greater than (\d+)$"),
+     lambda m: Binary(">", Identifier(m.group(1)),
+                      _literal(int(m.group(2))))),
+    (re.compile(rf"^{_SIG} is at least (\d+)$"),
+     lambda m: Binary(">=", Identifier(m.group(1)),
+                      _literal(int(m.group(2))))),
+]
+
+_TIME_RULES: list[tuple[re.Pattern, object]] = [
+    (re.compile(rf"^between {_COUNT} and {_COUNT} (?:clock )?cycles later$"),
+     lambda m: (_num(m.group(1)), _num(m.group(2)), False)),
+    (re.compile(rf"^{_COUNT} (?:clock )?cycles? later$"),
+     lambda m: (_num(m.group(1)), _num(m.group(1)), False)),
+    (re.compile(r"^on the next clock cycle$"), lambda m: (1, 1, False)),
+    (re.compile(r"^(?:in|at) the same cycle$"), lambda m: (0, 0, False)),
+    # documented reading conventions for blurred phrasings:
+    (re.compile(r"^a few cycles later$"), lambda m: (2, 2, False)),
+    (re.compile(r"^within a few cycles$"), lambda m: (0, 2, False)),
+    (re.compile(r"^(?:must eventually hold|eventually holds) after the "
+                r"current cycle$"), lambda m: (1, None, True)),
+    (re.compile(r"^(?:must eventually hold|eventually holds)$"),
+     lambda m: (0, None, True)),
+]
+
+
+def parse_atom(text: str) -> Expr:
+    text = text.strip()
+    if text.startswith("it is not the case that "):
+        inner = parse_atom(text[len("it is not the case that "):])
+        return Unary("!", inner)
+    for pattern, build in _ATOM_RULES:
+        m = pattern.match(text)
+        if m:
+            return build(m)
+    raise NLParseError(f"cannot parse atom: {text!r}")
+
+
+def _split_candidates(text: str, sep: str) -> list[tuple[str, str]]:
+    """All (left, right) splits of *text* on *sep*, left-to-right."""
+    out = []
+    start = 0
+    while True:
+        idx = text.find(sep, start)
+        if idx < 0:
+            return out
+        out.append((text[:idx], text[idx + len(sep):]))
+        start = idx + 1
+
+
+def parse_condition(text: str) -> Expr:
+    """Parse a (possibly compound) boolean condition phrase."""
+    text = text.strip()
+    # lowest precedence: top-level ", and "
+    for left, right in _split_candidates(text, ", and "):
+        try:
+            return Binary("&&", parse_condition(left),
+                          parse_condition(right))
+        except NLParseError:
+            continue
+    # ", or " chains produced by flattened disjunctions
+    for left, right in _split_candidates(text, ", or "):
+        try:
+            stripped = left[len("either "):] if left.startswith("either ") \
+                else left
+            return Binary("||", parse_condition(stripped),
+                          parse_condition(right))
+        except NLParseError:
+            continue
+    if text.startswith("either "):
+        body = text[len("either "):]
+        for left, right in _split_candidates(body, " or "):
+            try:
+                return Binary("||", parse_condition(left),
+                              parse_condition(right))
+            except NLParseError:
+                continue
+        raise NLParseError(f"cannot split disjunction: {text!r}")
+    if text.startswith("both "):
+        body = text[len("both "):]
+        for left, right in _split_candidates(body, " and "):
+            try:
+                return Binary("&&", parse_condition(left),
+                              parse_condition(right))
+            except NLParseError:
+                continue
+        raise NLParseError(f"cannot split conjunction: {text!r}")
+    # plain "A and B" without the 'both' lead
+    for left, right in _split_candidates(text, " and "):
+        try:
+            return Binary("&&", parse_condition(left),
+                          parse_condition(right))
+        except NLParseError:
+            continue
+    for left, right in _split_candidates(text, " or "):
+        try:
+            return Binary("||", parse_condition(left),
+                          parse_condition(right))
+        except NLParseError:
+            continue
+    return parse_atom(text)
+
+
+def _time_suffix_candidates(
+        text: str) -> list[tuple[str, tuple[int, int | None, bool]]]:
+    """All (body, (lo, hi, strong)) readings, longest time suffix first."""
+    text = text.strip().rstrip(".")
+    words = text.split(" ")
+    out: list[tuple[str, tuple[int, int | None, bool]]] = []
+    for cut in range(min(len(words) - 1, 9), 0, -1):
+        suffix = " ".join(words[-cut:])
+        for pattern, build in _TIME_RULES:
+            m = pattern.match(suffix)
+            if m:
+                body = " ".join(words[:-cut]).rstrip(",").strip()
+                out.append((body, build(m)))
+    out.append((text, (0, 0, False)))
+    return out
+
+
+def parse_description(text: str) -> PropNode:
+    """Parse a full NL description into a property AST."""
+    text = text.strip().rstrip(".")
+    lowered = text.lower()
+    for prefix in ("create a sva assertion that checks:",
+                   "create an sva assertion that checks:"):
+        if lowered.startswith(prefix):
+            text = text[len(prefix):].strip()
+            lowered = text.lower()
+            break
+    for prefix in ("at every clock cycle, ", "at each cycle, "):
+        if lowered.startswith(prefix):
+            cond = parse_condition(text[len(prefix):])
+            return PropSeq(SeqExpr(cond))
+    for lead in ("if ", "when ", "whenever "):
+        if lowered.startswith(lead):
+            body = text[len(lead):]
+            for ante_text, cons_text in _split_candidates(body, ", then "):
+                try:
+                    ante = parse_condition(ante_text)
+                    cons = _parse_consequent(cons_text)
+                    return Implication(antecedent=SeqExpr(ante),
+                                       consequent=cons, overlapping=True)
+                except NLParseError:
+                    continue
+            raise NLParseError(f"cannot split implication: {text!r}")
+    # plain condition
+    return PropSeq(SeqExpr(parse_condition(text)))
+
+
+def _parse_consequent(text: str) -> PropNode:
+    last_error: NLParseError | None = None
+    for body, (lo, hi, strong) in _time_suffix_candidates(text):
+        try:
+            cond = _parse_consequent_body(body)
+        except NLParseError as exc:
+            last_error = exc
+            continue
+        if strong:
+            return StrongWeak(seq=Delay(lo=lo, hi=None, rhs=SeqExpr(cond)),
+                              strong=True)
+        if lo == 0 and hi == 0:
+            return PropSeq(SeqExpr(cond))
+        return PropSeq(Delay(lo=lo, hi=hi, rhs=SeqExpr(cond)))
+    raise last_error or NLParseError(f"cannot parse consequent: {text!r}")
+
+
+def _parse_consequent_body(body: str) -> Expr:
+    # strip modal phrasing "X must hold" / "X must be high"
+    body = re.sub(r"\s*must hold$", "", body).strip()
+    m = re.match(rf"^{_SIG} must not be high$", body)
+    if m:
+        return Unary("!", Identifier(m.group(1)))
+    if re.match(rf"^{_SIG} must be high$", body):
+        return Identifier(body.split(" ")[0])
+    return parse_condition(body)
+
+
+def parse_to_assertion(text: str, disable: Expr | None = None) -> Assertion:
+    """Parse a description and wrap it as a clocked concurrent assertion."""
+    prop = parse_description(text)
+    return Assertion(prop=prop,
+                     clocking=ClockingEvent(edge="posedge",
+                                            signal=Identifier("clk")),
+                     disable=disable)

@@ -1,0 +1,653 @@
+"""Failure-mode and style transforms for simulated model responses.
+
+Four transform families, mirroring the failure taxonomy the paper documents
+(Figures 7-9) and the style variation visible in its response listings:
+
+* **style** -- equivalence-preserving rewrites (defensive ``!== 1'b1`` form
+  vs implication form, commutative operand swaps, label renaming, redundant
+  parentheses).  These keep the functional verdict but move BLEU, which is
+  what produces the paper's Figure 6 non-correlation.
+* **weaken / strengthen** -- semantics-changing rewrites that keep a
+  one-directional implication (the paper's *partial equivalence* tier):
+  dropping/adding antecedent conjuncts, ``strong(##[0:$])`` -> weak
+  ``##[1:$]``, exact delay -> delay window and vice versa, ``$onehot0``
+  -> all-high conjunction.
+* **corrupt** -- semantics-breaking rewrites (inequivalent): off-by-one
+  delays, swapped implication sides, ``&&``/``||`` confusion, polarity
+  flips, ``$countones``/``$bits`` confusion (Figure 8's 8B failure).
+* **break_syntax** -- text-level corruptions a formal front end rejects:
+  hallucinated ``eventually``/``s_always`` operators (Figure 7), malformed
+  ``##[N]`` delays, unbalanced parentheses, simulation-only tasks.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import replace
+
+from ..sva.ast_nodes import (
+    Assertion,
+    Binary,
+    Delay,
+    Expr,
+    Identifier,
+    Implication,
+    Number,
+    PropNode,
+    PropSeq,
+    SeqExpr,
+    SeqNode,
+    StrongWeak,
+    SystemCall,
+    Unary,
+)
+from ..sva.unparse import unparse
+
+
+def _rewrite_prop(prop: PropNode, fn) -> PropNode:
+    """Shallow helper: apply fn at the top, else recurse into implication."""
+    out = fn(prop)
+    if out is not prop:
+        return out
+    if isinstance(prop, Implication):
+        new_cons = _rewrite_prop(prop.consequent, fn)
+        if new_cons is not prop.consequent:
+            return replace(prop, consequent=new_cons)
+    return prop
+
+
+def _conjuncts(expr: Expr) -> list[Expr]:
+    if isinstance(expr, Binary) and expr.op == "&&":
+        return _conjuncts(expr.left) + _conjuncts(expr.right)
+    return [expr]
+
+
+def _conjoin(parts: list[Expr]) -> Expr:
+    out = parts[0]
+    for p in parts[1:]:
+        out = Binary("&&", out, p)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Style transforms (equivalence preserving)
+# ---------------------------------------------------------------------------
+
+
+def style_defensive_to_implication(a: Assertion,
+                                   rng: random.Random) -> Assertion | None:
+    """``(cond && bad) !== 1'b1``  ->  ``cond |-> !bad``."""
+    prop = a.prop
+    if not (isinstance(prop, PropSeq) and isinstance(prop.seq, SeqExpr)):
+        return None
+    expr = prop.seq.expr
+    if not (isinstance(expr, Binary) and expr.op in ("!==", "!=")
+            and isinstance(expr.right, Number) and expr.right.value == 1):
+        return None
+    inner = expr.left
+    parts = _conjuncts(inner)
+    if len(parts) < 2:
+        return None
+    ante = _conjoin(parts[:-1])
+    cons = Unary("!", parts[-1])
+    new_prop = Implication(antecedent=SeqExpr(ante),
+                           consequent=PropSeq(SeqExpr(cons)),
+                           overlapping=True)
+    return a.with_prop(new_prop)
+
+
+def style_swap_commutative(a: Assertion,
+                           rng: random.Random) -> Assertion | None:
+    """Swap operands of one commutative operator."""
+    targets = [n for n in a.prop.walk()
+               if isinstance(n, Binary) and n.op in ("&&", "||", "&", "|",
+                                                     "^", "==", "!=")]
+    if not targets:
+        return None
+    victim = rng.choice(targets)
+    return _replace_once(a, victim,
+                         lambda n: Binary(n.op, n.right, n.left))
+
+
+def style_relabel(a: Assertion, rng: random.Random) -> Assertion | None:
+    """Give the assertion a descriptive label, as models tend to."""
+    labels = ["asrt", "a_check", "asrt_prop", "p_main", "assert_0",
+              "asrt_gen"]
+    return replace(a, label=rng.choice(labels))
+
+
+def style_drop_label(a: Assertion, rng: random.Random) -> Assertion | None:
+    if a.label is None:
+        return None
+    return replace(a, label=None)
+
+
+def style_not_to_neq(a: Assertion, rng: random.Random) -> Assertion | None:
+    """``!x``  ->  ``x == 1'b0`` on one boolean atom."""
+    targets = [n for n in a.prop.walk()
+               if isinstance(n, Unary) and n.op == "!"
+               and isinstance(n.operand, Identifier)]
+    if not targets:
+        return None
+    victim = rng.choice(targets)
+    return _replace_once(
+        a, victim,
+        lambda n: Binary("==", n.operand,
+                         Number(value=0, width=1, text="1'b0")))
+
+
+def style_implication_to_defensive(a: Assertion,
+                                   rng: random.Random) -> Assertion | None:
+    """``A |-> C`` (boolean C) -> ``(A && !C) !== 1'b1``."""
+    prop = a.prop
+    if not (isinstance(prop, Implication)
+            and isinstance(prop.antecedent, SeqExpr)
+            and isinstance(prop.consequent, PropSeq)
+            and isinstance(prop.consequent.seq, SeqExpr)
+            and prop.overlapping):
+        return None
+    ante = prop.antecedent.expr
+    cons = prop.consequent.seq.expr
+    if isinstance(cons, Unary) and cons.op == "!":
+        bad: Expr = cons.operand
+    else:
+        bad = Unary("!", cons)
+    body = Binary("!==", Binary("&&", ante, bad),
+                  Number(value=1, width=1, text="1'b1"))
+    return a.with_prop(PropSeq(SeqExpr(body)))
+
+
+def style_demorgan(a: Assertion, rng: random.Random) -> Assertion | None:
+    """``!(a && b)`` <-> ``!a || !b`` on one subterm."""
+    targets = [n for n in a.prop.walk()
+               if isinstance(n, Unary) and n.op == "!"
+               and isinstance(n.operand, Binary)
+               and n.operand.op in ("&&", "||")]
+    if not targets:
+        return None
+    victim = rng.choice(targets)
+
+    def build(n):
+        inner = n.operand
+        flipped = "||" if inner.op == "&&" else "&&"
+        return Binary(flipped, Unary("!", inner.left),
+                      Unary("!", inner.right))
+
+    return _replace_once(a, victim, build)
+
+
+def style_number_format(a: Assertion, rng: random.Random) -> Assertion | None:
+    """Respell one numeric literal (``'d0`` <-> sized binary form)."""
+    nums = [n for n in a.prop.walk()
+            if isinstance(n, Number) and n.value is not None]
+    if not nums:
+        return None
+    victim = rng.choice(nums)
+
+    def build(n):
+        if n.width:
+            return Number(value=n.value, width=n.width, base="d",
+                          text=f"{n.width}'d{n.value}")
+        return Number(value=n.value, width=None, base="d",
+                      text=f"'d{n.value}")
+
+    return _replace_once(a, victim, build)
+
+
+STYLE_TRANSFORMS = [style_defensive_to_implication,
+                    style_implication_to_defensive, style_swap_commutative,
+                    style_relabel, style_drop_label, style_not_to_neq,
+                    style_demorgan, style_number_format]
+
+#: Trailing comments in the style of the paper's response listings.
+RESPONSE_COMMENTS = [
+    "// check the protocol condition on every clock",
+    "// concurrent assertion for the specified behavior",
+    "// sampled at the rising clock edge, ignoring reset",
+    "// property derived from the specification text",
+    "// assertion covers the requested functional check",
+]
+
+
+def _map_exprs(a: Assertion, fn) -> Assertion:
+    from ..rtl.elaborate import _rewrite_assertion_exprs
+    return _rewrite_assertion_exprs(a, fn)
+
+
+def _replace_once(a: Assertion, victim: Expr, builder) -> Assertion:
+    """Replace the first structurally-equal occurrence of *victim*.
+
+    Structural (not identity) matching is required because the bottom-up
+    rewriter reconstructs parent nodes before the match callback sees them.
+    """
+    from ..rtl.elaborate import rewrite
+    done = False
+
+    def fn(node):
+        nonlocal done
+        if not done and node == victim:
+            done = True
+            return builder(node)
+        return node
+
+    return _map_exprs(a, lambda e: rewrite(e, fn))
+
+
+# ---------------------------------------------------------------------------
+# Weakening / strengthening (partial equivalence)
+# ---------------------------------------------------------------------------
+
+
+def weaken_strong_liveness(a: Assertion, rng: random.Random) -> Assertion | None:
+    """``strong(##[lo:$] x)`` -> weak ``##[max(lo,1):$] x`` (Figure 7)."""
+    changed = False
+
+    def fn(p: PropNode) -> PropNode:
+        nonlocal changed
+        if isinstance(p, StrongWeak) and p.strong \
+                and isinstance(p.seq, Delay) and p.seq.hi is None:
+            changed = True
+            return PropSeq(replace(p.seq, lo=max(p.seq.lo, 1)))
+        return p
+
+    new_prop = _rewrite_prop(a.prop, fn)
+    return a.with_prop(new_prop) if changed else None
+
+
+def weaken_drop_conjunct(a: Assertion, rng: random.Random) -> Assertion | None:
+    """Drop one antecedent conjunct: stronger candidate (implies reference)."""
+    prop = a.prop
+    if not (isinstance(prop, Implication)
+            and isinstance(prop.antecedent, SeqExpr)):
+        return None
+    parts = _conjuncts(prop.antecedent.expr)
+    if len(parts) < 2:
+        return None
+    drop = rng.randrange(len(parts))
+    remaining = [p for i, p in enumerate(parts) if i != drop]
+    return a.with_prop(replace(prop, antecedent=SeqExpr(_conjoin(remaining))))
+
+
+def weaken_exact_to_window(a: Assertion, rng: random.Random) -> Assertion | None:
+    """``##N x`` consequent -> ``##[0:N] x`` (reference implies candidate)."""
+    prop = a.prop
+    if not isinstance(prop, Implication):
+        return None
+    cons = prop.consequent
+    if isinstance(cons, PropSeq) and isinstance(cons.seq, Delay) \
+            and cons.seq.lhs is None and cons.seq.hi == cons.seq.lo \
+            and cons.seq.lo >= 1:
+        new_delay = replace(cons.seq, lo=0)
+        return a.with_prop(replace(prop, consequent=PropSeq(new_delay)))
+    return None
+
+
+def strengthen_window_to_exact(a: Assertion,
+                               rng: random.Random) -> Assertion | None:
+    """``##[m:n] x`` consequent -> ``##n x`` (candidate implies reference)."""
+    prop = a.prop
+    if not isinstance(prop, Implication):
+        return None
+    cons = prop.consequent
+    if isinstance(cons, PropSeq) and isinstance(cons.seq, Delay) \
+            and cons.seq.lhs is None and cons.seq.hi is not None \
+            and cons.seq.hi > cons.seq.lo:
+        pick = cons.seq.hi if rng.random() < 0.5 else cons.seq.lo
+        new_delay = replace(cons.seq, lo=pick, hi=pick)
+        return a.with_prop(replace(prop, consequent=PropSeq(new_delay)))
+    return None
+
+
+def weaken_onehot0_to_allhigh(a: Assertion,
+                              rng: random.Random) -> Assertion | None:
+    """``!$onehot0({a,b,c}) !== 1'b1`` -> ``!(a && b && c)`` (Figure 7)."""
+    from ..sva.ast_nodes import Concat
+    prop = a.prop
+    if not (isinstance(prop, PropSeq) and isinstance(prop.seq, SeqExpr)):
+        return None
+    expr = prop.seq.expr
+    # match (!$onehot0(concat)) !== 1'b1
+    if isinstance(expr, Binary) and expr.op in ("!==", "!="):
+        inner = expr.left
+    else:
+        inner = expr
+    if not (isinstance(inner, Unary) and inner.op == "!"):
+        return None
+    call = inner.operand
+    if not (isinstance(call, SystemCall) and call.name == "$onehot0"
+            and call.args and isinstance(call.args[0], Concat)):
+        return None
+    parts = list(call.args[0].parts)
+    if len(parts) < 2:
+        return None
+    new_expr = Unary("!", _conjoin(parts))
+    return a.with_prop(PropSeq(SeqExpr(new_expr)))
+
+
+def weaken_conjunction_to_implication(a: Assertion,
+                                      rng: random.Random) -> Assertion | None:
+    """Plain invariant ``A && B`` -> implication ``A |-> B`` (Figure 8's
+    gpt-4o 0-shot failure: the reference implies the candidate)."""
+    prop = a.prop
+    if not (isinstance(prop, PropSeq) and isinstance(prop.seq, SeqExpr)):
+        return None
+    parts = _conjuncts(prop.seq.expr)
+    if len(parts) < 2:
+        return None
+    ante = _conjoin(parts[:-1])
+    cons = parts[-1]
+    return a.with_prop(Implication(antecedent=SeqExpr(ante),
+                                   consequent=PropSeq(SeqExpr(cons)),
+                                   overlapping=True))
+
+
+def weaken_add_antecedent_conjunct(a: Assertion,
+                                   rng: random.Random) -> Assertion | None:
+    """``A |-> C`` -> ``(A && c-part) |-> C``: the narrowed antecedent makes
+    the candidate weaker (reference implies candidate)."""
+    prop = a.prop
+    if not (isinstance(prop, Implication)
+            and isinstance(prop.antecedent, SeqExpr)
+            and isinstance(prop.consequent, PropSeq)
+            and isinstance(prop.consequent.seq, SeqExpr)):
+        return None
+    extra = _conjuncts(prop.consequent.seq.expr)[0]
+    if extra == prop.antecedent.expr:
+        return None
+    new_ante = Binary("&&", prop.antecedent.expr, extra)
+    return a.with_prop(replace(prop, antecedent=SeqExpr(new_ante)))
+
+
+def strengthen_defensive_drop_conjunct(a: Assertion,
+                                       rng: random.Random) -> Assertion | None:
+    """``(A && B && C) !== 1'b1`` -> ``(A && B) !== 1'b1``: the candidate
+    forbids a superset of behaviours (candidate implies reference)."""
+    prop = a.prop
+    if not (isinstance(prop, PropSeq) and isinstance(prop.seq, SeqExpr)):
+        return None
+    expr = prop.seq.expr
+    if not (isinstance(expr, Binary) and expr.op in ("!==", "!=")
+            and isinstance(expr.right, Number) and expr.right.value == 1):
+        return None
+    parts = _conjuncts(expr.left)
+    if len(parts) < 2:
+        return None
+    drop = rng.randrange(len(parts))
+    remaining = [p for i, p in enumerate(parts) if i != drop]
+    new_expr = Binary(expr.op, _conjoin(remaining), expr.right)
+    return a.with_prop(PropSeq(SeqExpr(new_expr)))
+
+
+PARTIAL_TRANSFORMS = [weaken_strong_liveness, weaken_drop_conjunct,
+                      weaken_exact_to_window, strengthen_window_to_exact,
+                      weaken_onehot0_to_allhigh,
+                      weaken_conjunction_to_implication,
+                      weaken_add_antecedent_conjunct,
+                      strengthen_defensive_drop_conjunct]
+
+
+# ---------------------------------------------------------------------------
+# Corruptions (inequivalent)
+# ---------------------------------------------------------------------------
+
+
+def corrupt_delay_off_by_one(a: Assertion,
+                             rng: random.Random) -> Assertion | None:
+    delays = [n for n in a.prop.walk()
+              if isinstance(n, Delay) and n.hi == n.lo and n.lo >= 1]
+    if not delays:
+        return None
+    victim = rng.choice(delays)
+    bump = 1 if victim.lo == 1 or rng.random() < 0.5 else -1
+    done = False
+
+    def seq_fix(node):
+        nonlocal done
+        if not done and node == victim:
+            done = True
+            return replace(node, lo=node.lo + bump, hi=node.lo + bump)
+        return node
+
+    return a.with_prop(_deep_seq_rewrite(a.prop, seq_fix))
+
+
+def corrupt_implication_flip(a: Assertion,
+                             rng: random.Random) -> Assertion | None:
+    """Swap antecedent and consequent of a same-cycle implication."""
+    prop = a.prop
+    if not (isinstance(prop, Implication)
+            and isinstance(prop.antecedent, SeqExpr)
+            and isinstance(prop.consequent, PropSeq)
+            and isinstance(prop.consequent.seq, SeqExpr)
+            and prop.overlapping):
+        return None
+    return a.with_prop(Implication(
+        antecedent=SeqExpr(prop.consequent.seq.expr),
+        consequent=PropSeq(SeqExpr(prop.antecedent.expr)),
+        overlapping=True))
+
+
+def corrupt_andor(a: Assertion, rng: random.Random) -> Assertion | None:
+    targets = [n for n in a.prop.walk()
+               if isinstance(n, Binary) and n.op in ("&&", "||")]
+    if not targets:
+        return None
+    victim = rng.choice(targets)
+    return _replace_once(
+        a, victim,
+        lambda n: Binary("||" if n.op == "&&" else "&&", n.left, n.right))
+
+
+def corrupt_polarity(a: Assertion, rng: random.Random) -> Assertion | None:
+    """Drop or add a negation on one boolean atom."""
+    negs = [n for n in a.prop.walk()
+            if isinstance(n, Unary) and n.op == "!"]
+    idents = [n for n in a.prop.walk() if isinstance(n, Identifier)]
+    if negs and rng.random() < 0.6:
+        victim = rng.choice(negs)
+        return _replace_once(a, victim, lambda n: n.operand)
+    if not idents:
+        return None
+    victim = rng.choice(idents)
+    return _replace_once(a, victim, lambda n: Unary("!", n))
+
+
+def corrupt_bits_for_countones(a: Assertion,
+                               rng: random.Random) -> Assertion | None:
+    """``^x`` / ``$countones(x)`` -> ``$bits(x) % 2 == 1`` (Figure 8)."""
+    targets = [n for n in a.prop.walk()
+               if (isinstance(n, Unary) and n.op == "^")
+               or (isinstance(n, SystemCall) and n.name == "$countones")]
+    if not targets:
+        return None
+    victim = rng.choice(targets)
+    arg = victim.operand if isinstance(victim, Unary) else victim.args[0]
+    return _replace_once(
+        a, victim,
+        lambda n: Binary("==",
+                         Binary("%", SystemCall("$bits", (arg,)),
+                                Number(value=2, text="2")),
+                         Number(value=1, text="1")))
+
+
+def corrupt_constant(a: Assertion, rng: random.Random) -> Assertion | None:
+    nums = [n for n in a.prop.walk()
+            if isinstance(n, Number) and n.value is not None and n.value > 0]
+    if not nums:
+        return None
+    victim = rng.choice(nums)
+    delta = 1 if rng.random() < 0.5 else -1
+
+    def build(n):
+        v = max(0, n.value + delta)
+        return Number(value=v, width=n.width, text=str(v))
+
+    return _replace_once(a, victim, build)
+
+
+def corrupt_swap_signals(a: Assertion, rng: random.Random) -> Assertion | None:
+    """Exchange two distinct signals throughout the property (misgrounding)."""
+    names = sorted({n.name for n in a.prop.walk()
+                    if isinstance(n, Identifier)
+                    and n.name not in ("clk", "tb_reset", "reset_")})
+    if len(names) < 2:
+        return None
+    x, y = rng.sample(names, 2)
+
+    def fn(node):
+        if isinstance(node, Identifier):
+            if node.name == x:
+                return Identifier(y)
+            if node.name == y:
+                return Identifier(x)
+        return node
+
+    from ..rtl.elaborate import rewrite
+    return _map_exprs(a, lambda e: rewrite(e, fn))
+
+
+#: Ordered by reliability at producing a *both-directions* inequivalence;
+#: monotone edits (and/or, constants) sit last because they often land in
+#: the partial tier instead.
+CORRUPT_TRANSFORMS = [corrupt_polarity, corrupt_implication_flip,
+                      corrupt_delay_off_by_one, corrupt_swap_signals,
+                      corrupt_bits_for_countones, corrupt_andor,
+                      corrupt_constant]
+
+
+def _deep_seq_rewrite(prop: PropNode, seq_fn) -> PropNode:
+    """Rewrite sequence nodes throughout a property tree."""
+    from dataclasses import fields, is_dataclass
+    from ..sva.ast_nodes import Node
+
+    def go(node):
+        if isinstance(node, SeqNode):
+            node = seq_fn(node)
+        if is_dataclass(node) and isinstance(node, Node) \
+                and not isinstance(node, Expr):
+            changes = {}
+            for f in fields(node):
+                v = getattr(node, f.name)
+                if isinstance(v, Node) and not isinstance(v, Expr):
+                    nv = go(v)
+                    if nv is not v:
+                        changes[f.name] = nv
+            if changes:
+                node = replace(node, **changes)
+        return node
+
+    return go(prop)
+
+
+# ---------------------------------------------------------------------------
+# Syntax breakage (text level)
+# ---------------------------------------------------------------------------
+
+
+def break_hallucinated_eventually(text: str, rng: random.Random) -> str:
+    """Wrap the last atom in a bare ``eventually(...)`` (Figure 7)."""
+    idx = text.rfind(")")
+    if idx < 0:
+        return text + " eventually"
+    # inject before the final closing parens of the property
+    head, tail = text[:idx], text[idx:]
+    cut = head.rfind(" ")
+    return head[:cut] + " eventually(" + head[cut + 1:] + ")" + tail
+
+
+def break_bad_delay(text: str, rng: random.Random) -> str:
+    """##N -> ##[N] (not a legal cycle_delay_range)."""
+    import re
+    m = re.search(r"##(\d+)", text)
+    if m:
+        return text[:m.start()] + f"##[{m.group(1)}]" + text[m.end():]
+    return text.replace("|->", "|-> ##[4]", 1)
+
+
+def break_unbalanced(text: str, rng: random.Random) -> str:
+    idx = text.rfind(")")
+    if idx > 0:
+        return text[:idx] + text[idx + 1:]
+    return text + "("
+
+def break_s_always(text: str, rng: random.Random) -> str:
+    """Hallucinate a bare ``s_always`` property operator."""
+    return text.replace("assert property (", "assert property (s_always ", 1)
+
+
+def break_sim_task(text: str, rng: random.Random) -> str:
+    """Use a simulation-only system task inside the assertion."""
+    idx = text.rfind(");")
+    if idx < 0:
+        return text
+    return text[:idx] + " && ($random % 2)" + text[idx:]
+
+
+SYNTAX_BREAKERS = [break_hallucinated_eventually, break_bad_delay,
+                   break_unbalanced, break_s_always, break_sim_task]
+
+
+# ---------------------------------------------------------------------------
+# Application helpers
+# ---------------------------------------------------------------------------
+
+
+def apply_style(a: Assertion, rng: random.Random, passes: int = 2) -> Assertion:
+    """Apply up to *passes* random style transforms (always succeeds)."""
+    for _ in range(passes):
+        transform = rng.choice(STYLE_TRANSFORMS)
+        out = transform(a, rng)
+        if out is not None:
+            a = out
+    return a
+
+
+def apply_partial(a: Assertion, rng: random.Random) -> Assertion | None:
+    """Apply one applicable partial-equivalence transform, or None."""
+    transforms = list(PARTIAL_TRANSFORMS)
+    rng.shuffle(transforms)
+    for transform in transforms:
+        out = transform(a, rng)
+        if out is not None:
+            return out
+    return None
+
+
+def apply_corrupt(a: Assertion, rng: random.Random) -> Assertion | None:
+    """Apply one applicable corruption, or None.
+
+    The reliable both-direction breakers (polarity, flipped implication,
+    signal swap, delay shift) are tried first; monotone edits only when
+    nothing else applies.
+    """
+    strong_pool = CORRUPT_TRANSFORMS[:4]
+    weak_pool = CORRUPT_TRANSFORMS[4:]
+    rng.shuffle(strong_pool)
+    rng.shuffle(weak_pool)
+    for transform in strong_pool + weak_pool:
+        out = transform(a, rng)
+        if out is not None:
+            return out
+    return None
+
+
+def apply_syntax_break(text: str, rng: random.Random) -> str:
+    """Corrupt *text* so the front end rejects it (verified)."""
+    broken = rng.choice(SYNTAX_BREAKERS)(text, rng)
+    from ..sva.parser import ParseError, parse_assertion
+    from ..sva.syntax import check_assertion_syntax
+    if check_assertion_syntax(broken).ok:
+        broken = break_unbalanced(broken, rng)
+    if check_assertion_syntax(broken).ok:
+        broken = broken.replace("assert property", "assert proprety", 1)
+    return broken
+
+
+def render(a: Assertion, rng: random.Random | None = None,
+           comment_prob: float = 0.5) -> str:
+    """Render an assertion as a fenced model response, optionally with the
+    kind of trailing comment the paper's models produce."""
+    body = unparse(a)
+    if rng is not None and rng.random() < comment_prob:
+        body = f"{body} {rng.choice(RESPONSE_COMMENTS)}"
+    return f"```systemverilog\n{body}\n```"

@@ -1,0 +1,215 @@
+"""Calibrated behavioral profiles for the simulated language models.
+
+Each profile encodes, per task, the probability partition over response
+outcome classes -- ``correct`` (formally equivalent), ``partial``
+(one-directional implication), ``wrong`` (parses but inequivalent), and
+``syntax`` (rejected by the front end) -- fitted to the rates the paper
+reports (Tables 1, 3, 5).  Sampling behaviour (how outcomes vary across
+n>1 samples at temperature) is controlled by the resample parameters:
+syntax errors are *flaky* (a resample usually fixes them; every model in
+Table 2/5 reaches syntax pass@5 ~= 1.0) while semantic errors are *sticky*
+(func pass@5 is only a few points above pass@1 on NL2SVA, but close to
+independent on Design2SVA).
+
+These are behavioural models of the paper's subjects, not reimplementations
+of them; see DESIGN.md ("Substitutions").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class OutcomeRates:
+    """Absolute outcome rates (fractions of all problems).
+
+    ``syntax`` is the syntax *pass* rate; ``func`` the full-equivalence rate;
+    ``partial`` the relaxed rate (includes func).  The implied partition is
+    correct = func, partial-only = partial - func, wrong = syntax - partial,
+    syntax-fail = 1 - syntax.
+    """
+
+    syntax: float
+    func: float
+    partial: float
+
+    def __post_init__(self):
+        assert 0.0 <= self.func <= self.partial <= self.syntax <= 1.0, self
+
+    @property
+    def p_partial_only(self) -> float:
+        return self.partial - self.func
+
+    @property
+    def p_wrong(self) -> float:
+        return self.syntax - self.partial
+
+    @property
+    def p_syntax_fail(self) -> float:
+        return 1.0 - self.syntax
+
+
+@dataclass(frozen=True)
+class DesignRates:
+    """Design2SVA @1 rates per design category."""
+
+    syntax: float
+    func: float  # proven rate
+
+    def __post_init__(self):
+        assert 0.0 <= self.func <= self.syntax <= 1.0, self
+
+
+@dataclass(frozen=True)
+class ModelProfile:
+    """Full behavioural profile of one simulated model."""
+
+    name: str
+    proprietary: bool
+    context_window: int
+    # NL2SVA-Human (Table 1 targets)
+    human: OutcomeRates = OutcomeRates(0.9, 0.4, 0.5)
+    # NL2SVA-Machine, 0-shot and 3-shot (Table 3 targets)
+    machine_0shot: OutcomeRates = OutcomeRates(0.9, 0.4, 0.5)
+    machine_3shot: OutcomeRates = OutcomeRates(0.9, 0.45, 0.55)
+    # Design2SVA @1 per category (Table 5 targets); None = not evaluated
+    design_pipeline: DesignRates | None = None
+    design_fsm: DesignRates | None = None
+    # resampling behaviour at temperature > 0
+    q_syntax_fix: float = 0.55   # P(resample escapes a syntax failure)
+    q_semantic_fix: float = 0.05  # P(resample upgrades wrong -> partial/corr)
+    q_partial_up: float = 0.04    # P(resample upgrades partial -> correct)
+    q_correct_down: float = 0.02  # P(resample degrades a correct answer)
+    style_passes: int = 2         # style-transform passes (BLEU variance)
+
+    def machine(self, shots: int) -> OutcomeRates:
+        return self.machine_3shot if shots >= 3 else self.machine_0shot
+
+    def design(self, category: str) -> DesignRates | None:
+        return self.design_pipeline if category == "pipeline" \
+            else self.design_fsm
+
+
+#: The model suite evaluated in the paper (Section 4.1).
+PROFILES: dict[str, ModelProfile] = {}
+
+
+def _register(profile: ModelProfile) -> ModelProfile:
+    PROFILES[profile.name] = profile
+    return profile
+
+
+GPT_4O = _register(ModelProfile(
+    name="gpt-4o",
+    proprietary=True,
+    context_window=128_000,
+    human=OutcomeRates(0.911, 0.456, 0.582),
+    machine_0shot=OutcomeRates(0.927, 0.430, 0.540),
+    machine_3shot=OutcomeRates(0.937, 0.467, 0.570),
+    design_pipeline=DesignRates(0.802, 0.104),
+    design_fsm=DesignRates(0.993, 0.373),
+    q_semantic_fix=0.03, q_partial_up=0.05,
+))
+
+GEMINI_15_PRO = _register(ModelProfile(
+    name="gemini-1.5-pro",
+    proprietary=True,
+    context_window=128_000,
+    human=OutcomeRates(0.810, 0.253, 0.380),
+    machine_0shot=OutcomeRates(0.467, 0.137, 0.203),
+    machine_3shot=OutcomeRates(0.880, 0.417, 0.517),
+    design_pipeline=DesignRates(0.665, 0.175),
+    design_fsm=DesignRates(0.950, 0.427),
+    q_syntax_fix=0.65,
+))
+
+GEMINI_15_FLASH = _register(ModelProfile(
+    name="gemini-1.5-flash",
+    proprietary=True,
+    context_window=128_000,
+    human=OutcomeRates(0.949, 0.380, 0.557),
+    machine_0shot=OutcomeRates(0.783, 0.377, 0.470),
+    machine_3shot=OutcomeRates(0.837, 0.397, 0.480),
+    design_pipeline=DesignRates(0.969, 0.025),
+    design_fsm=DesignRates(0.996, 0.079),
+    q_semantic_fix=0.04,
+))
+
+MIXTRAL_8X22B = _register(ModelProfile(
+    name="mixtral-8x22b",
+    proprietary=False,
+    context_window=64_000,
+    human=OutcomeRates(0.823, 0.190, 0.278),
+    machine_0shot=OutcomeRates(0.913, 0.327, 0.500),
+    machine_3shot=OutcomeRates(0.880, 0.430, 0.523),
+    design_pipeline=DesignRates(0.867, 0.119),
+    design_fsm=DesignRates(0.974, 0.054),
+))
+
+LLAMA_31_70B = _register(ModelProfile(
+    name="llama-3.1-70b",
+    proprietary=False,
+    context_window=128_000,
+    human=OutcomeRates(0.861, 0.291, 0.354),
+    machine_0shot=OutcomeRates(0.887, 0.303, 0.397),
+    machine_3shot=OutcomeRates(0.920, 0.457, 0.567),
+    design_pipeline=DesignRates(0.960, 0.167),
+    design_fsm=DesignRates(0.940, 0.231),
+    q_semantic_fix=0.08, q_partial_up=0.06,
+))
+
+LLAMA_3_70B = _register(ModelProfile(
+    name="llama-3-70b",
+    proprietary=False,
+    context_window=8_000,
+    human=OutcomeRates(0.899, 0.291, 0.506),
+    machine_0shot=OutcomeRates(0.863, 0.330, 0.430),
+    machine_3shot=OutcomeRates(0.860, 0.380, 0.503),
+    design_pipeline=None,  # 8K context: excluded from Design2SVA (Sec. 4.4)
+    design_fsm=None,
+))
+
+LLAMA_31_8B = _register(ModelProfile(
+    name="llama-3.1-8b",
+    proprietary=False,
+    context_window=128_000,
+    human=OutcomeRates(0.835, 0.203, 0.304),
+    machine_0shot=OutcomeRates(0.813, 0.320, 0.520),
+    # 3-shot *hurts* the 8B model (ICL distraction, Figure 8)
+    machine_3shot=OutcomeRates(0.840, 0.267, 0.370),
+    design_pipeline=DesignRates(0.904, 0.150),
+    design_fsm=DesignRates(0.906, 0.121),
+    q_syntax_fix=0.50,
+))
+
+LLAMA_3_8B = _register(ModelProfile(
+    name="llama-3-8b",
+    proprietary=False,
+    context_window=8_000,
+    human=OutcomeRates(0.747, 0.063, 0.215),
+    machine_0shot=OutcomeRates(0.673, 0.187, 0.320),
+    machine_3shot=OutcomeRates(0.827, 0.240, 0.397),
+    design_pipeline=None,
+    design_fsm=None,
+))
+
+#: Table 1 / Table 3 row order.
+TABLE_MODELS = ["gpt-4o", "gemini-1.5-pro", "gemini-1.5-flash",
+                "mixtral-8x22b", "llama-3.1-70b", "llama-3-70b",
+                "llama-3.1-8b", "llama-3-8b"]
+
+#: Table 2 / Table 4 (multi-sample) model subset.
+SAMPLING_MODELS = ["gpt-4o", "gemini-1.5-flash", "llama-3.1-70b"]
+
+#: Table 5 (Design2SVA) model subset -- >=32K context only.
+DESIGN_MODELS = ["gpt-4o", "gemini-1.5-pro", "gemini-1.5-flash",
+                 "mixtral-8x22b", "llama-3.1-70b", "llama-3.1-8b"]
+
+
+def get_profile(name: str) -> ModelProfile:
+    try:
+        return PROFILES[name]
+    except KeyError:
+        raise KeyError(f"unknown model {name!r}; available: "
+                       f"{sorted(PROFILES)}") from None

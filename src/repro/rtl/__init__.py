@@ -1,0 +1,21 @@
+"""RTL front end: parsing, elaboration and simulation of the SystemVerilog
+subset used by the benchmark's designs and formal testbenches."""
+
+from .ast_nodes import ModuleDecl, SourceFile
+from .elaborate import (
+    Design,
+    ElaborationError,
+    const_eval,
+    elaborate,
+    reset_inactive_value,
+    rewrite,
+    substitute,
+)
+from .parser import RtlParser, parse_rtl, preprocess
+from .simulator import Simulator, derive_init
+
+__all__ = [
+    "Design", "ElaborationError", "ModuleDecl", "RtlParser", "Simulator",
+    "SourceFile", "const_eval", "derive_init", "elaborate", "parse_rtl",
+    "preprocess", "reset_inactive_value", "rewrite", "substitute",
+]

@@ -1,0 +1,164 @@
+"""AST nodes for the synthesizable SystemVerilog subset.
+
+Covers the constructs exercised by the benchmark's designs and testbenches:
+non-ANSI and ANSI module headers, parameters/localparams, packed (1-D/2-D)
+and unpacked signal declarations, continuous assigns, ``always`` /
+``always_ff`` / ``always_comb`` blocks with if/case statements, generate-for
+loops over genvars, module instantiation with parameter overrides, and
+concurrent assertion items.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..sva.ast_nodes import Assertion, Expr
+
+
+@dataclass(frozen=True)
+class Range:
+    """A packed/unpacked range ``[msb:lsb]`` (expressions, pre-elaboration)."""
+
+    msb: Expr
+    lsb: Expr
+
+
+@dataclass
+class ParamDecl:
+    name: str
+    value: Expr
+    local: bool = False
+
+
+@dataclass
+class PortDecl:
+    """Direction declaration (``input [W-1:0] x;``), possibly with a net kind
+    (``output reg ...``)."""
+
+    direction: str  # input | output | inout
+    names: list[str]
+    packed: list[Range] = field(default_factory=list)
+    kind: str | None = None  # reg | wire | logic
+    signed: bool = False
+
+
+@dataclass
+class NetDecl:
+    kind: str  # wire | reg | logic | integer | genvar
+    names: list[str]
+    packed: list[Range] = field(default_factory=list)
+    unpacked: dict[str, list[Range]] = field(default_factory=dict)
+    signed: bool = False
+
+
+# -- statements --------------------------------------------------------------
+
+
+@dataclass
+class Stmt:
+    pass
+
+
+@dataclass
+class Block(Stmt):
+    stmts: list[Stmt]
+    label: str | None = None
+
+
+@dataclass
+class AssignStmt(Stmt):
+    lhs: Expr  # Identifier | Index | RangeSelect | Concat
+    rhs: Expr
+    blocking: bool = True
+
+
+@dataclass
+class IfStmt(Stmt):
+    cond: Expr
+    then_body: Stmt
+    else_body: Stmt | None = None
+
+
+@dataclass
+class CaseItem:
+    labels: list[Expr] | None  # None = default
+    body: Stmt
+
+
+@dataclass
+class CaseStmt(Stmt):
+    subject: Expr
+    items: list[CaseItem]
+    kind: str = "case"  # case | casez | casex
+
+
+@dataclass
+class NullStmt(Stmt):
+    pass
+
+
+# -- module items --------------------------------------------------------------
+
+
+@dataclass
+class SensItem:
+    edge: str  # 'posedge' | 'negedge' | '' (level) | '*'
+    signal: str
+
+
+@dataclass
+class AlwaysBlock:
+    kind: str  # always | always_ff | always_comb | always_latch
+    sensitivity: list[SensItem]
+    body: Stmt
+
+
+@dataclass
+class ContinuousAssign:
+    lhs: Expr
+    rhs: Expr
+
+
+@dataclass
+class GenerateFor:
+    genvar: str
+    start: Expr
+    cond: Expr
+    step: Expr  # value added each iteration (normalized from i++ / i=i+1)
+    items: list
+    label: str | None = None
+
+
+@dataclass
+class Instance:
+    module: str
+    name: str
+    param_overrides: dict[str, Expr] = field(default_factory=dict)
+    connections: dict[str, Expr] = field(default_factory=dict)  # .port(expr)
+
+
+@dataclass
+class AssertionItem:
+    assertion: Assertion
+    source_text: str = ""
+
+
+@dataclass
+class ModuleDecl:
+    name: str
+    port_order: list[str] = field(default_factory=list)
+    params: list[ParamDecl] = field(default_factory=list)
+    ports: list[PortDecl] = field(default_factory=list)
+    nets: list[NetDecl] = field(default_factory=list)
+    assigns: list[ContinuousAssign] = field(default_factory=list)
+    always_blocks: list[AlwaysBlock] = field(default_factory=list)
+    generates: list[GenerateFor] = field(default_factory=list)
+    instances: list[Instance] = field(default_factory=list)
+    assertions: list[AssertionItem] = field(default_factory=list)
+    items: list = field(default_factory=list)  # all items, in source order
+
+
+@dataclass
+class SourceFile:
+    modules: dict[str, ModuleDecl]
+    defines: dict[str, str]

@@ -1,0 +1,65 @@
+"""SVA front end: lexer, parser, AST, syntax validation, unparser.
+
+This package is the reproduction of the *front end* role JasperGold plays in
+FVEval: deciding whether a model-generated SystemVerilog assertion is
+syntactically legal, and producing the AST consumed by the formal engine
+(:mod:`repro.formal`).
+"""
+
+from .ast_nodes import (
+    AlwaysProp,
+    Assertion,
+    Binary,
+    ClockingEvent,
+    Concat,
+    Delay,
+    Expr,
+    FirstMatch,
+    Identifier,
+    IfElseProp,
+    Implication,
+    Index,
+    Nexttime,
+    Node,
+    Number,
+    PropBinary,
+    PropNode,
+    PropNot,
+    PropSeq,
+    RangeSelect,
+    Repetition,
+    Replication,
+    SeqBinary,
+    SeqExpr,
+    SeqNode,
+    SEventually,
+    StrongWeak,
+    SystemCall,
+    Ternary,
+    Unary,
+    Until,
+    signals_of,
+)
+from .lexer import LexError, Token, TokKind, strip_code_fences, tokenize
+from .parser import (
+    ParseError,
+    Parser,
+    parse_assertion,
+    parse_expression,
+    parse_number,
+    parse_property,
+)
+from .syntax import SyntaxReport, check_assertion_syntax
+from .unparse import unparse
+
+__all__ = [
+    "AlwaysProp", "Assertion", "Binary", "ClockingEvent", "Concat", "Delay",
+    "Expr", "FirstMatch", "Identifier", "IfElseProp", "Implication", "Index",
+    "LexError", "Nexttime", "Node", "Number", "ParseError", "Parser",
+    "PropBinary", "PropNode", "PropNot", "PropSeq", "RangeSelect",
+    "Repetition", "Replication", "SeqBinary", "SeqExpr", "SeqNode",
+    "SEventually", "StrongWeak", "SyntaxReport", "SystemCall", "Ternary",
+    "TokKind", "Token", "Unary", "Until", "check_assertion_syntax",
+    "parse_assertion", "parse_expression", "parse_number", "parse_property",
+    "signals_of", "strip_code_fences", "tokenize", "unparse",
+]

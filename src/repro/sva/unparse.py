@@ -1,0 +1,205 @@
+"""Canonical text rendering of SVA ASTs.
+
+``unparse(node)`` produces text that re-parses to an identical tree (modulo
+redundant parentheses); used by the perturbation library to materialize model
+responses and by report generation.
+"""
+
+from __future__ import annotations
+
+from .ast_nodes import (
+    AlwaysProp,
+    Assertion,
+    Binary,
+    Concat,
+    Delay,
+    Expr,
+    FirstMatch,
+    Identifier,
+    IfElseProp,
+    Implication,
+    Index,
+    Nexttime,
+    Node,
+    Number,
+    PropBinary,
+    PropNode,
+    PropNot,
+    PropSeq,
+    RangeSelect,
+    Repetition,
+    Replication,
+    SeqBinary,
+    SeqExpr,
+    SeqNode,
+    SEventually,
+    StrongWeak,
+    SystemCall,
+    Ternary,
+    Unary,
+    Until,
+)
+
+
+def unparse(node: Node) -> str:
+    """Render any AST node back to SystemVerilog text."""
+    if isinstance(node, Assertion):
+        return _assertion(node)
+    if isinstance(node, PropNode):
+        return _prop(node)
+    if isinstance(node, SeqNode):
+        return _seq(node)
+    if isinstance(node, Expr):
+        return _expr(node)
+    raise TypeError(f"cannot unparse {type(node).__name__}")
+
+
+def _assertion(a: Assertion) -> str:
+    parts = []
+    if a.clocking is not None:
+        edge = f"{a.clocking.edge} " if a.clocking.edge else ""
+        parts.append(f"@({edge}{_expr(a.clocking.signal)})")
+    if a.disable is not None:
+        parts.append(f"disable iff ({_expr(a.disable)})")
+    parts.append(_prop(a.prop))
+    body = " ".join(parts)
+    label = f"{a.label}: " if a.label else ""
+    return f"{label}{a.kind} property ({body});"
+
+
+def _prop(p: PropNode) -> str:
+    if isinstance(p, PropSeq):
+        return _seq(p.seq)
+    if isinstance(p, Implication):
+        arrow = "|->" if p.overlapping else "|=>"
+        return f"{_seq_paren(p.antecedent)} {arrow} {_prop_paren(p.consequent)}"
+    if isinstance(p, PropNot):
+        return f"not ({_prop(p.operand)})"
+    if isinstance(p, PropBinary):
+        return f"({_prop(p.left)}) {p.op} ({_prop(p.right)})"
+    if isinstance(p, StrongWeak):
+        kw = "strong" if p.strong else "weak"
+        return f"{kw}({_seq(p.seq)})"
+    if isinstance(p, SEventually):
+        return f"s_eventually ({_prop(p.operand)})"
+    if isinstance(p, Until):
+        kw = ("s_" if p.strong else "") + "until" + ("_with" if p.with_overlap else "")
+        return f"({_prop(p.left)}) {kw} ({_prop(p.right)})"
+    if isinstance(p, Nexttime):
+        kw = "s_nexttime" if p.strong else "nexttime"
+        rng = f" [{p.offset}]" if p.offset != 1 else ""
+        return f"{kw}{rng} ({_prop(p.operand)})"
+    if isinstance(p, AlwaysProp):
+        return f"always ({_prop(p.operand)})"
+    if isinstance(p, IfElseProp):
+        s = f"if ({_expr(p.cond)}) ({_prop(p.if_true)})"
+        if p.if_false is not None:
+            s += f" else ({_prop(p.if_false)})"
+        return s
+    raise TypeError(f"unknown property node {type(p).__name__}")
+
+
+def _prop_paren(p: PropNode) -> str:
+    if isinstance(p, PropSeq):
+        return _seq_paren(p.seq)
+    return _prop(p)
+
+
+def _seq(s: SeqNode) -> str:
+    if isinstance(s, SeqExpr):
+        return _expr(s.expr)
+    if isinstance(s, Delay):
+        rng = _delay_range(s.lo, s.hi)
+        rhs = _seq_paren(s.rhs)
+        if s.lhs is None:
+            return f"{rng} {rhs}"
+        return f"{_seq_paren(s.lhs)} {rng} {rhs}"
+    if isinstance(s, Repetition):
+        rng = _rep_range(s.lo, s.hi)
+        return f"{_seq_paren(s.seq)} [{s.kind}{rng}]"
+    if isinstance(s, SeqBinary):
+        return f"({_seq(s.left)}) {s.op} ({_seq(s.right)})"
+    if isinstance(s, FirstMatch):
+        return f"first_match({_seq(s.seq)})"
+    raise TypeError(f"unknown sequence node {type(s).__name__}")
+
+
+def _seq_paren(s: SeqNode) -> str:
+    if isinstance(s, SeqExpr):
+        return _expr_paren(s.expr)
+    if isinstance(s, (FirstMatch,)):
+        return _seq(s)
+    return f"({_seq(s)})"
+
+
+def _delay_range(lo: int, hi: int | None) -> str:
+    if hi is None:
+        return f"##[{lo}:$]"
+    if hi == lo:
+        return f"##{lo}"
+    return f"##[{lo}:{hi}]"
+
+
+def _rep_range(lo: int, hi: int | None) -> str:
+    if hi is None:
+        return f"{lo}:$"
+    if hi == lo:
+        return f"{lo}"
+    return f"{lo}:{hi}"
+
+
+_NEEDS_PARENS = (Binary, Ternary)
+
+
+def _expr_paren(e: Expr) -> str:
+    if isinstance(e, _NEEDS_PARENS):
+        return f"({_expr(e)})"
+    return _expr(e)
+
+
+def _expr(e: Expr) -> str:
+    if isinstance(e, Identifier):
+        return e.name
+    if isinstance(e, Number):
+        if e.text:
+            return e.text
+        if e.is_fill:
+            return f"'{e.fill_bit}"
+        if e.width is not None:
+            return f"{e.width}'{e.base}{_fmt_value(e.value, e.base)}"
+        return str(e.value)
+    if isinstance(e, Unary):
+        # nested unaries must be parenthesized: '|(|x)' would otherwise
+        # render as '||x' and re-lex as the logical-or operator
+        if isinstance(e.operand, Unary):
+            return f"{e.op}({_expr(e.operand)})"
+        return f"{e.op}{_expr_paren(e.operand)}"
+    if isinstance(e, Binary):
+        return f"{_expr_paren(e.left)} {e.op} {_expr_paren(e.right)}"
+    if isinstance(e, Ternary):
+        return (f"{_expr_paren(e.cond)} ? {_expr_paren(e.if_true)} : "
+                f"{_expr_paren(e.if_false)}")
+    if isinstance(e, SystemCall):
+        args = ", ".join(_expr(a) for a in e.args)
+        return f"{e.name}({args})" if e.args else e.name
+    if isinstance(e, Concat):
+        return "{" + ", ".join(_expr(p) for p in e.parts) + "}"
+    if isinstance(e, Replication):
+        return "{" + _expr(e.count) + "{" + _expr(e.value) + "}}"
+    if isinstance(e, Index):
+        return f"{_expr_paren(e.base)}[{_expr(e.index)}]"
+    if isinstance(e, RangeSelect):
+        return f"{_expr_paren(e.base)}[{_expr(e.msb)}:{_expr(e.lsb)}]"
+    raise TypeError(f"unknown expression node {type(e).__name__}")
+
+
+def _fmt_value(value: int | None, base: str) -> str:
+    if value is None:
+        return "x"
+    if base == "b":
+        return format(value, "b")
+    if base == "h":
+        return format(value, "x")
+    if base == "o":
+        return format(value, "o")
+    return str(value)

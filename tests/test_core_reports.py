@@ -1,0 +1,35 @@
+"""Report-layer tests (table rendering, figure series)."""
+
+from repro.core.reports import (
+    Table, figure3_machine_lengths, figure4_design_complexity,
+    render_histogram, table1_nl2sva_human,
+)
+
+
+class TestTableRendering:
+    def test_render_alignment(self):
+        t = Table("T", ["a", "bbbb"], rows=[["x", 0.123456], ["yy", 1.0]])
+        text = t.render()
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "0.123" in text and "1.000" in text
+
+    def test_table1_row_shape(self):
+        t = table1_nl2sva_human(models=["gpt-4o"], limit=10)
+        assert len(t.rows) == 1
+        assert len(t.rows[0]) == 5
+
+
+class TestFigures:
+    def test_machine_lengths_count(self):
+        d = figure3_machine_lengths(count=20)
+        assert len(d["nl_lengths"]) == 20
+
+    def test_design_complexity_categories(self):
+        d = figure4_design_complexity(count=4)
+        assert set(d) == {"pipeline", "fsm"}
+
+    def test_histogram_rendering(self):
+        text = render_histogram([1, 2, 2, 3, 10], bins=3, label="L")
+        assert text.startswith("L")
+        assert "#" in text

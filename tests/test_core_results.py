@@ -1,0 +1,63 @@
+"""Result persistence round-trip tests."""
+
+import pytest
+
+from repro.core.results import load_records, merge_runs, save_records
+from repro.core.runner import RunConfig, RunResult, run_model_on_task
+from repro.core.tasks import Nl2SvaHumanTask
+
+
+class TestPersistence:
+    def test_round_trip(self, human_task, tmp_path):
+        res = run_model_on_task("gpt-4o", human_task, RunConfig(limit=6))
+        path = tmp_path / "run.jsonl"
+        n = save_records(res, path)
+        assert n == 6
+        loaded = load_records(path)
+        assert loaded.model == "gpt-4o"
+        assert loaded.func_rate == res.func_rate
+        assert loaded.syntax_rate == res.syntax_rate
+        assert [r.problem_id for r in loaded.records] == \
+            [r.problem_id for r in res.records]
+
+    def test_rejects_foreign_file(self, tmp_path):
+        p = tmp_path / "x.jsonl"
+        p.write_text('{"hello": 1}\n')
+        with pytest.raises(ValueError):
+            load_records(p)
+
+    def test_merge_runs(self):
+        a = RunResult(model="m1", task="t")
+        b = RunResult(model="m2", task="t")
+        merged = merge_runs([a, b])
+        assert set(merged) == {"m1", "m2"}
+
+
+class TestCli:
+    def test_equiv_command(self, capsys):
+        from repro.__main__ import main
+        code = main(["equiv",
+                     "assert property (@(posedge clk) a);",
+                     "assert property (@(posedge clk) a);"])
+        assert code == 0
+        assert "equivalent" in capsys.readouterr().out
+
+    def test_generate_command(self, capsys):
+        from repro.__main__ import main
+        assert main(["generate", "pipeline", "--seed", "2"]) == 0
+        assert "module pipeline" in capsys.readouterr().out
+
+    def test_verify_command(self, tmp_path, capsys):
+        from repro.__main__ import main
+        src = tmp_path / "d.sv"
+        src.write_text("""
+module m; input clk, reset_, a; output reg q;
+always @(posedge clk) begin
+  if (!reset_) q <= 1'b0; else q <= a;
+end
+p_hold: assert property (@(posedge clk) disable iff (!reset_)
+  a |-> ##1 q);
+endmodule
+""")
+        assert main(["verify", str(src)]) == 0
+        assert "proven" in capsys.readouterr().out

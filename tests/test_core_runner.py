@@ -1,0 +1,74 @@
+"""Runner/aggregation tests, including calibration against profile targets."""
+
+import pytest
+
+from repro.core.runner import RunConfig, RunResult, run_model_on_task
+from repro.core.tasks import EvalRecord, Nl2SvaHumanTask, Nl2SvaMachineTask
+from repro.models.profiles import get_profile
+
+
+class TestAggregation:
+    def _result(self):
+        res = RunResult(model="m", task="t")
+        for pid in ("p1", "p2"):
+            for i in range(4):
+                res.records.append(EvalRecord(
+                    task="t", model="m", problem_id=pid, sample_idx=i,
+                    response="", syntax_ok=True,
+                    func=(pid == "p1" and i < 2), partial=(pid == "p1")))
+        return res
+
+    def test_greedy_rates_use_first_sample(self):
+        res = self._result()
+        assert res.func_rate == 0.5
+        assert res.partial_rate == 0.5
+        assert res.syntax_rate == 1.0
+
+    def test_pass_at_k(self):
+        res = self._result()
+        assert res.func_at(4) == 0.5  # p1 always has a pass, p2 never
+        assert res.func_at(1) == pytest.approx((2 / 4) / 2)
+
+    def test_pass_at_monotone(self):
+        res = self._result()
+        assert res.func_at(2) <= res.func_at(3) <= res.func_at(4)
+
+
+class TestCalibration:
+    def test_human_rates_near_targets(self, human_task):
+        res = run_model_on_task("gpt-4o", human_task)
+        target = get_profile("gpt-4o").human
+        n = len(human_task.problems())
+        assert res.syntax_rate == pytest.approx(target.syntax, abs=1.5 / n)
+        assert res.func_rate == pytest.approx(target.func, abs=4 / n)
+        assert res.partial_rate == pytest.approx(target.partial, abs=6 / n)
+
+    def test_machine_icl_gain_for_large_models(self):
+        task = Nl2SvaMachineTask(count=60)
+        r0 = run_model_on_task("gemini-1.5-pro", task, RunConfig(shots=0))
+        r3 = run_model_on_task("gemini-1.5-pro", task, RunConfig(shots=3))
+        assert r3.func_rate > r0.func_rate
+
+    def test_machine_icl_distraction_for_8b(self):
+        task = Nl2SvaMachineTask(count=60)
+        r0 = run_model_on_task("llama-3.1-8b", task, RunConfig(shots=0))
+        r3 = run_model_on_task("llama-3.1-8b", task, RunConfig(shots=3))
+        assert r3.func_rate < r0.func_rate
+
+    def test_partial_always_superset_of_func(self, human_task):
+        res = run_model_on_task("gemini-1.5-flash", human_task,
+                                RunConfig(limit=30))
+        for r in res.records:
+            if r.func:
+                assert r.partial
+
+    def test_limit_respected(self, human_task):
+        res = run_model_on_task("gpt-4o", human_task, RunConfig(limit=5))
+        assert len({r.problem_id for r in res.records}) == 5
+
+    def test_sampling_improves_pass_at_5(self, human_task):
+        res = run_model_on_task(
+            "gpt-4o", human_task,
+            RunConfig(n_samples=5, temperature=0.8, limit=40))
+        assert res.syntax_at(5) >= res.syntax_at(1)
+        assert res.func_at(5) >= res.func_at(1)

@@ -1,0 +1,94 @@
+"""Cross-validation: independent implementations must agree.
+
+The strongest correctness evidence in the repo: the concrete simulator
+(IntBackend over the elaborated design) and the prover's symbolic unrolling
+(AigBackend + UnrolledSource) implement RTL semantics twice, through
+disjoint code paths.  Replaying the simulator's input stimulus through the
+symbolic unroll must reproduce every signal at every cycle.
+"""
+
+import random
+
+import pytest
+
+from repro.datasets.design2sva.fsm_gen import FsmConfig, generate_fsm
+from repro.datasets.design2sva.pipeline_gen import (
+    PipelineConfig, generate_pipeline,
+)
+from repro.formal.aig import AIG
+from repro.formal.prover import UnrolledSource
+from repro.rtl.elaborate import elaborate
+from repro.rtl.simulator import Simulator
+
+
+def _cross_check(design, cycles=6, seed=0, signals=None):
+    sim = Simulator(design, seed=seed)
+    sim.reset(cycles=2)
+    # concrete run with recorded random inputs (reset released)
+    stimulus = []
+    rng = random.Random(seed * 31 + 7)
+    for _ in range(cycles):
+        frame_in = {}
+        for name in design.inputs:
+            if name in design.resets:
+                continue
+            frame_in[name] = rng.getrandbits(design.widths[name])
+        stimulus.append(frame_in)
+        sim.step(frame_in)
+    # symbolic unroll from the derived init; assign the same stimulus
+    from repro.rtl.simulator import derive_init
+    derive_init(design)
+    aig = AIG()
+    source = UnrolledSource(aig, design, free_init=False)
+    check_signals = signals or [s for s in design.widths
+                                if not s.startswith("__")]
+    lits = []
+    keys = []
+    for t in range(cycles):
+        for name in check_signals:
+            bits, w = source.read(name, t)
+            lits.extend(bits)
+            keys.append((name, t, w))
+    assignment = {}
+    for (name, t), bits in source.input_vars.items():
+        value = stimulus[t].get(name, 0) if t < cycles else 0
+        for i, lit in enumerate(bits):
+            assignment[lit] = bool((value >> i) & 1)
+    values = aig.simulate(assignment, lits)
+    # compare against the concrete frames (offset by the 2 reset cycles)
+    pos = 0
+    for name, t, w in keys:
+        symbolic = 0
+        for i in range(w):
+            if values[pos + i]:
+                symbolic |= 1 << i
+        pos += w
+        concrete = sim.history[2 + t].get(name, 0)
+        assert symbolic == concrete, (name, t, symbolic, concrete)
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_fsm_designs_agree(seed):
+    gen = generate_fsm(FsmConfig(n_states=4 + seed % 3, n_edges=6,
+                                 width=8, seed=seed))
+    design = elaborate(gen.source, top="fsm")
+    _cross_check(design, cycles=6, seed=seed)
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_pipeline_designs_agree(seed):
+    gen = generate_pipeline(PipelineConfig(n_units=2, width=8, seed=seed))
+    design = elaborate(gen.source, top="pipeline")
+    _cross_check(design, cycles=5, seed=seed)
+
+
+def test_fifo_testbench_agrees():
+    from repro.datasets.nl2sva_human.corpus import testbench_source as tb
+    design = elaborate(tb("fifo_1r1w"), overrides={"DATA_WIDTH": 2})
+    _cross_check(design, cycles=6, seed=11)
+
+
+def test_ram_testbench_agrees():
+    from repro.datasets.nl2sva_human.corpus import testbench_source as tb
+    design = elaborate(tb("ram_1r1w"))
+    _cross_check(design, cycles=5, seed=3)

@@ -1,0 +1,69 @@
+"""Corpus integrity tests: every one of the 79 items must be fully valid."""
+
+import pytest
+
+from repro.datasets.nl2sva_human import corpus
+from repro.formal.equivalence import Verdict, check_equivalence
+from repro.rtl.elaborate import elaborate
+from repro.sva.syntax import check_assertion_syntax
+
+ALL = corpus.problems()
+TBS = corpus.testbench_names()
+
+
+class TestComposition:
+    def test_total_is_79(self):
+        assert len(ALL) == 79
+
+    def test_thirteen_testbenches(self):
+        assert len(TBS) == 13
+
+    def test_table6_composition(self):
+        stats = corpus.corpus_stats()
+        assert stats["1R1W FIFO"] == {"variations": 4, "assertions": 20}
+        assert stats["Multi-Port FIFO"]["assertions"] == 6
+        assert stats["Arbiter"] == {"variations": 4, "assertions": 37}
+        assert stats["FSM"]["assertions"] == 4
+        assert stats["Counter"]["assertions"] == 5
+        assert stats["RAM"]["assertions"] == 7
+        assert stats["Total"] == {"variations": 13, "assertions": 79}
+
+    def test_unique_ids(self):
+        ids = [p.problem_id for p in ALL]
+        assert len(set(ids)) == len(ids)
+
+    def test_filters(self):
+        assert all(p.category == "fifo"
+                   for p in corpus.problems(category="fifo"))
+        assert len(corpus.problems(testbench="fifo_1r1w")) == 5
+
+
+@pytest.mark.parametrize("tb", TBS)
+def test_testbench_elaborates(tb):
+    design = elaborate(corpus.testbench_source(tb))
+    assert design.widths
+    assert not design.warnings, design.warnings
+    assert "tb_reset" in design.widths
+
+
+@pytest.mark.parametrize("problem", ALL, ids=lambda p: p.problem_id)
+def test_reference_is_valid(problem):
+    design = elaborate(corpus.testbench_source(problem.testbench))
+    report = check_assertion_syntax(problem.reference,
+                                    signal_widths=design.widths,
+                                    params=design.params)
+    assert report.ok, report.errors
+
+
+@pytest.mark.parametrize("problem", ALL[::4], ids=lambda p: p.problem_id)
+def test_reference_self_equivalence(problem):
+    design = elaborate(corpus.testbench_source(problem.testbench))
+    result = check_equivalence(problem.reference, problem.reference,
+                               design.widths, params=design.params)
+    assert result.verdict is Verdict.EQUIVALENT
+
+
+def test_question_text_mentions_signals():
+    p = corpus.problems(testbench="fifo_1r1w")[0]
+    assert "Create a SVA assertion that checks:" in p.question_text
+    assert "'rd_pop'" in p.question_text

@@ -1,0 +1,87 @@
+"""Metric tests: pass@k math, BLEU properties, correlation."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.eval.metrics import (
+    corpus_bleu, mean, pass_at_k, pearson_corr, sentence_bleu, sva_tokens,
+)
+
+
+class TestPassAtK:
+    def test_known_values(self):
+        assert pass_at_k(5, 0, 1) == 0.0
+        assert pass_at_k(5, 5, 1) == 1.0
+        assert pass_at_k(5, 1, 1) == pytest.approx(0.2)
+        assert pass_at_k(5, 1, 5) == 1.0
+        assert pass_at_k(10, 3, 5) == pytest.approx(
+            1 - math.comb(7, 5) / math.comb(10, 5))
+
+    def test_k_clamped_to_n(self):
+        assert pass_at_k(3, 1, 10) == 1.0 - math.comb(2, 3) / math.comb(3, 3) \
+            if False else pass_at_k(3, 1, 10) == pass_at_k(3, 1, 3)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            pass_at_k(3, 4, 1)
+        with pytest.raises(ValueError):
+            pass_at_k(3, 1, 0)
+
+    @given(st.integers(1, 20), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_in_k_and_c(self, n, data):
+        c = data.draw(st.integers(0, n))
+        k = data.draw(st.integers(1, n))
+        p = pass_at_k(n, c, k)
+        assert 0.0 <= p <= 1.0
+        if k < n:
+            assert pass_at_k(n, c, k + 1) >= p - 1e-12
+        if c < n:
+            assert pass_at_k(n, c + 1, k) >= p - 1e-12
+
+
+class TestBleu:
+    def test_identity_is_one(self):
+        text = "assert property (@(posedge clk) a |-> b);"
+        assert sentence_bleu(text, text) == pytest.approx(1.0)
+
+    def test_disjoint_is_zero(self):
+        assert sentence_bleu("alpha beta", "gamma delta") == 0.0
+
+    def test_partial_overlap_between(self):
+        ref = "assert property (@(posedge clk) a |-> b);"
+        cand = "assert property (@(posedge clk) a |-> c);"
+        v = sentence_bleu(cand, ref)
+        assert 0.0 < v < 1.0
+
+    def test_brevity_penalty(self):
+        ref = "a b c d e f g h"
+        short = "a b"
+        assert sentence_bleu(short, ref) < sentence_bleu(ref, ref)
+
+    def test_corpus_bleu_aggregates(self):
+        pairs = [("a b c d", "a b c d"), ("x y z w", "x y q w")]
+        v = corpus_bleu(pairs)
+        assert 0.0 < v <= 1.0
+
+    def test_empty_candidate(self):
+        assert sentence_bleu("", "a b") == 0.0
+
+    def test_fences_stripped(self):
+        assert sva_tokens("```systemverilog\na b\n```") == ["a", "b"]
+
+
+class TestHelpers:
+    def test_mean_empty(self):
+        assert mean([]) == 0.0
+
+    def test_pearson_perfect(self):
+        assert pearson_corr([1, 2, 3], [2, 4, 6]) == pytest.approx(1.0)
+
+    def test_pearson_inverse(self):
+        assert pearson_corr([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_pearson_degenerate(self):
+        assert pearson_corr([1, 1, 1], [1, 2, 3]) == 0.0

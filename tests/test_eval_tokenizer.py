@@ -1,0 +1,41 @@
+"""Tokenizer substitute tests."""
+
+from repro.eval.tokenizer import count_tokens, length_histogram, tokenize_text
+
+
+class TestTokenizer:
+    def test_common_words_single_token(self):
+        assert tokenize_text("the assert property") == \
+            ["the", "assert", "property"]
+
+    def test_long_word_chunked(self):
+        toks = tokenize_text("extraordinarily")
+        assert len(toks) > 1
+        assert "".join(toks) == "extraordinarily"
+
+    def test_code_symbols_tokenize(self):
+        toks = tokenize_text("a |-> ##2 b;")
+        assert "|" in toks and ";" in toks
+
+    def test_count_positive(self):
+        assert count_tokens("Create a SVA assertion that checks: x") > 5
+
+    def test_ratio_plausible_for_prose(self):
+        text = ("If both signals are high and the counter is at most five, "
+                "then the output must eventually hold")
+        ratio = count_tokens(text) / len(text)
+        assert 0.1 < ratio < 0.5
+
+
+class TestHistogram:
+    def test_buckets_cover_all(self):
+        values = list(range(100))
+        rows = length_histogram(values, bins=10)
+        assert sum(c for _l, _h, c in rows) == 100
+
+    def test_empty(self):
+        assert length_histogram([]) == []
+
+    def test_constant_values(self):
+        rows = length_histogram([5, 5, 5], bins=4)
+        assert sum(c for _l, _h, c in rows) == 3

@@ -1,0 +1,78 @@
+"""Tests for the AIG layer."""
+
+import itertools
+
+from repro.formal.aig import AIG, FALSE, TRUE, neg
+
+
+class TestConstruction:
+    def test_constants(self):
+        g = AIG()
+        assert g.and_(TRUE, TRUE) == TRUE
+        assert g.and_(TRUE, FALSE) == FALSE
+
+    def test_idempotent(self):
+        g = AIG()
+        a = g.new_input()
+        assert g.and_(a, a) == a
+
+    def test_complement_annihilates(self):
+        g = AIG()
+        a = g.new_input()
+        assert g.and_(a, neg(a)) == FALSE
+
+    def test_structural_hashing(self):
+        g = AIG()
+        a, b = g.new_input(), g.new_input()
+        assert g.and_(a, b) == g.and_(b, a)
+        size = len(g)
+        g.and_(a, b)
+        assert len(g) == size
+
+    def test_derived_gates_truth_tables(self):
+        g = AIG()
+        a, b, c = (g.new_input() for _ in range(3))
+        xor = g.xor_(a, b)
+        mux = g.mux_(c, a, b)
+        for va, vb, vc in itertools.product([False, True], repeat=3):
+            env = {a: va, b: vb, c: vc}
+            got_xor, got_mux = g.simulate(env, [xor, mux])
+            assert got_xor == (va ^ vb)
+            assert got_mux == (va if vc else vb)
+
+
+class TestCnf:
+    def _sat(self, g, lit):
+        from repro.formal.sat import solve_cnf
+        if lit == TRUE:
+            return True
+        if lit == FALSE:
+            return False
+        clauses, node2var, nv = g.to_cnf([lit])
+        clauses.append([g.cnf_literal(lit, node2var)])
+        return solve_cnf(nv, clauses).is_sat
+
+    def test_and_sat(self):
+        g = AIG()
+        a, b = g.new_input(), g.new_input()
+        assert self._sat(g, g.and_(a, b))
+
+    def test_contradiction_unsat(self):
+        g = AIG()
+        a, b = g.new_input(), g.new_input()
+        f = g.and_(g.xor_(a, b), g.xnor_(a, b))
+        assert not self._sat(g, f)
+
+    def test_xor_equivalence_unsat(self):
+        # (a & b) xor (b & a) must be UNSAT
+        g = AIG()
+        a, b = g.new_input(), g.new_input()
+        assert not self._sat(g, g.xor_(g.and_(a, b), g.and_(b, a)))
+
+    def test_cone_excludes_unrelated(self):
+        g = AIG()
+        a, b = g.new_input(), g.new_input()
+        g.and_(a, b)  # unrelated node
+        f = g.and_(a, a)
+        cone = g.cone([f])
+        assert (b >> 1) not in cone

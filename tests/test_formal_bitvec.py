@@ -1,0 +1,142 @@
+"""Bit-blaster tests: fixed cases plus symbolic-vs-concrete cross-checking."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.formal.aig import AIG
+from repro.formal.bitvec import (
+    AigBackend, EvalError, ExprEvaluator, FixedTraceSource, FreeSignalSource,
+    IntBackend,
+)
+from repro.sva.parser import parse_expression
+
+WIDTHS = {"a": 4, "b": 4, "c": 1, "d": 7, "e": 32}
+
+
+def concrete(text, trace, t=0, widths=WIDTHS):
+    ev = ExprEvaluator(IntBackend(), FixedTraceSource(trace, widths))
+    return ev.eval(parse_expression(text), t)
+
+
+def symbolic_equals_concrete(text, trace, t=0, widths=WIDTHS):
+    cv, cw = concrete(text, trace, t, widths)
+    aig = AIG()
+    src = FreeSignalSource(aig, widths)
+    sv, sw = ExprEvaluator(AigBackend(aig), src).eval(
+        parse_expression(text), t)
+    assert cw == sw
+    assign = {}
+    for (name, tt), bits in src._cache.items():
+        val = trace[name][tt] if tt >= 0 else 0
+        for i, lit in enumerate(bits):
+            assign[lit] = bool((val >> i) & 1)
+    got = aig.simulate(assign, list(sv))
+    assert sum(1 << i for i, bit in enumerate(got) if bit) == cv
+    return cv, cw
+
+
+TRACE = {"a": [5, 9], "b": [12, 3], "c": [1, 0], "d": [77, 1], "e": [1000, 2]}
+
+
+class TestConcreteSemantics:
+    @pytest.mark.parametrize("text,expected", [
+        ("a + b", (5 + 12) & 0xF),
+        ("a - b", (5 - 12) & 0xF),
+        ("a * b", (5 * 12) & 0xF),
+        ("a & b", 5 & 12),
+        ("a | b", 5 | 12),
+        ("a ^ b", 5 ^ 12),
+        ("~a", (~5) & 0xF),
+        ("-a", (-5) & 0xF),
+        ("a == 5", 1),
+        ("a != 5", 0),
+        ("a < b", 1),
+        ("a >= b", 0),
+        ("a << 2", (5 << 2) & 0xF),
+        ("a >> 1", 5 >> 1),
+        ("a <<< 2", (5 << 2) & 0xF),
+        ("a >>> 1", 5 >> 1),
+        ("!a", 0),
+        ("a && c", 1),
+        ("a || 0", 1),
+        ("&a", 0),
+        ("|a", 1),
+        ("^a", 0),            # 5 = 0b0101, even parity
+        ("$countones(a)", 2),
+        ("$onehot(a)", 0),
+        ("$onehot0(a)", 0),
+        ("{a, b}", (5 << 4) | 12),
+        ("{2{c}}", 3),
+        ("a[0]", 1),
+        ("a[3:1]", 2),
+        ("a ? b : d", 12),
+        ("a % 3", 5 % 3),
+        ("a / 2", 2),
+        ("d % 10", 7),
+    ])
+    def test_fixed(self, text, expected):
+        v, _w = concrete(text, TRACE)
+        assert v == expected, text
+
+    def test_fill_ones_adapts_width(self):
+        v, w = concrete("b == '1", TRACE)
+        assert (v, w) == (0, 1)
+        v, _ = concrete("d == '1", {"d": [127]})
+        assert v == 1
+
+    def test_unsized_is_32bit(self):
+        _v, w = concrete("a + 'd1", TRACE)
+        assert w == 32
+
+    def test_eq_extends_to_common_width(self):
+        v, _ = concrete("c == 1", TRACE)
+        assert v == 1
+
+    def test_shift_past_width_is_zero(self):
+        v, _ = concrete("a << 9", TRACE)
+        assert v == 0
+
+    def test_past_before_time_zero_is_zero(self):
+        v, _ = concrete("$past(a, 3)", TRACE, t=1)
+        assert v == 0
+
+    def test_rose_fell(self):
+        trace = {"c": [0, 1, 0]}
+        assert concrete("$rose(c)", trace, 1, {"c": 1})[0] == 1
+        assert concrete("$fell(c)", trace, 2, {"c": 1})[0] == 1
+        assert concrete("$rose(c)", trace, 2, {"c": 1})[0] == 0
+
+    def test_stable_changed(self):
+        trace = {"a": [5, 5, 6]}
+        assert concrete("$stable(a)", trace, 1, {"a": 4})[0] == 1
+        assert concrete("$changed(a)", trace, 2, {"a": 4})[0] == 1
+
+    def test_bits(self):
+        assert concrete("$bits(d)", TRACE)[0] == 7
+
+    def test_division_by_zero_convention(self):
+        v, w = concrete("a / (b - b)", TRACE)
+        assert v == (1 << w) - 1
+
+    def test_x_literal_rejected(self):
+        with pytest.raises(EvalError):
+            concrete("a == 4'bxxxx", TRACE)
+
+
+_EXPRS = st.sampled_from([
+    "a + b", "a - b", "a * b", "(a ^ b) & d", "a < b", "a == b",
+    "a <<< 3", "d >>> 2", "$countones(a ^ b)", "$onehot(a)", "{a, b}[5:2]",
+    "a ? (b + 1) : (b - 1)", "(a % 5) + (b / 3)", "~&a", "^d",
+    "(a && c) || !b", "{2{a}} == {b, a}", "$past(a) + b",
+    "(e >> 3) ^ (a << 1)", "-(a | b)",
+])
+
+
+@given(_EXPRS, st.integers(0, 2 ** 20))
+@settings(max_examples=200, deadline=None)
+def test_symbolic_matches_concrete(text, seed):
+    import random
+    rng = random.Random(seed)
+    trace = {s: [rng.getrandbits(w) for _ in range(2)]
+             for s, w in WIDTHS.items()}
+    symbolic_equals_concrete(text, trace, t=1)

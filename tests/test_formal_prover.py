@@ -1,0 +1,169 @@
+"""Prover tests: BMC counterexamples, k-induction proofs, COI, liveness."""
+
+import pytest
+
+from repro.formal.coi import assertion_roots, coi_stats, cone_of_influence
+from repro.formal.prover import Prover, has_unbounded_strong, prove_assertion
+from repro.rtl.elaborate import elaborate
+from repro.sva.parser import parse_assertion, parse_property
+
+COUNTER = """
+module m; input clk, reset_, en; output reg [3:0] q;
+always @(posedge clk) begin
+  if (!reset_) q <= 'd0;
+  else if (en) q <= q + 'd1;
+end
+endmodule
+"""
+
+
+@pytest.fixture(scope="module")
+def counter_design():
+    return elaborate(COUNTER)
+
+
+@pytest.fixture(scope="module")
+def fsm_design(fsm_design_source):
+    return elaborate(fsm_design_source, top="fsm")
+
+
+class TestVerdicts:
+    def test_invariant_proven(self, counter_design):
+        a = parse_assertion(
+            "assert property (@(posedge clk) disable iff (!reset_) "
+            "q <= 4'd15);")
+        r = prove_assertion(counter_design, a)
+        assert r.is_proven
+
+    def test_bounded_step_proven(self, counter_design):
+        a = parse_assertion(
+            "assert property (@(posedge clk) disable iff (!reset_) "
+            "(!en) |-> ##1 (q == $past(q)));")
+        r = prove_assertion(counter_design, a)
+        assert r.is_proven, (r.status, r.detail)
+
+    def test_false_invariant_cex(self, counter_design):
+        a = parse_assertion(
+            "assert property (@(posedge clk) disable iff (!reset_) "
+            "q != 4'd3);")
+        r = prove_assertion(counter_design, a)
+        assert r.status == "cex"
+        assert r.counterexample is not None
+
+    def test_fsm_transition_proven(self, fsm_design):
+        a = parse_assertion(
+            "assert property (@(posedge clk) disable iff (!reset_) "
+            "(state == 2'b00) |-> ##1 (state == 2'b10));",
+            params=fsm_design.params)
+        assert prove_assertion(fsm_design, a).is_proven
+
+    def test_fsm_bad_transition_cex(self, fsm_design):
+        a = parse_assertion(
+            "assert property (@(posedge clk) disable iff (!reset_) "
+            "(state == 2'b10) |-> ##1 (state == 2'b00));",
+            params=fsm_design.params)
+        assert prove_assertion(fsm_design, a).status == "cex"
+
+    def test_vacuous_flagged(self, fsm_design):
+        # the FSM never visits an antecedent that cannot occur
+        a = parse_assertion(
+            "assert property (@(posedge clk) disable iff (!reset_) "
+            "(state == 2'b01 && state == 2'b10) |-> ##1 (state == 2'b00));",
+            params=fsm_design.params)
+        r = prove_assertion(fsm_design, a)
+        assert r.is_proven and r.vacuous
+
+    def test_liveness_undetermined(self, counter_design):
+        a = parse_assertion(
+            "assert property (@(posedge clk) disable iff (!reset_) "
+            "en |-> strong(##[0:$] (q == 4'd0)));")
+        r = prove_assertion(counter_design, a)
+        assert r.status == "undetermined"
+
+    def test_hallucinated_signal_error(self, counter_design):
+        a = parse_assertion(
+            "assert property (@(posedge clk) ghost_sig |-> en);")
+        r = prove_assertion(counter_design, a)
+        assert r.status == "error"
+
+
+class TestEngineSelection:
+    def test_simulation_finds_easy_cex(self, counter_design):
+        a = parse_assertion(
+            "assert property (@(posedge clk) disable iff (!reset_) "
+            "q < 4'd2);")
+        r = Prover(counter_design).prove(a)
+        assert r.status == "cex" and r.engine == "simulation"
+
+    def test_prover_without_simulation_still_refutes(self, counter_design):
+        a = parse_assertion(
+            "assert property (@(posedge clk) disable iff (!reset_) "
+            "q < 4'd2);")
+        r = Prover(counter_design, use_simulation=False).prove(a)
+        assert r.status == "cex" and r.engine == "bmc"
+
+
+class TestCoi:
+    def test_control_assertion_prunes_datapath(self):
+        d = elaborate("""
+module m; input clk, reset_, v; input [31:0] x; output reg done;
+reg [31:0] acc;
+always @(posedge clk) begin
+  if (!reset_) begin done <= 0; acc <= 'd0; end
+  else begin done <= v; acc <= acc + x; end
+end
+endmodule""")
+        a = parse_assertion(
+            "assert property (@(posedge clk) disable iff (!reset_) "
+            "v |-> ##1 done);")
+        red = cone_of_influence(d, assertion_roots(a))
+        stats = coi_stats(d, red)
+        assert stats["bits_after"] < stats["bits_before"] / 4
+        assert "acc" not in red.widths
+        assert prove_assertion(d, a).is_proven
+
+
+class TestUnboundedStrongDetector:
+    @pytest.mark.parametrize("text,expected", [
+        ("a |-> strong(##[0:$] b)", True),
+        ("s_eventually a", True),
+        ("a s_until b", True),
+        ("a |-> strong(##[0:3] b)", False),
+        ("a |-> ##[0:$] b", False),
+        ("a until b", False),
+    ])
+    def test_detects(self, text, expected):
+        assert has_unbounded_strong(parse_property(text)) == expected
+
+
+class TestAssumptions:
+    @pytest.fixture(scope="class")
+    def fifo(self):
+        from repro.datasets.nl2sva_human.corpus import testbench_source
+        return elaborate(testbench_source("fifo_1r1w"))
+
+    def test_unconstrained_refutes(self, fifo):
+        a = parse_assertion(
+            "assert property (@(posedge clk) disable iff (tb_reset) "
+            "(fifo_empty && rd_pop) !== 1'b1);", params=fifo.params)
+        assert Prover(fifo).prove(a).status == "cex"
+
+    def test_assumption_enables_proof(self, fifo):
+        a = parse_assertion(
+            "assert property (@(posedge clk) disable iff (tb_reset) "
+            "(fifo_empty && rd_pop) !== 1'b1);", params=fifo.params)
+        assume = parse_assertion(
+            "assume property (@(posedge clk) disable iff (tb_reset) "
+            "fifo_empty |-> !(rd_vld && rd_ready));", params=fifo.params)
+        r = Prover(fifo).prove(a, assumes=(assume,))
+        assert r.is_proven, (r.status, r.detail)
+
+    def test_contradictory_assume_proves_vacuously(self, fifo):
+        a = parse_assertion(
+            "assert property (@(posedge clk) disable iff (tb_reset) "
+            "(fifo_empty && rd_pop) !== 1'b1);", params=fifo.params)
+        assume = parse_assertion(
+            "assume property (@(posedge clk) rd_vld && !rd_vld);",
+            params=fifo.params)
+        r = Prover(fifo).prove(a, assumes=(assume,))
+        assert r.is_proven  # empty environment: everything holds

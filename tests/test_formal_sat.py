@@ -1,0 +1,101 @@
+"""Tests for the CDCL SAT solver, including brute-force cross-checks."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.formal.sat import Solver, solve_cnf
+
+
+def brute_force_sat(nv, clauses):
+    for bits in itertools.product([False, True], repeat=nv):
+        if all(any(bits[abs(l) - 1] == (l > 0) for l in c) for c in clauses):
+            return True
+    return False
+
+
+class TestBasics:
+    def test_empty_formula_sat(self):
+        assert solve_cnf(1, []).is_sat
+
+    def test_unit(self):
+        r = solve_cnf(1, [[1]])
+        assert r.is_sat and r.model[1] is True
+
+    def test_conflict_units(self):
+        assert solve_cnf(1, [[1], [-1]]).is_unsat
+
+    def test_simple_unsat(self):
+        assert solve_cnf(2, [[1, 2], [1, -2], [-1, 2], [-1, -2]]).is_unsat
+
+    def test_clause_added_after_units(self):
+        # regression: clause falsified by level-0 units must still conflict
+        assert solve_cnf(2, [[-2], [-1], [2, 1]]).is_unsat
+
+    def test_duplicate_literals(self):
+        assert solve_cnf(1, [[1, 1]]).is_sat
+
+    def test_tautological_clause_ignored(self):
+        assert solve_cnf(1, [[1, -1], [-1]]).is_sat
+
+
+class TestAssumptions:
+    def test_assumption_blocks(self):
+        assert solve_cnf(2, [[1, 2]], assumptions=[-1, -2]).is_unsat
+
+    def test_assumption_narrows_model(self):
+        r = solve_cnf(2, [[1, 2]], assumptions=[-1])
+        assert r.is_sat and r.model[2] is True
+
+    def test_conflicting_assumption(self):
+        assert solve_cnf(1, [[1]], assumptions=[-1]).is_unsat
+
+
+class TestBudget:
+    def test_unknown_on_tiny_budget(self):
+        nv, clauses = _pigeonhole(6)
+        r = solve_cnf(nv, clauses, max_conflicts=3)
+        assert r.status == "unknown"
+
+
+def _pigeonhole(n):
+    clauses = []
+    for p in range(n + 1):
+        clauses.append([p * n + h + 1 for h in range(n)])
+    for h in range(n):
+        for p1 in range(n + 1):
+            for p2 in range(p1 + 1, n + 1):
+                clauses.append([-(p1 * n + h + 1), -(p2 * n + h + 1)])
+    return (n + 1) * n, clauses
+
+
+@pytest.mark.parametrize("n", [3, 4, 5])
+def test_pigeonhole_unsat(n):
+    nv, clauses = _pigeonhole(n)
+    assert solve_cnf(nv, clauses).is_unsat
+
+
+@given(st.data())
+@settings(max_examples=120, deadline=None)
+def test_random_cnf_matches_brute_force(data):
+    nv = data.draw(st.integers(1, 8))
+    n_clauses = data.draw(st.integers(0, 25))
+    clauses = []
+    for _ in range(n_clauses):
+        k = data.draw(st.integers(1, min(3, nv)))
+        vs = data.draw(st.lists(st.integers(1, nv), min_size=k, max_size=k,
+                                unique=True))
+        clauses.append([v * data.draw(st.sampled_from([1, -1])) for v in vs])
+    result = solve_cnf(nv, clauses)
+    assert result.is_sat == brute_force_sat(nv, clauses)
+    if result.is_sat:
+        assert all(any(result.model[abs(l)] == (l > 0) for l in c)
+                   for c in clauses)
+
+
+def test_solver_reusable_after_solve():
+    s = Solver(2, [[1, 2]])
+    assert s.solve([-1]).is_sat
+    assert s.solve([-2]).is_sat
+    assert s.solve([-1, -2]).is_unsat

@@ -1,0 +1,117 @@
+"""Tests for the bounded SVA trace semantics (concrete trace checking)."""
+
+import pytest
+
+from repro.formal.prover import check_trace
+from repro.sva.parser import parse_assertion
+
+W = {"clk": 1, "a": 1, "b": 1, "c": 1, "v": 4, "rst": 1}
+
+
+def holds(prop_text, trace, widths=W, first=0, last=None):
+    a = parse_assertion(f"assert property (@(posedge clk) {prop_text});")
+    violation = check_trace(a, trace, widths, first_attempt=first,
+                            last_attempt=last)
+    return violation is None, violation
+
+
+class TestBooleanAndDelay:
+    def test_invariant_holds(self):
+        ok, _ = holds("a", {"a": [1, 1, 1, 1]}, last=3)
+        assert ok
+
+    def test_invariant_violated_at_cycle(self):
+        ok, t = holds("a", {"a": [1, 1, 0, 1]}, last=3)
+        assert not ok and t == 2
+
+    def test_exact_delay(self):
+        ok, _ = holds("a |-> ##2 b", {"a": [1, 0, 0, 0], "b": [0, 0, 1, 0]},
+                      last=1)
+        assert ok
+
+    def test_exact_delay_violation(self):
+        ok, t = holds("a |-> ##2 b", {"a": [1, 0, 0, 0], "b": [0, 0, 0, 0]},
+                      last=1)
+        assert not ok and t == 0
+
+    def test_window_delay(self):
+        ok, _ = holds("a |-> ##[1:3] b",
+                      {"a": [1, 0, 0, 0, 0], "b": [0, 0, 0, 1, 0]}, last=1)
+        assert ok
+
+    def test_nonoverlapping(self):
+        ok, _ = holds("a |=> b", {"a": [1, 0, 0], "b": [0, 1, 0]}, last=1)
+        assert ok
+
+    def test_overlapping_same_cycle(self):
+        ok, _ = holds("a |-> b", {"a": [1, 0], "b": [1, 0]}, last=0)
+        assert ok
+
+
+class TestVacuity:
+    def test_vacuous_pass(self):
+        ok, _ = holds("a |-> ##1 b", {"a": [0, 0, 0], "b": [0, 0, 0]},
+                      last=1)
+        assert ok
+
+
+class TestRepetition:
+    def test_consecutive_repetition(self):
+        ok, _ = holds("a[*3] |-> b",
+                      {"a": [1, 1, 1, 0], "b": [0, 0, 1, 0]}, last=0)
+        assert ok
+
+    def test_consecutive_repetition_violation(self):
+        ok, _ = holds("a[*3] |-> b",
+                      {"a": [1, 1, 1, 0], "b": [0, 0, 0, 0]}, last=0)
+        assert not ok
+
+    def test_goto_repetition(self):
+        # b[->2] ends at the second occurrence of b
+        ok, _ = holds("a ##1 b[->2] |-> c",
+                      {"a": [1, 0, 0, 0, 0], "b": [0, 0, 1, 0, 1],
+                       "c": [0, 0, 0, 0, 1]}, last=0)
+        assert ok
+
+
+class TestStrength:
+    def test_strong_eventually_witnessed(self):
+        ok, _ = holds("a |-> strong(##[0:$] b)",
+                      {"a": [1, 0, 0, 0], "b": [0, 0, 1, 0]}, last=0)
+        assert ok
+
+    def test_weak_unbounded_never_refuted(self):
+        ok, _ = holds("a |-> ##[1:$] b",
+                      {"a": [1, 0, 0, 0], "b": [0, 0, 0, 0]}, last=0)
+        assert ok  # weak eventuality is unfalsifiable on any finite prefix
+
+    def test_until(self):
+        ok, _ = holds("a until b", {"a": [1, 1, 0, 0], "b": [0, 0, 1, 0]},
+                      last=0)
+        assert ok
+
+    def test_until_violated(self):
+        ok, _ = holds("a until b", {"a": [1, 0, 0, 0], "b": [0, 0, 1, 0]},
+                      last=0)
+        assert not ok
+
+
+class TestDisable:
+    def test_disable_aborts(self):
+        a = parse_assertion(
+            "assert property (@(posedge clk) disable iff (rst) a |-> ##1 b);")
+        trace = {"a": [1, 0, 0], "b": [0, 0, 0], "rst": [0, 1, 0]}
+        assert check_trace(a, trace, W, last_attempt=0) is None
+
+
+class TestSampledValueFunctions:
+    def test_past_in_property(self):
+        ok, _ = holds("##1 (v == $past(v) + 1)",
+                      {"v": [1, 2, 3, 4]}, first=0, last=1)
+        assert ok
+
+    def test_rose_trigger(self):
+        ok, _ = holds("$rose(a) |-> b",
+                      {"a": [0, 1, 1, 0], "b": [0, 1, 0, 0]},
+                      first=1, last=2)
+        assert ok

@@ -1,0 +1,162 @@
+"""Simulated-model tests: profiles, perturbations, determinism, calibration."""
+
+import random
+
+import pytest
+
+from repro.datasets.nl2sva_machine.generator import SIGNAL_WIDTHS
+from repro.formal.equivalence import Verdict, check_equivalence
+from repro.models import perturb
+from repro.models.base import (
+    OUTCOME_CORRECT, OUTCOME_PARTIAL, OUTCOME_SYNTAX, OUTCOME_WRONG,
+    GenerationRequest, SimulatedModel,
+)
+from repro.models.profiles import (
+    DESIGN_MODELS, PROFILES, TABLE_MODELS, get_profile,
+)
+from repro.sva.parser import parse_assertion
+from repro.sva.syntax import check_assertion_syntax
+
+REF = parse_assertion(
+    "assert property (@(posedge clk) disable iff (tb_reset) "
+    "(a && b) |-> ##2 c);")
+W = {"clk": 1, "tb_reset": 1, "a": 1, "b": 1, "c": 1}
+
+
+class TestProfiles:
+    def test_all_table_models_registered(self):
+        assert set(TABLE_MODELS) <= set(PROFILES)
+
+    def test_design_models_have_design_rates(self):
+        for name in DESIGN_MODELS:
+            p = get_profile(name)
+            assert p.design_pipeline is not None
+            assert p.design_fsm is not None
+
+    def test_small_context_models_excluded_from_design(self):
+        assert get_profile("llama-3-70b").design_fsm is None
+        assert get_profile("llama-3-8b").design_pipeline is None
+
+    def test_rates_consistency(self):
+        for p in PROFILES.values():
+            assert p.human.func <= p.human.partial <= p.human.syntax
+            assert p.machine_0shot.func <= p.machine_0shot.syntax
+
+    def test_icl_distraction_encoded(self):
+        p = get_profile("llama-3.1-8b")
+        assert p.machine_3shot.func < p.machine_0shot.func
+
+    def test_unknown_model(self):
+        with pytest.raises(KeyError):
+            get_profile("gpt-17")
+
+
+class TestPerturbations:
+    def test_style_preserves_equivalence(self):
+        rng = random.Random(0)
+        for _ in range(20):
+            styled = perturb.apply_style(REF, rng, passes=2)
+            r = check_equivalence(REF, styled, W)
+            assert r.verdict is Verdict.EQUIVALENT
+
+    def test_partial_produces_one_sided(self):
+        rng = random.Random(1)
+        hits = 0
+        for _ in range(20):
+            mutated = perturb.apply_partial(REF, rng)
+            if mutated is None:
+                continue
+            r = check_equivalence(REF, mutated, W)
+            if r.verdict in (Verdict.CANDIDATE_IMPLIES_REF,
+                             Verdict.REF_IMPLIES_CANDIDATE):
+                hits += 1
+        assert hits >= 10
+
+    def test_corrupt_produces_inequivalent(self):
+        rng = random.Random(2)
+        hits = 0
+        for _ in range(20):
+            mutated = perturb.apply_corrupt(REF, rng)
+            assert mutated is not None
+            r = check_equivalence(REF, mutated, W)
+            if r.verdict is Verdict.INEQUIVALENT:
+                hits += 1
+        assert hits >= 12
+
+    def test_syntax_break_always_rejected(self):
+        from repro.sva.unparse import unparse
+        rng = random.Random(3)
+        for _ in range(25):
+            broken = perturb.apply_syntax_break(unparse(REF), rng)
+            assert not check_assertion_syntax(broken).ok, broken
+
+    def test_weaken_strong_liveness(self):
+        a = parse_assertion(
+            "assert property (@(posedge clk) a |-> strong(##[0:$] b));")
+        out = perturb.weaken_strong_liveness(a, random.Random(0))
+        assert out is not None
+        r = check_equivalence(a, out, W)
+        assert r.verdict is Verdict.REF_IMPLIES_CANDIDATE
+
+
+class TestDeterminism:
+    def _request(self, task_obj, problem):
+        ctx = task_obj.context(problem)
+        return GenerationRequest(task=task_obj.name, problem=problem,
+                                 params=ctx["params"], widths=ctx["widths"])
+
+    def test_same_seed_same_response(self, human_task):
+        p = human_task.problems()[0]
+        m = SimulatedModel("gpt-4o")
+        r1 = m.generate(self._request(human_task, p))
+        r2 = m.generate(self._request(human_task, p))
+        assert r1 == r2
+
+    def test_models_differ(self, human_task):
+        p = human_task.problems()[3]
+        req = self._request(human_task, p)
+        outs = {name: SimulatedModel(name).generate(req)[0]
+                for name in ("gpt-4o", "llama-3-8b")}
+        assert len(set(outs.values())) >= 1  # may coincide, but must not crash
+
+    def test_n_samples(self, human_task):
+        p = human_task.problems()[0]
+        req = self._request(human_task, p)
+        req.n_samples = 5
+        req.temperature = 0.8
+        assert len(SimulatedModel("gpt-4o").generate(req)) == 5
+
+    def test_design_task_refused_for_small_context(self):
+        from repro.core.tasks import Design2SvaTask
+        task = Design2SvaTask("fsm", count=1)
+        problem = task.problems()[0]
+        req = GenerationRequest(task="design2sva", problem=problem)
+        with pytest.raises(ValueError):
+            SimulatedModel("llama-3-8b").generate(req)
+
+
+class TestOutcomePartition:
+    def test_partition_boundaries(self):
+        rates = get_profile("gpt-4o").human
+        m = SimulatedModel("gpt-4o")
+        assert m._partition(rates, rates.func - 1e-9) == OUTCOME_CORRECT
+        assert m._partition(rates, rates.func + 1e-9) == OUTCOME_PARTIAL
+        assert m._partition(rates, rates.partial + 1e-9) == OUTCOME_WRONG
+        assert m._partition(rates, rates.syntax + 1e-9) == OUTCOME_SYNTAX
+
+    def test_stratified_quantile_rates(self, human_task):
+        # with quantile stratification, greedy outcome counts match targets
+        m = SimulatedModel("gpt-4o")
+        probs = human_task.problems()
+        n = len(probs)
+        outcomes = []
+        for i, p in enumerate(probs):
+            ctx = human_task.context(p)
+            req = GenerationRequest(task="nl2sva_human", problem=p,
+                                    params=ctx["params"],
+                                    widths=ctx["widths"],
+                                    quantile=(i + 0.5) / n)
+            outcomes.append(m._sample_outcomes(req, p.problem_id)[0])
+        rates = get_profile("gpt-4o").human
+        correct = outcomes.count(OUTCOME_CORRECT) / n
+        assert abs(correct - rates.func) < 1.5 / n

@@ -1,0 +1,52 @@
+"""Tests for the tool-feedback (agentic) extension."""
+
+import pytest
+
+from repro.core.tasks import Nl2SvaHumanTask
+from repro.models.agentic import AgenticLoop, run_agentic_suite
+
+
+@pytest.fixture(scope="module")
+def task():
+    return Nl2SvaHumanTask()
+
+
+class TestLoop:
+    def test_episode_structure(self, task):
+        loop = AgenticLoop("llama-3-8b", task, max_rounds=3)
+        result = loop.run(task.problems()[0], quantile=0.99)
+        assert 1 <= result.rounds <= 3
+        assert len(result.records) == result.rounds
+        assert len(result.feedback) == result.rounds - 1 or result.solved
+
+    def test_stops_early_on_success(self, task):
+        loop = AgenticLoop("gpt-4o", task, max_rounds=5)
+        result = loop.run(task.problems()[0], quantile=0.01)
+        assert result.solved and result.rounds == 1
+
+    def test_deterministic(self, task):
+        loop = AgenticLoop("gpt-4o", task, max_rounds=3)
+        p = task.problems()[5]
+        a = loop.run(p, quantile=0.7)
+        b = loop.run(p, quantile=0.7)
+        assert [r.verdict for r in a.records] == \
+            [r.verdict for r in b.records]
+
+    def test_feedback_mentions_tool_output(self, task):
+        loop = AgenticLoop("llama-3-8b", task, max_rounds=2)
+        # pick a quantile deep in the syntax-failure band
+        result = loop.run(task.problems()[2], quantile=0.99)
+        if result.feedback and not result.records[0].syntax_ok:
+            assert "rejected" in result.feedback[0]
+
+
+class TestSuite:
+    def test_monotone_improvement(self, task):
+        stats = run_agentic_suite("gpt-4o", task, limit=30, max_rounds=3)
+        assert stats["syntax_final"] >= stats["syntax_first"]
+        assert stats["func_final"] >= stats["func_first"]
+
+    def test_single_round_equals_single_shot(self, task):
+        stats = run_agentic_suite("gpt-4o", task, limit=20, max_rounds=1)
+        assert stats["mean_rounds"] == 1.0
+        assert stats["func_first"] == stats["func_final"]

@@ -1,0 +1,98 @@
+"""Oracle NL parser tests over the naturalizer's fragment."""
+
+import pytest
+
+from repro.models.nl_parser import (
+    NLParseError, parse_atom, parse_condition, parse_description,
+)
+from repro.sva.ast_nodes import (
+    Binary, Delay, Identifier, Implication, PropSeq, StrongWeak, SystemCall,
+    Unary,
+)
+
+
+class TestAtoms:
+    @pytest.mark.parametrize("text,kind", [
+        ("sig_A is high", Identifier),
+        ("sig_A is low", Unary),
+        ("at least one bit of sig_B is set", Unary),
+        ("all bits of sig_B are 1", Unary),
+        ("sig_H has an odd number of bits set to '1'", Unary),
+        ("exactly one bit of sig_G is set", SystemCall),
+        ("sig_A rises", SystemCall),
+        ("sig_B equals 5", Binary),
+        ("sig_B is at least 3", Binary),
+        ("sig_B differs from sig_C", Binary),
+    ])
+    def test_parses(self, text, kind):
+        assert isinstance(parse_atom(text), kind)
+
+    def test_negated_comparison(self):
+        e = parse_atom("it is not the case that sig_B equals 5")
+        assert isinstance(e, Unary) and e.op == "!"
+
+    def test_unknown_atom(self):
+        with pytest.raises(NLParseError):
+            parse_atom("flux capacitor engaged")
+
+
+class TestConditions:
+    def test_both_and(self):
+        e = parse_condition("both sig_A is high and sig_D is low")
+        assert isinstance(e, Binary) and e.op == "&&"
+
+    def test_either_or(self):
+        e = parse_condition("either sig_A is high or sig_D is true")
+        assert e.op == "||"
+
+    def test_or_chain(self):
+        e = parse_condition(
+            "either sig_A is high, or sig_D is true, or sig_F is high")
+        assert e.op == "||"
+
+    def test_comma_and(self):
+        e = parse_condition(
+            "either sig_A is high or sig_D is true, and sig_F is high")
+        assert e.op == "&&"
+
+
+class TestDescriptions:
+    def test_invariant(self):
+        p = parse_description("at every clock cycle, sig_A is high")
+        assert isinstance(p, PropSeq)
+
+    def test_implication_with_delay(self):
+        p = parse_description(
+            "If sig_A is high, then sig_D is true 3 clock cycles later")
+        assert isinstance(p, Implication)
+        d = p.consequent.seq
+        assert isinstance(d, Delay) and d.lo == 3
+
+    def test_word_counts(self):
+        p = parse_description(
+            "If sig_A is high, then sig_D is true five clock cycles later")
+        assert p.consequent.seq.lo == 5
+
+    def test_window(self):
+        p = parse_description(
+            "When sig_A is high, then sig_D is true between 1 and 3 cycles "
+            "later")
+        d = p.consequent.seq
+        assert (d.lo, d.hi) == (1, 3)
+
+    def test_strong_eventuality(self):
+        p = parse_description(
+            "If sig_A is high, then sig_D is true must eventually hold")
+        assert isinstance(p.consequent, StrongWeak)
+        assert p.consequent.strong
+
+    def test_question_prefix_stripped(self):
+        p = parse_description(
+            "Create a SVA assertion that checks: If sig_A is high, then "
+            "sig_D is true one clock cycle later")
+        assert isinstance(p, Implication)
+
+    def test_blurred_few_cycles_convention(self):
+        p = parse_description(
+            "If sig_A is high, then sig_D is true a few cycles later")
+        assert p.consequent.seq.lo == 2

@@ -1,0 +1,123 @@
+"""Per-transform tests for the perturbation library."""
+
+import random
+
+import pytest
+
+from repro.formal.equivalence import Verdict, check_equivalence
+from repro.models import perturb
+from repro.sva.parser import parse_assertion
+from repro.sva.unparse import unparse
+
+W = {"clk": 1, "tb_reset": 1, "a": 1, "b": 1, "c": 1, "v": 4}
+
+
+def A(text):
+    return parse_assertion(text)
+
+
+IMPL = A("assert property (@(posedge clk) (a && b) |-> ##2 c);")
+DEFENSIVE = A("assert property (@(posedge clk) (a && b && c) !== 1'b1);")
+LIVENESS = A("assert property (@(posedge clk) a |-> strong(##[0:$] b));")
+
+
+class TestStyleTransforms:
+    def test_defensive_to_implication(self):
+        out = perturb.style_defensive_to_implication(DEFENSIVE,
+                                                     random.Random(0))
+        assert out is not None
+        assert check_equivalence(DEFENSIVE, out, W).verdict is \
+            Verdict.EQUIVALENT
+
+    def test_implication_to_defensive(self):
+        simple = A("assert property (@(posedge clk) a |-> !b);")
+        out = perturb.style_implication_to_defensive(simple,
+                                                     random.Random(0))
+        assert out is not None
+        assert check_equivalence(simple, out, W).verdict is \
+            Verdict.EQUIVALENT
+        assert "!==" in unparse(out)
+
+    def test_relabel_and_drop(self):
+        labeled = perturb.style_relabel(IMPL, random.Random(0))
+        assert labeled.label is not None
+        assert perturb.style_drop_label(labeled, random.Random(0)).label \
+            is None
+
+    def test_demorgan(self):
+        neg = A("assert property (@(posedge clk) !(a && b));")
+        out = perturb.style_demorgan(neg, random.Random(0))
+        assert out is not None
+        assert check_equivalence(neg, out, W).verdict is Verdict.EQUIVALENT
+
+    def test_inapplicable_returns_none(self):
+        atom = A("assert property (@(posedge clk) a);")
+        assert perturb.style_defensive_to_implication(
+            atom, random.Random(0)) is None
+
+
+class TestPartialTransforms:
+    def test_weaken_strong_liveness_direction(self):
+        out = perturb.weaken_strong_liveness(LIVENESS, random.Random(0))
+        v = check_equivalence(LIVENESS, out, W).verdict
+        assert v is Verdict.REF_IMPLIES_CANDIDATE
+
+    def test_drop_conjunct_direction(self):
+        out = perturb.weaken_drop_conjunct(IMPL, random.Random(1))
+        v = check_equivalence(IMPL, out, W).verdict
+        assert v is Verdict.CANDIDATE_IMPLIES_REF
+
+    def test_exact_to_window_direction(self):
+        out = perturb.weaken_exact_to_window(IMPL, random.Random(0))
+        v = check_equivalence(IMPL, out, W).verdict
+        assert v is Verdict.REF_IMPLIES_CANDIDATE
+
+    def test_defensive_drop_conjunct_direction(self):
+        out = perturb.strengthen_defensive_drop_conjunct(
+            DEFENSIVE, random.Random(0))
+        v = check_equivalence(DEFENSIVE, out, W).verdict
+        assert v is Verdict.CANDIDATE_IMPLIES_REF
+
+    def test_conjunction_to_implication_direction(self):
+        inv = A("assert property (@(posedge clk) (a && b));")
+        out = perturb.weaken_conjunction_to_implication(inv,
+                                                        random.Random(0))
+        v = check_equivalence(inv, out, W).verdict
+        assert v is Verdict.REF_IMPLIES_CANDIDATE
+
+
+class TestCorruptTransforms:
+    def test_delay_off_by_one(self):
+        out = perturb.corrupt_delay_off_by_one(IMPL, random.Random(0))
+        v = check_equivalence(IMPL, out, W).verdict
+        assert v is Verdict.INEQUIVALENT
+
+    def test_implication_flip(self):
+        simple = A("assert property (@(posedge clk) a |-> b);")
+        out = perturb.corrupt_implication_flip(simple, random.Random(0))
+        v = check_equivalence(simple, out, W).verdict
+        assert v is Verdict.INEQUIVALENT
+
+    def test_swap_signals(self):
+        out = perturb.corrupt_swap_signals(IMPL, random.Random(0))
+        assert out is not None
+        assert unparse(out) != unparse(IMPL)
+
+    def test_bits_for_countones_changes_meaning(self):
+        parity = A("assert property (@(posedge clk) (^v) |-> a);")
+        out = perturb.corrupt_bits_for_countones(parity, random.Random(0))
+        assert "$bits" in unparse(out)
+        v = check_equivalence(parity, out, W).verdict
+        assert v is not Verdict.EQUIVALENT
+
+
+class TestRender:
+    def test_fenced(self):
+        text = perturb.render(IMPL)
+        assert text.startswith("```systemverilog")
+        assert text.rstrip().endswith("```")
+
+    def test_comment_injection_deterministic(self):
+        r1 = perturb.render(IMPL, random.Random(7), comment_prob=1.0)
+        r2 = perturb.render(IMPL, random.Random(7), comment_prob=1.0)
+        assert r1 == r2 and "//" in r1

@@ -1,0 +1,223 @@
+"""Elaborator tests: parameters, generates, hierarchy, arrays, processes."""
+
+import pytest
+
+from repro.rtl.elaborate import ElaborationError, const_eval, elaborate
+from repro.sva.parser import parse_expression
+
+
+class TestConstEval:
+    @pytest.mark.parametrize("text,env,expected", [
+        ("4", {}, 4),
+        ("W - 1", {"W": 8}, 7),
+        ("$clog2(16)", {}, 4),
+        ("$clog2(5)", {}, 3),
+        ("W * 2 + 1", {"W": 3}, 7),
+        ("(A > B) ? A : B", {"A": 2, "B": 9}, 9),
+        ("1 << 4", {}, 16),
+    ])
+    def test_values(self, text, env, expected):
+        assert const_eval(parse_expression(text), env) == expected
+
+    def test_unresolved_raises(self):
+        with pytest.raises(ElaborationError):
+            const_eval(parse_expression("MISSING"), {})
+
+
+class TestBasicElaboration:
+    def test_widths_and_inputs(self):
+        d = elaborate("module m (input [7:0] a, output [3:0] b); "
+                      "assign b = a[3:0]; endmodule")
+        assert d.widths["a"] == 8 and d.widths["b"] == 4
+        assert d.inputs == ["a"] and d.outputs == ["b"]
+
+    def test_parameter_override(self):
+        d = elaborate("module m; parameter W = 4; wire [W-1:0] x; "
+                      "assign x = 'd0; endmodule", overrides={"W": 16})
+        assert d.widths["x"] == 16
+
+    def test_localparam_not_overridable(self):
+        d = elaborate("module m; localparam W = 4; wire [W-1:0] x; "
+                      "assign x = 'd0; endmodule", overrides={"W": 16})
+        assert d.widths["x"] == 4
+
+    def test_sequential_state(self):
+        d = elaborate("""
+module m; input clk, d; output reg q;
+always @(posedge clk) q <= d;
+endmodule""")
+        assert d.state == ["q"] and "q" in d.next_exprs
+
+    def test_reset_registered_even_when_sync(self):
+        d = elaborate("""
+module m; input clk, reset_, d; output reg q;
+always @(posedge clk) begin
+  if (!reset_) q <= 1'b0; else q <= d;
+end
+endmodule""")
+        assert "reset_" in d.resets
+
+    def test_comb_toposort(self):
+        d = elaborate("""
+module m; input a; wire b, c;
+assign c = b;
+assign b = a;
+endmodule""")
+        order = list(d.comb_exprs)
+        assert order.index("b") < order.index("c")
+
+    def test_comb_loop_detected(self):
+        with pytest.raises(ElaborationError, match="combinational loop"):
+            elaborate("module m; wire a, b; assign a = b; assign b = a; "
+                      "endmodule")
+
+    def test_multiple_drivers_detected(self):
+        with pytest.raises(ElaborationError):
+            elaborate("module m; input a, b; wire x; assign x = a; "
+                      "assign x = b; endmodule")
+
+
+class TestControlFlow:
+    def test_if_becomes_mux(self):
+        d = elaborate("""
+module m; input clk, s, a, b; output reg q;
+always @(posedge clk) begin
+  if (s) q <= a; else q <= b;
+end
+endmodule""")
+        from repro.sva.ast_nodes import Ternary
+        assert isinstance(d.next_exprs["q"], Ternary)
+
+    def test_incomplete_if_holds_value(self):
+        d = elaborate("""
+module m; input clk, s, a; output reg q;
+always @(posedge clk) begin
+  if (s) q <= a;
+end
+endmodule""")
+        from repro.sva.ast_nodes import Identifier, Ternary
+        nxt = d.next_exprs["q"]
+        assert isinstance(nxt, Ternary)
+        assert isinstance(nxt.if_false, Identifier)
+
+    def test_full_case_no_latch(self):
+        d = elaborate("""
+module m; input [1:0] s; output reg [1:0] o;
+always_comb begin
+  case (s)
+    2'd0: o = 2'd1;
+    2'd1: o = 2'd2;
+    2'd2: o = 2'd3;
+    2'd3: o = 2'd0;
+  endcase
+end
+endmodule""")
+        assert d.state == [] and not d.warnings
+
+    def test_incomplete_case_infers_latch(self):
+        d = elaborate("""
+module m; input [1:0] s; output reg [1:0] o;
+always_comb begin
+  case (s)
+    2'd0: o = 2'd1;
+  endcase
+end
+endmodule""")
+        assert any("latch" in w for w in d.warnings)
+        assert d.state  # shadow element
+
+    def test_blocking_assign_visibility(self):
+        d = elaborate("""
+module m; input [3:0] a; output [3:0] o; reg [3:0] t;
+always_comb begin
+  t = a + 'd1;
+  t = t + 'd1;
+end
+assign o = t;
+endmodule""")
+        from repro.rtl.simulator import Simulator
+        sim = Simulator(d)
+        frame = sim.step({"a": 3})
+        assert frame["o"] == 5
+
+
+class TestArraysAndHierarchy:
+    def test_unpacked_array_expansion(self):
+        d = elaborate("""
+module m; input clk, we; input [1:0] addr; input [7:0] wd;
+reg [7:0] mem [3:0];
+always @(posedge clk) begin
+  if (we) mem[addr] <= wd;
+end
+endmodule""")
+        assert {f"mem__{k}" for k in range(4)} <= set(d.widths)
+
+    def test_variable_index_read_mux(self):
+        d = elaborate("""
+module m; input [1:0] sel; output [7:0] o;
+reg [7:0] mem [3:0];
+input clk;
+always @(posedge clk) mem[0] <= 8'd1;
+assign o = mem[sel];
+endmodule""")
+        from repro.sva.ast_nodes import Ternary
+        assert isinstance(d.comb_exprs["o"], Ternary)
+
+    def test_packed_2d_word_select(self):
+        d = elaborate("""
+module m; input [7:0] w0, w1; output [7:0] o;
+wire [1:0][7:0] words;
+assign words[0] = w0;
+assign words[1] = w1;
+assign o = words[1];
+endmodule""")
+        from repro.rtl.simulator import Simulator
+        sim = Simulator(d)
+        frame = sim.step({"w0": 0x11, "w1": 0x22})
+        assert frame["o"] == 0x22
+
+    def test_hierarchy_flattening(self):
+        d = elaborate("""
+module inv (input a, output y); assign y = !a; endmodule
+module top (input x, output z);
+inv u0 (.a(x), .y(z));
+endmodule""", top="top")
+        assert "u0.a" in d.widths and "u0.y" in d.widths
+
+    def test_unknown_module_rejected(self):
+        with pytest.raises(ElaborationError):
+            elaborate("module top; ghost u0 (.a(1'b0)); endmodule")
+
+    def test_variable_bit_write_on_vector(self):
+        d = elaborate("""
+module m; input clk; input [1:0] idx; reg [3:0] flags;
+always @(posedge clk) flags[idx] <= 1'b1;
+endmodule""")
+        from repro.rtl.simulator import Simulator
+        sim = Simulator(d)
+        sim.step({"idx": 2})
+        sim.step({"idx": 0})
+        assert sim.state["flags"] & 0b0100
+
+
+class TestGenerate:
+    def test_unrolled_shift_chain(self, fsm_design_source):
+        d = elaborate("""
+module m; input clk, din; output dout; logic [3:0] r;
+assign r[0] = din;
+assign dout = r[3];
+for (genvar i = 0; i < 3; i++) begin : g
+  always @(posedge clk) r[i+1] <= r[i];
+end
+endmodule""")
+        from repro.rtl.simulator import Simulator
+        sim = Simulator(d)
+        sim.step({"din": 1})
+        for _ in range(3):
+            sim.step({"din": 0})
+        assert sim.history[-1]["dout"] == 1
+
+    def test_paper_fsm_elaborates(self, fsm_design_source):
+        d = elaborate(fsm_design_source, top="fsm")
+        assert "state" in d.state or "state" in d.widths
+        assert d.clock == "clk"

@@ -1,0 +1,137 @@
+"""Tests for the RTL module parser and preprocessor."""
+
+import pytest
+
+from repro.rtl.parser import parse_rtl, preprocess
+from repro.sva.parser import ParseError
+
+
+class TestPreprocess:
+    def test_define_substitution(self):
+        text, defines = preprocess("`define W 8\nmodule m; wire [`W-1:0] x; endmodule")
+        assert defines == {"W": "8"}
+        assert "`W" not in text and "[8-1:0]" in text
+
+    def test_chained_macros(self):
+        text, _ = preprocess("`define A 4\n`define B `A\nmodule m; wire [`B:0] x; endmodule")
+        assert "[4:0]" in text
+
+    def test_undefined_macro_rejected(self):
+        with pytest.raises(ParseError):
+            preprocess("module m; wire [`NOPE:0] x; endmodule")
+
+
+class TestModuleStructure:
+    def test_non_ansi_ports(self):
+        sf = parse_rtl("module m (a, b); input a; output b; endmodule")
+        mod = sf.modules["m"]
+        assert mod.port_order == ["a", "b"]
+        assert {p.direction for p in mod.ports} == {"input", "output"}
+
+    def test_ansi_ports(self):
+        sf = parse_rtl("module m (input [3:0] a, output reg b); endmodule")
+        mod = sf.modules["m"]
+        assert mod.port_order == ["a", "b"]
+
+    def test_parameters(self):
+        sf = parse_rtl("module m; parameter W = 8, D = 4;\n"
+                       "localparam L = $clog2(D); endmodule")
+        names = [p.name for p in sf.modules["m"].params]
+        assert names == ["W", "D", "L"]
+        assert sf.modules["m"].params[2].local
+
+    def test_multiple_modules(self):
+        sf = parse_rtl("module a; endmodule\nmodule b; endmodule")
+        assert set(sf.modules) == {"a", "b"}
+
+
+class TestItems:
+    def test_net_decls(self):
+        sf = parse_rtl("module m; wire [3:0] x, y;\n"
+                       "reg [7:0] mem [3:0];\n"
+                       "logic [1:0][7:0] words; endmodule")
+        mod = sf.modules["m"]
+        assert len(mod.nets) == 3
+        assert "mem" in mod.nets[1].unpacked
+
+    def test_net_decl_with_init(self):
+        sf = parse_rtl("module m; wire x = a && b; input a, b; endmodule")
+        assert len(sf.modules["m"].assigns) == 1
+        assert any(type(i).__name__ == "ContinuousAssign"
+                   for i in sf.modules["m"].items)
+
+    def test_continuous_assign_indexed_lhs(self):
+        sf = parse_rtl("module m; wire [3:0] x; input a;\n"
+                       "assign x[0] = a; endmodule")
+        assert len(sf.modules["m"].assigns) == 1
+
+    def test_always_ff_with_reset(self):
+        sf = parse_rtl("""
+module m; input clk, reset_, d; output reg q;
+always_ff @(posedge clk or negedge reset_) begin
+  if (!reset_) q <= 1'b0;
+  else q <= d;
+end
+endmodule""")
+        blk = sf.modules["m"].always_blocks[0]
+        assert [s.edge for s in blk.sensitivity] == ["posedge", "negedge"]
+
+    def test_nonblocking_not_confused_with_le(self):
+        sf = parse_rtl("""
+module m; input clk; reg [3:0] p;
+always @(posedge clk) p <= p + 'd1;
+endmodule""")
+        assert sf.modules["m"].always_blocks
+
+    def test_case_statement(self):
+        sf = parse_rtl("""
+module m; input [1:0] s; output reg [1:0] o;
+always_comb begin
+  case (s)
+    2'b00: o = 2'b01;
+    2'b01, 2'b10: o = 2'b10;
+    default: o = 2'b00;
+  endcase
+end
+endmodule""")
+        assert sf.modules["m"].always_blocks
+
+    def test_generate_for(self):
+        sf = parse_rtl("""
+module m; input clk; logic [4:0] r;
+generate
+for (genvar i = 0; i < 4; i = i + 1) begin : g
+  always @(posedge clk) r[i+1] <= r[i];
+end
+endgenerate
+endmodule""")
+        assert sf.modules["m"].generates
+
+    def test_bare_generate_for(self):
+        sf = parse_rtl("""
+module m; input clk; logic [4:0] r;
+for (genvar i = 0; i < 4; i++) begin : g
+  always @(posedge clk) r[i+1] <= r[i];
+end
+endmodule""")
+        assert sf.modules["m"].generates
+
+    def test_instance_with_params(self):
+        sf = parse_rtl("""
+module sub (input a, output b); endmodule
+module top; wire x, y;
+sub #(.W(4)) u0 (.a(x), .b(y));
+endmodule""")
+        inst = sf.modules["top"].instances[0]
+        assert inst.module == "sub" and "W" in inst.param_overrides
+
+    def test_inline_assertion(self):
+        sf = parse_rtl("""
+module m; input clk, a;
+p1: assert property (@(posedge clk) a);
+endmodule""")
+        assert sf.modules["m"].assertions[0].assertion.label == "p1"
+
+    def test_initial_rejected(self):
+        with pytest.raises(ParseError):
+            parse_rtl("module m; initial begin end endmodule")

@@ -1,0 +1,101 @@
+"""Simulator tests, including the paper's FIFO testbench behaviour."""
+
+import pytest
+
+from repro.datasets.nl2sva_human.corpus import testbench_source as tb_src
+from repro.rtl.elaborate import elaborate
+from repro.rtl.simulator import Simulator, derive_init
+
+
+@pytest.fixture(scope="module")
+def fifo_design():
+    return elaborate(tb_src("fifo_1r1w"),
+                     overrides={"DATA_WIDTH": 4})
+
+
+class TestBasics:
+    def test_register_updates_next_cycle(self):
+        d = elaborate("""
+module m; input clk, din; output reg q;
+always @(posedge clk) q <= din;
+endmodule""")
+        sim = Simulator(d)
+        sim.step({"din": 1})
+        frame = sim.step({"din": 0})
+        assert frame["q"] == 1
+
+    def test_comb_updates_same_cycle(self):
+        d = elaborate("module m (input a, b, output y); "
+                      "assign y = a ^ b; endmodule")
+        sim = Simulator(d)
+        assert sim.step({"a": 1, "b": 0})["y"] == 1
+
+    def test_values_masked_to_width(self):
+        d = elaborate("module m (input [3:0] a, output [3:0] y); "
+                      "assign y = a + 4'd15; endmodule")
+        sim = Simulator(d)
+        assert sim.step({"a": 2})["y"] == 1
+
+    def test_trace_collection(self):
+        d = elaborate("module m (input a, output y); assign y = a; endmodule")
+        sim = Simulator(d)
+        for v in (0, 1, 1):
+            sim.step({"a": v})
+        assert sim.trace()["y"] == [0, 1, 1]
+
+    def test_run_random_respects_pins(self):
+        d = elaborate("module m (input [7:0] a, output [7:0] y); "
+                      "assign y = a; endmodule")
+        sim = Simulator(d, seed=1)
+        sim.run_random(5, pins={"a": 42})
+        assert all(f["a"] == 42 for f in sim.history)
+
+
+class TestReset:
+    def test_derive_init(self):
+        d = elaborate("""
+module m; input clk, reset_; output reg [3:0] q;
+always @(posedge clk) begin
+  if (!reset_) q <= 4'd9; else q <= q + 'd1;
+end
+endmodule""")
+        init = derive_init(d)
+        assert init["q"] == 9
+
+    def test_reset_inactive_by_default_after_reset(self):
+        d = elaborate("""
+module m; input clk, reset_; output reg [3:0] q;
+always @(posedge clk) begin
+  if (!reset_) q <= 'd0; else q <= q + 'd1;
+end
+endmodule""")
+        sim = Simulator(d)
+        sim.reset()
+        sim.step({})
+        sim.step({})
+        assert sim.state["q"] >= 1  # counting, not stuck in reset
+
+
+class TestFifoTestbench:
+    def test_fifo_order(self, fifo_design):
+        sim = Simulator(fifo_design, seed=0)
+        sim.reset()
+        for v in (3, 7, 11):
+            sim.step({"wr_vld": 1, "wr_ready": 1, "wr_data": v})
+        outs = [sim.step({"rd_vld": 1, "rd_ready": 1})["fifo_out_data"]
+                for _ in range(3)]
+        assert outs == [3, 7, 11]
+
+    def test_fifo_empty_flag(self, fifo_design):
+        sim = Simulator(fifo_design, seed=0)
+        sim.reset()
+        assert sim.step({})["fifo_empty"] == 1
+        sim.step({"wr_vld": 1, "wr_ready": 1, "wr_data": 1})
+        assert sim.step({})["fifo_empty"] == 0
+
+    def test_fifo_full_flag(self, fifo_design):
+        sim = Simulator(fifo_design, seed=0)
+        sim.reset()
+        for _ in range(4):
+            sim.step({"wr_vld": 1, "wr_ready": 1, "wr_data": 5})
+        assert sim.step({})["fifo_full"] == 1

@@ -1,0 +1,114 @@
+"""Unit tests for the SVA/SystemVerilog lexer."""
+
+import pytest
+
+from repro.sva.lexer import LexError, TokKind, strip_code_fences, tokenize
+
+
+def kinds(text):
+    return [(t.kind, t.text) for t in tokenize(text)[:-1]]
+
+
+class TestTokenKinds:
+    def test_identifier(self):
+        assert kinds("foo_bar") == [(TokKind.IDENT, "foo_bar")]
+
+    def test_keyword(self):
+        assert kinds("assert")[0][0] is TokKind.KEYWORD
+
+    def test_sysfunc(self):
+        assert kinds("$countones")[0][0] is TokKind.SYSFUNC
+
+    def test_directive(self):
+        assert kinds("`WIDTH")[0][0] is TokKind.DIRECTIVE
+
+    def test_string(self):
+        assert kinds('"hello"')[0][0] is TokKind.STRING
+
+    def test_eof_terminates(self):
+        toks = tokenize("a")
+        assert toks[-1].kind is TokKind.EOF
+
+
+class TestNumbers:
+    @pytest.mark.parametrize("text", [
+        "42", "2'b00", "'d0", "'b1", "128'hFF", "4'hf", "'1", "'0",
+        "8'd255", "3'o7", "12'hA_B",
+    ])
+    def test_number_forms(self, text):
+        toks = tokenize(text)
+        assert toks[0].kind is TokKind.NUMBER
+        assert len(toks) == 2  # number + EOF
+
+    def test_sized_with_space(self):
+        toks = tokenize("2 'b01")
+        assert toks[0].kind is TokKind.NUMBER
+
+
+class TestOperators:
+    @pytest.mark.parametrize("op", [
+        "##", "|->", "|=>", "===", "!==", "<<<", ">>>", "&&", "||",
+        "==", "!=", "<=", ">=", "~&", "~|", "~^", "[*", "[->", "[=",
+    ])
+    def test_multichar_ops(self, op):
+        toks = tokenize(op)
+        assert toks[0].text == op
+        assert toks[0].kind is TokKind.OP
+
+    def test_maximal_munch(self):
+        # '<<<' must not lex as '<<' '<'
+        toks = tokenize("a <<< 2")
+        assert toks[1].text == "<<<"
+
+    def test_nonblocking_vs_le(self):
+        toks = tokenize("a <= b")
+        assert toks[1].text == "<="
+
+
+class TestCommentsAndLines:
+    def test_line_comment_skipped(self):
+        assert kinds("a // comment\nb") == [
+            (TokKind.IDENT, "a"), (TokKind.IDENT, "b")]
+
+    def test_block_comment_skipped(self):
+        assert kinds("a /* x\ny */ b") == [
+            (TokKind.IDENT, "a"), (TokKind.IDENT, "b")]
+
+    def test_line_numbers_advance(self):
+        toks = tokenize("a\nb\nc")
+        assert [t.line for t in toks[:-1]] == [1, 2, 3]
+
+    def test_column_tracking(self):
+        toks = tokenize("  ab cd")
+        assert toks[0].col == 3
+        assert toks[1].col == 6
+
+
+class TestErrors:
+    def test_stray_backtick_like_char_rejected(self):
+        with pytest.raises(LexError):
+            tokenize("a \x01 b")
+
+    def test_lexerror_has_position(self):
+        try:
+            tokenize("ok\n\x02")
+        except LexError as exc:
+            assert exc.line == 2
+        else:
+            pytest.fail("expected LexError")
+
+
+class TestStripFences:
+    def test_systemverilog_fence(self):
+        text = "```systemverilog\nassert x;\n```"
+        assert strip_code_fences(text) == "assert x;"
+
+    def test_bare_fence(self):
+        assert strip_code_fences("```\ncode\n```") == "code"
+
+    def test_no_fence_passthrough(self):
+        assert strip_code_fences("  plain  ") == "plain"
+
+    def test_surrounding_prose_dropped(self):
+        text = "Here is code:\n```sv\nfoo\n```\nThanks!"
+        assert strip_code_fences(text) == "foo"

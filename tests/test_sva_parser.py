@@ -1,0 +1,214 @@
+"""Unit tests for the SVA property/expression parser."""
+
+import pytest
+
+from repro.sva.ast_nodes import (
+    Assertion, Binary, Concat, Delay, Identifier, Implication, Number,
+    PropSeq, Repetition, SeqBinary, SeqExpr, SEventually, StrongWeak,
+    SystemCall, Ternary, Unary, Until,
+)
+from repro.sva.parser import (
+    ParseError, parse_assertion, parse_expression, parse_number,
+    parse_property,
+)
+
+
+class TestNumbers:
+    def test_sized_binary(self):
+        n = parse_number("2'b10")
+        assert (n.value, n.width) == (2, 2)
+
+    def test_unsized_decimal(self):
+        n = parse_number("'d15")
+        assert n.value == 15 and n.width is None
+
+    def test_fill_literal(self):
+        n = parse_number("'1")
+        assert n.is_fill and n.fill_bit == 1
+
+    def test_hex_masked_to_width(self):
+        n = parse_number("4'hFF")
+        assert n.value == 0xF
+
+    def test_x_digits_give_none_value(self):
+        n = parse_number("4'bxxxx")
+        assert n.value is None
+
+    def test_plain_int(self):
+        assert parse_number("37").value == 37
+
+
+class TestExpressionPrecedence:
+    def test_or_lower_than_and(self):
+        e = parse_expression("a || b && c")
+        assert isinstance(e, Binary) and e.op == "||"
+
+    def test_equality_lower_than_relational(self):
+        e = parse_expression("a < b == c < d")
+        assert e.op == "=="
+
+    def test_bitand_lower_than_equality(self):
+        e = parse_expression("a == b & c == d")
+        assert e.op == "&"
+
+    def test_shift_lower_than_additive(self):
+        e = parse_expression("a + b << 2")
+        assert e.op == "<<"
+
+    def test_ternary_lowest(self):
+        e = parse_expression("a ? b : c ? d : e")
+        assert isinstance(e, Ternary)
+        assert isinstance(e.if_false, Ternary)  # right associative
+
+    def test_unary_reduction(self):
+        e = parse_expression("^sig & |sig2")
+        assert e.op == "&"
+        assert isinstance(e.left, Unary) and e.left.op == "^"
+
+    def test_power_right_assoc(self):
+        e = parse_expression("2 ** 3 ** 2")
+        assert isinstance(e.right, Binary)
+
+
+class TestExpressionForms:
+    def test_concat(self):
+        e = parse_expression("{a, b, c}")
+        assert isinstance(e, Concat) and len(e.parts) == 3
+
+    def test_replication(self):
+        e = parse_expression("{4{a}}")
+        from repro.sva.ast_nodes import Replication
+        assert isinstance(e, Replication)
+
+    def test_index_and_range(self):
+        from repro.sva.ast_nodes import Index, RangeSelect
+        assert isinstance(parse_expression("a[3]"), Index)
+        assert isinstance(parse_expression("a[7:4]"), RangeSelect)
+
+    def test_syscall_args(self):
+        e = parse_expression("$past(a, 2)")
+        assert isinstance(e, SystemCall) and len(e.args) == 2
+
+    def test_hierarchical_name(self):
+        e = parse_expression("u0.ready")
+        assert isinstance(e, Identifier) and e.name == "u0.ready"
+
+
+class TestSequences:
+    def test_exact_delay(self):
+        p = parse_property("a ##2 b")
+        assert isinstance(p, PropSeq)
+        d = p.seq
+        assert isinstance(d, Delay) and (d.lo, d.hi) == (2, 2)
+
+    def test_range_delay_unbounded(self):
+        p = parse_property("a ##[1:$] b")
+        assert p.seq.hi is None
+
+    def test_leading_delay(self):
+        p = parse_property("##3 b")
+        assert p.seq.lhs is None and p.seq.lo == 3
+
+    def test_repetition(self):
+        p = parse_property("a[*2:4]")
+        r = p.seq
+        assert isinstance(r, Repetition) and (r.lo, r.hi) == (2, 4)
+
+    def test_goto_repetition(self):
+        p = parse_property("a[->3]")
+        assert p.seq.kind == "->"
+
+    def test_throughout(self):
+        p = parse_property("a throughout (b ##1 c)")
+        assert isinstance(p.seq, SeqBinary) and p.seq.op == "throughout"
+
+    def test_parameterized_delay(self):
+        p = parse_property("a |-> ##DEPTH b", params={"DEPTH": 6})
+        assert p.consequent.seq.lo == 6
+
+    def test_delay_arith_params(self):
+        p = parse_property("a |-> ##(DEPTH-1) b", params={"DEPTH": 6})
+        assert p.consequent.seq.lo == 5
+
+
+class TestProperties:
+    def test_overlapping_implication(self):
+        p = parse_property("a |-> b")
+        assert isinstance(p, Implication) and p.overlapping
+
+    def test_nonoverlapping_implication(self):
+        p = parse_property("a |=> b")
+        assert not p.overlapping
+
+    def test_implication_right_assoc(self):
+        p = parse_property("a |-> b |-> c")
+        assert isinstance(p.consequent, Implication)
+
+    def test_strong(self):
+        p = parse_property("strong(##[0:$] b)")
+        assert isinstance(p, StrongWeak) and p.strong
+
+    def test_s_eventually(self):
+        p = parse_property("s_eventually b")
+        assert isinstance(p, SEventually)
+
+    def test_until_family(self):
+        p = parse_property("a until b")
+        assert isinstance(p, Until) and not p.strong
+        p = parse_property("a s_until_with b")
+        assert p.strong and p.with_overlap
+
+    def test_not(self):
+        from repro.sva.ast_nodes import PropNot
+        p = parse_property("not (a |-> b)")
+        assert isinstance(p, PropNot)
+
+    def test_parenthesized_property_operand(self):
+        p = parse_property("(a |-> b) and (c |-> d)")
+        from repro.sva.ast_nodes import PropBinary
+        assert isinstance(p, PropBinary) and p.op == "and"
+
+
+class TestAssertions:
+    def test_full_assertion(self):
+        a = parse_assertion(
+            "asrt: assert property (@(posedge clk) disable iff (rst) "
+            "a |-> b);")
+        assert a.label == "asrt"
+        assert a.clocking.edge == "posedge"
+        assert a.disable is not None
+
+    def test_assume_and_cover(self):
+        assert parse_assertion("assume property (@(posedge clk) a);") \
+            .kind == "assume"
+        assert parse_assertion("cover property (@(posedge clk) a);") \
+            .kind == "cover"
+
+    def test_unclocked(self):
+        a = parse_assertion("assert property (a |-> b);")
+        assert a.clocking is None
+
+
+class TestRejections:
+    @pytest.mark.parametrize("text", [
+        "assert property (@(posedge clk) a |-> eventually(b));",
+        "assert property (@(posedge clk) s_always a);",
+        "assert property (@(posedge clk) a ##[4] b);",
+        "assert property (@(posedge clk) a ##[3:1] b);",
+        "assert property (@(posedge clk) a[*4:2]);",
+        "assert property (@(posedge clk) a |-> );",
+        "assert property (@(posedge clk) (a |-> b);",
+        "assert property (@(posedge clk) a b);",
+        "assert property (@(posedge clk) ##x b);",
+    ])
+    def test_rejected(self, text):
+        with pytest.raises(ParseError):
+            parse_assertion(text)
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_assertion("assert property (@(posedge clk) a); extra")
+
+    def test_implication_antecedent_must_be_sequence(self):
+        with pytest.raises(ParseError):
+            parse_property("(a |-> b) |-> c")

@@ -1,0 +1,76 @@
+"""Tests for the syntax validator (JasperGold front-end substitute)."""
+
+import pytest
+
+from repro.sva.syntax import check_assertion_syntax
+
+GOOD = "assert property (@(posedge clk) a |-> $countones(b) == 2);"
+
+
+class TestAccepts:
+    def test_plain(self):
+        assert check_assertion_syntax(GOOD).ok
+
+    def test_fenced_response(self):
+        assert check_assertion_syntax(f"```systemverilog\n{GOOD}\n```").ok
+
+    def test_signal_resolution(self):
+        rep = check_assertion_syntax(
+            GOOD, signal_widths={"clk": 1, "a": 1, "b": 4})
+        assert rep.ok, rep.errors
+
+    def test_support_signals(self):
+        rep = check_assertion_syntax(
+            "assert property (@(posedge clk) x_tb |-> a);",
+            signal_widths={"clk": 1, "a": 1}, extra_signals={"x_tb"})
+        assert rep.ok
+
+
+class TestRejects:
+    def test_empty(self):
+        assert not check_assertion_syntax("").ok
+
+    def test_hallucinated_eventually(self):
+        rep = check_assertion_syntax(
+            "assert property (@(posedge clk) a |-> eventually(b));")
+        assert not rep.ok
+
+    def test_unknown_sysfunc(self):
+        rep = check_assertion_syntax(
+            "assert property (@(posedge clk) $bogus(a));")
+        assert not rep.ok
+        assert "unknown system function" in rep.errors[0]
+
+    def test_simulation_only_task(self):
+        rep = check_assertion_syntax(
+            "assert property (@(posedge clk) a == ($random % 2));")
+        assert not rep.ok
+
+    def test_arity(self):
+        rep = check_assertion_syntax(
+            "assert property (@(posedge clk) $onehot(a, b));")
+        assert not rep.ok
+
+    def test_unresolved_signal(self):
+        rep = check_assertion_syntax(
+            "assert property (@(posedge clk) ghost |-> a);",
+            signal_widths={"clk": 1, "a": 1})
+        assert not rep.ok
+        assert "unresolved" in rep.errors[0]
+
+    def test_missing_clock(self):
+        rep = check_assertion_syntax("assert property (a |-> b);")
+        assert not rep.ok
+
+    def test_missing_clock_allowed_when_relaxed(self):
+        rep = check_assertion_syntax("assert property (a |-> b);",
+                                     require_clock=False)
+        assert rep.ok
+
+    def test_past_nonconstant_ticks(self):
+        rep = check_assertion_syntax(
+            "assert property (@(posedge clk) $past(a, b) == a);")
+        assert not rep.ok
+
+    def test_report_is_falsy_when_bad(self):
+        assert not bool(check_assertion_syntax("garbage"))
