@@ -1,0 +1,115 @@
+#!/usr/bin/env python
+"""Prover micro-benchmark: BMC / k-induction over the Design2SVA categories.
+
+Times the end-to-end proof pipeline (merge -> elaborate -> COI -> simulate
+-> BMC -> k-induction) on the three Design2SVA generator categories
+(``fsm``, ``pipeline``, ``arbiter``), proving one correct and one flawed
+template assertion per design -- the exact workload under Table 5.  Results
+are appended to ``BENCH_prover.json`` so the performance trajectory is
+tracked across PRs::
+
+    PYTHONPATH=src python scripts/bench_prover.py --label current
+    PYTHONPATH=src python scripts/bench_prover.py --count 16 --label full
+
+Each entry records wall-clock per category, per-proof latency, and the
+verdict mix (a silent correctness regression would show up as a verdict
+shift, not just a speedup).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+CATEGORIES = ("fsm", "pipeline", "arbiter")
+
+#: CI-subset prover settings (mirrors benchmarks/conftest.py DESIGN_PROVER)
+PROVER_KWARGS = {"max_bmc": 6, "max_k": 4, "sim_traces": 6, "sim_cycles": 20}
+
+
+def _responses_for(design, rng: random.Random) -> list[str]:
+    from repro.models import design_assist
+    if design.category == "arbiter":
+        from repro.datasets.design2sva.arbiter_gen import (
+            arbiter_correct_response, arbiter_flawed_response)
+        return [arbiter_correct_response(design, rng),
+                arbiter_flawed_response(design, rng)]
+    return [design_assist.correct_response(design, rng),
+            design_assist.flawed_response(design, rng)]
+
+
+def bench_category(category: str, count: int) -> dict:
+    from repro.core.tasks import Design2SvaTask
+    task = Design2SvaTask(category, count=count,
+                          prover_kwargs=dict(PROVER_KWARGS))
+    problems = task.problems()  # generation excluded from the timing
+    verdicts: dict[str, int] = {}
+    proofs = 0
+    t0 = time.perf_counter()
+    for i, design in enumerate(problems):
+        rng = random.Random(i)
+        for response in _responses_for(design, rng):
+            record = task.evaluate(design, response)
+            verdicts[record.verdict] = verdicts.get(record.verdict, 0) + 1
+            proofs += 1
+    elapsed = time.perf_counter() - t0
+    return {
+        "designs": len(problems),
+        "proofs": proofs,
+        "wall_s": round(elapsed, 4),
+        "per_proof_ms": round(1000.0 * elapsed / max(1, proofs), 3),
+        "verdicts": dict(sorted(verdicts.items())),
+    }
+
+
+def git_rev() -> str:
+    try:
+        out = subprocess.run(["git", "rev-parse", "--short", "HEAD"],
+                             capture_output=True, text=True, timeout=10,
+                             cwd=Path(__file__).resolve().parent.parent)
+        return out.stdout.strip() or "unknown"
+    except OSError:
+        return "unknown"
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--count", type=int, default=8,
+                    help="designs per category (default 8)")
+    ap.add_argument("--label", default="current",
+                    help="entry label, e.g. seed / current (default current)")
+    ap.add_argument("--output", default=str(
+        Path(__file__).resolve().parent.parent / "BENCH_prover.json"))
+    args = ap.parse_args()
+
+    entry = {
+        "label": args.label,
+        "git_rev": git_rev(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "count": args.count,
+        "prover_kwargs": dict(PROVER_KWARGS),
+        "categories": {},
+    }
+    for category in CATEGORIES:
+        entry["categories"][category] = bench_category(category, args.count)
+        print(f"{category:>9}: {entry['categories'][category]}")
+
+    path = Path(args.output)
+    doc = {"runs": []}
+    if path.exists():
+        doc = json.loads(path.read_text())
+    doc.setdefault("runs", []).append(entry)
+    path.write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"appended entry {args.label!r} to {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

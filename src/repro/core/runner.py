@@ -1,7 +1,17 @@
-"""Benchmark orchestration: model x task x samples -> evaluation records."""
+"""Benchmark orchestration: model x task x samples -> evaluation records.
+
+Independent problems evaluate in parallel when the ``FVEVAL_JOBS``
+environment variable asks for more than one worker (``FVEVAL_JOBS=0`` or
+``auto`` uses every core).  Each worker process receives the (model, task,
+config) triple once at pool start-up and evaluates whole problems, so
+records stay deterministic and identical to a serial run -- the pool only
+changes wall-clock, never results.  The default is serial, which keeps CI
+runs reproducible under tools that dislike forks.
+"""
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 from ..eval.metrics import corpus_bleu, mean, pass_at_k
@@ -80,33 +90,108 @@ class RunResult:
         return self.pass_at(k, lambda r: r.partial)
 
 
+def parallel_jobs() -> int:
+    """Worker count requested via ``FVEVAL_JOBS`` (default 1 = serial)."""
+    raw = os.environ.get("FVEVAL_JOBS", "1").strip().lower()
+    if raw in ("", "1"):
+        return 1
+    if raw in ("0", "auto"):
+        return os.cpu_count() or 1
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return 1
+
+
+def _problem_list(task, config: RunConfig) -> list:
+    problems = task.problems()
+    if config.limit is not None:
+        problems = problems[:config.limit]
+    return problems
+
+
+def _evaluate_problem(model: SimulatedModel, task, config: RunConfig,
+                      problem, index: int, total: int) -> list[EvalRecord]:
+    """Generate and score every sample of one problem (the unit of work)."""
+    context = (task.context(problem)
+               if hasattr(task, "context") else {})
+    request = GenerationRequest(
+        task=_request_task(task), problem=problem,
+        n_samples=config.n_samples, temperature=config.temperature,
+        shots=config.shots, params=dict(context.get("params", {})),
+        widths=dict(context.get("widths", {})),
+        quantile=(index + 0.5) / total)
+    responses = model.generate(request)
+    records = []
+    for i, response in enumerate(responses):
+        record = task.evaluate(problem, response, model=model.name,
+                               sample_idx=i)
+        record.meta.setdefault("reference", _reference_of(problem))
+        record.meta["shots"] = config.shots
+        records.append(record)
+    return records
+
+
+#: per-worker evaluation context, installed once at pool start-up
+_POOL_CTX: dict = {}
+
+
+def _pool_init(model: SimulatedModel, task, config: RunConfig) -> None:
+    _POOL_CTX["model"] = model
+    _POOL_CTX["task"] = task
+    _POOL_CTX["config"] = config
+
+
+def _pool_eval(index: int) -> list[EvalRecord]:
+    model = _POOL_CTX["model"]
+    task = _POOL_CTX["task"]
+    config = _POOL_CTX["config"]
+    problems = _problem_list(task, config)
+    return _evaluate_problem(model, task, config, problems[index], index,
+                             len(problems))
+
+
+def _run_parallel(model: SimulatedModel, task, config: RunConfig,
+                  total: int, jobs: int) -> list[EvalRecord] | None:
+    """Fan problems out over a process pool; None means 'run serially'.
+
+    Only pool-infrastructure failures (unpicklable payload, broken or
+    unavailable process pool) degrade to serial; a genuine evaluation
+    error in a worker propagates to the caller like a serial run's would.
+    """
+    import pickle
+    from concurrent.futures import ProcessPoolExecutor
+    from concurrent.futures.process import BrokenProcessPool
+    try:
+        with ProcessPoolExecutor(
+                max_workers=min(jobs, total),
+                initializer=_pool_init,
+                initargs=(model, task, config)) as pool:
+            per_problem = list(pool.map(_pool_eval, range(total),
+                                        chunksize=max(1, total // (4 * jobs))))
+    except (pickle.PicklingError, BrokenProcessPool, OSError, ImportError):
+        return None
+    return [record for records in per_problem for record in records]
+
+
 def run_model_on_task(model: SimulatedModel | str, task,
                       config: RunConfig | None = None) -> RunResult:
     """Evaluate one model on one task under the given decoding config."""
     if isinstance(model, str):
         model = SimulatedModel(model)
     config = config or RunConfig()
-    problems = task.problems()
-    if config.limit is not None:
-        problems = problems[:config.limit]
+    problems = _problem_list(task, config)
     result = RunResult(model=model.name, task=task.name)
     total = len(problems)
+    jobs = parallel_jobs()
+    if jobs > 1 and total > 1:
+        records = _run_parallel(model, task, config, total, jobs)
+        if records is not None:
+            result.records.extend(records)
+            return result
     for index, problem in enumerate(problems):
-        context = (task.context(problem)
-                   if hasattr(task, "context") else {})
-        request = GenerationRequest(
-            task=_request_task(task), problem=problem,
-            n_samples=config.n_samples, temperature=config.temperature,
-            shots=config.shots, params=dict(context.get("params", {})),
-            widths=dict(context.get("widths", {})),
-            quantile=(index + 0.5) / total)
-        responses = model.generate(request)
-        for i, response in enumerate(responses):
-            record = task.evaluate(problem, response, model=model.name,
-                                   sample_idx=i)
-            record.meta.setdefault("reference", _reference_of(problem))
-            record.meta["shots"] = config.shots
-            result.records.append(record)
+        result.records.extend(
+            _evaluate_problem(model, task, config, problem, index, total))
     return result
 
 

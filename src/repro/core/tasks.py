@@ -163,6 +163,49 @@ class Design2SvaTask:
         self.prover_kwargs.setdefault("sim_traces", 8)
         self.prover_kwargs.setdefault("sim_cycles", 24)
         self._problems: list[GeneratedDesign] | None = None
+        # Provers cached by transition-system signature: the n samples of
+        # one problem usually splice different assertions into the *same*
+        # support logic, and a reused Prover shares its COI cones, unrolled
+        # AIGs, incremental solvers and simulation traces across them
+        self._prover_cache: dict[tuple, Prover] = {}
+
+    @staticmethod
+    def _design_signature(design: Design) -> tuple:
+        """Assertion-independent fingerprint of the elaborated design."""
+        from ..sva.unparse import unparse
+        return (
+            design.name,
+            tuple(sorted(design.widths.items())),
+            tuple(sorted(design.inputs)),
+            tuple(sorted(design.state)),
+            tuple(sorted(design.init.items())),
+            tuple(sorted(design.params.items())),
+            design.clock,
+            tuple(design.resets),
+            tuple(sorted((n, unparse(e))
+                         for n, e in design.next_exprs.items())),
+            tuple(sorted((n, unparse(e))
+                         for n, e in design.comb_exprs.items())),
+        )
+
+    def __getstate__(self):
+        # keep worker start-up payloads small: proof sessions (AIGs, CNF,
+        # learned clauses) are rebuilt per process, not shipped
+        state = dict(self.__dict__)
+        state["_prover_cache"] = {}
+        return state
+
+    def _prover_for(self, design: Design) -> Prover:
+        key = self._design_signature(design)
+        prover = self._prover_cache.get(key)
+        if prover is None:
+            if len(self._prover_cache) >= 8:
+                # samples of one problem arrive consecutively; a tiny cache
+                # is enough and bounds session memory
+                self._prover_cache.clear()
+            prover = Prover(design, **self.prover_kwargs)
+            self._prover_cache[key] = prover
+        return prover
 
     def problems(self) -> list[GeneratedDesign]:
         if self._problems is None:
@@ -192,7 +235,7 @@ class Design2SvaTask:
             return record
         record.syntax_ok = True
         assertion = design.assertions[-1]
-        result = Prover(design, **self.prover_kwargs).prove(assertion)
+        result = self._prover_for(design).prove(assertion)
         record.verdict = result.status
         record.func = result.is_proven
         record.partial = result.is_proven

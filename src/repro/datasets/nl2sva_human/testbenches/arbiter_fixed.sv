@@ -1,0 +1,37 @@
+// NL2SVA-Human testbench: fixed-priority arbiter, 4 clients.
+// Client 0 has the highest priority; ref_gnt is the golden pick and
+// tb_gnt is masked while the arbiter is busy.
+module arbiter_fixed_tb #(parameter N_CLIENTS = 4) (
+    input clk,
+    input reset_,
+    input [N_CLIENTS-1:0] tb_req,
+    input busy
+);
+
+wire tb_reset;
+assign tb_reset = !reset_;
+
+wire [N_CLIENTS-1:0] ref_gnt;
+assign ref_gnt = tb_req[0] ? 4'b0001 :
+                 tb_req[1] ? 4'b0010 :
+                 tb_req[2] ? 4'b0100 :
+                 tb_req[3] ? 4'b1000 : 4'b0000;
+
+wire [N_CLIENTS-1:0] tb_gnt;
+assign tb_gnt = busy ? 4'b0000 : ref_gnt;
+
+// pending request strictly above client 2's priority
+wire higher_pending;
+assign higher_pending = tb_req[0] || tb_req[1];
+
+reg [N_CLIENTS-1:0] gnt_q;
+
+always @(posedge clk) begin
+    if (!reset_) begin
+        gnt_q <= 'd0;
+    end else begin
+        gnt_q <= tb_gnt;
+    end
+end
+
+endmodule

@@ -1,0 +1,38 @@
+// NL2SVA-Human testbench: reverse-priority arbiter, 4 clients.
+// Client 3 has the highest priority.  A hold request continues the
+// previous grant (cont_gnt) instead of re-arbitrating.
+module arbiter_reverse_priority_tb #(parameter N_CLIENTS = 4) (
+    input clk,
+    input reset_,
+    input [N_CLIENTS-1:0] tb_req,
+    input busy,
+    input hold
+);
+
+wire tb_reset;
+assign tb_reset = !reset_;
+
+reg [N_CLIENTS-1:0] gnt_q;
+
+wire cont_gnt;
+assign cont_gnt = hold && (gnt_q != 'd0) && !busy;
+
+wire [N_CLIENTS-1:0] ref_gnt;
+assign ref_gnt = tb_req[3] ? 4'b1000 :
+                 tb_req[2] ? 4'b0100 :
+                 tb_req[1] ? 4'b0010 :
+                 tb_req[0] ? 4'b0001 : 4'b0000;
+
+wire [N_CLIENTS-1:0] tb_gnt;
+assign tb_gnt = busy ? 4'b0000 :
+                cont_gnt ? gnt_q : ref_gnt;
+
+always @(posedge clk) begin
+    if (!reset_) begin
+        gnt_q <= 'd0;
+    end else begin
+        gnt_q <= tb_gnt;
+    end
+end
+
+endmodule

@@ -1,0 +1,57 @@
+// NL2SVA-Human testbench: round-robin arbiter, 4 clients.
+// ref_gnt is the golden round-robin choice (search starts one past the
+// last winner); tb_gnt is the DUT-facing grant, masked while busy.
+module arbiter_rr_tb #(parameter N_CLIENTS = 4) (
+    input clk,
+    input reset_,
+    input [N_CLIENTS-1:0] tb_req,
+    input busy
+);
+
+wire tb_reset;
+assign tb_reset = !reset_;
+
+reg [$clog2(N_CLIENTS)-1:0] ptr;
+reg [N_CLIENTS-1:0] gnt_q;
+
+// rotate requests so the search starts at ptr
+wire [2*N_CLIENTS-1:0] req_dbl;
+assign req_dbl = {tb_req, tb_req} >> ptr;
+wire [N_CLIENTS-1:0] req_rot;
+assign req_rot = req_dbl[N_CLIENTS-1:0];
+
+// fixed-priority pick on the rotated view (bit 0 = client at ptr)
+wire [N_CLIENTS-1:0] pick_rot;
+assign pick_rot = req_rot[0] ? 4'b0001 :
+                  req_rot[1] ? 4'b0010 :
+                  req_rot[2] ? 4'b0100 :
+                  req_rot[3] ? 4'b1000 : 4'b0000;
+
+// rotate the one-hot pick back into client space
+wire [2*N_CLIENTS-1:0] pick_dbl;
+assign pick_dbl = {4'b0000, pick_rot} << ptr;
+
+wire [N_CLIENTS-1:0] ref_gnt;
+assign ref_gnt = pick_dbl[N_CLIENTS-1:0] | pick_dbl[2*N_CLIENTS-1:N_CLIENTS];
+
+wire [N_CLIENTS-1:0] tb_gnt;
+assign tb_gnt = busy ? 4'b0000 : ref_gnt;
+
+wire [$clog2(N_CLIENTS)-1:0] gnt_idx;
+assign gnt_idx = tb_gnt[1] ? 'd1 :
+                 tb_gnt[2] ? 'd2 :
+                 tb_gnt[3] ? 'd3 : 'd0;
+
+always @(posedge clk) begin
+    if (!reset_) begin
+        ptr   <= 'd0;
+        gnt_q <= 'd0;
+    end else begin
+        if (tb_gnt != 'd0) begin
+            ptr <= gnt_idx + 'd1;
+        end
+        gnt_q <= tb_gnt;
+    end
+end
+
+endmodule

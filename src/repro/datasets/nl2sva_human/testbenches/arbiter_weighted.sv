@@ -1,0 +1,45 @@
+// NL2SVA-Human testbench: weighted arbiter, 2 clients with credit
+// counters.  A grant spends one credit; when both clients are starved
+// the credit pools refill to their weights.
+module arbiter_weighted_tb #(parameter WEIGHT0 = 3, parameter WEIGHT1 = 2) (
+    input clk,
+    input reset_,
+    input [1:0] tb_req
+);
+
+wire tb_reset;
+assign tb_reset = !reset_;
+
+reg [2:0] credit0;
+reg [2:0] credit1;
+
+wire starved0;
+wire starved1;
+assign starved0 = (credit0 == 'd0);
+assign starved1 = (credit1 == 'd0);
+
+wire refill;
+assign refill = starved0 && starved1;
+
+wire g0;
+wire g1;
+assign g0 = tb_req[0] && !starved0;
+assign g1 = tb_req[1] && !starved1 && !g0;
+
+wire [1:0] tb_gnt;
+assign tb_gnt = {g1, g0};
+
+always @(posedge clk) begin
+    if (!reset_) begin
+        credit0 <= WEIGHT0;
+        credit1 <= WEIGHT1;
+    end else if (refill) begin
+        credit0 <= WEIGHT0;
+        credit1 <= WEIGHT1;
+    end else begin
+        credit0 <= credit0 - (g0 ? 'd1 : 'd0);
+        credit1 <= credit1 - (g1 ? 'd1 : 'd0);
+    end
+end
+
+endmodule

@@ -1,0 +1,40 @@
+// NL2SVA-Human testbench: loadable saturating up/down counter.
+// Loads take effect one cycle after the strobe (load_val_q mirrors the
+// registered load value the checks compare against).
+module counter_tb #(parameter WIDTH = 4, parameter MAX_COUNT = 15) (
+    input clk,
+    input reset_,
+    input en,
+    input load,
+    input [WIDTH-1:0] load_val,
+    input up_down
+);
+
+wire tb_reset;
+assign tb_reset = !reset_;
+
+reg [WIDTH-1:0] count;
+reg [WIDTH-1:0] load_val_q;
+
+wire at_max;
+wire at_min;
+assign at_max = (count >= MAX_COUNT);
+assign at_min = (count == 'd0);
+
+always @(posedge clk) begin
+    if (!reset_) begin
+        count      <= 'd0;
+        load_val_q <= 'd0;
+    end else begin
+        load_val_q <= load_val;
+        if (load) begin
+            count <= load_val;
+        end else if (en && up_down && !at_max) begin
+            count <= count + 'd1;
+        end else if (en && !up_down && !at_min) begin
+            count <= count - 'd1;
+        end
+    end
+end
+
+endmodule

@@ -1,0 +1,66 @@
+// NL2SVA-Human testbench: 1R1W FIFO (shift-register storage).
+// Formal testbench model: the FIFO keeps newest data at the tail and
+// presents the oldest entry combinationally on fifo_out_data.  Push/pop
+// strobes are derived from valid/ready handshakes and are deliberately
+// NOT gated by full/empty -- the protocol assertions police that.
+module fifo_1r1w_tb #(parameter DATA_WIDTH = 8, parameter FIFO_DEPTH = 4) (
+    input clk,
+    input reset_,
+    input wr_vld,
+    input wr_ready,
+    input [DATA_WIDTH-1:0] wr_data,
+    input rd_vld,
+    input rd_ready
+);
+
+wire tb_reset;
+assign tb_reset = !reset_;
+
+wire wr_push;
+wire rd_pop;
+assign wr_push = wr_vld && wr_ready;
+assign rd_pop  = rd_vld && rd_ready;
+
+reg [$clog2(FIFO_DEPTH):0] count;
+reg [DATA_WIDTH-1:0] mem [FIFO_DEPTH-1:0];
+
+wire fifo_empty;
+wire fifo_full;
+assign fifo_empty = (count == 'd0);
+assign fifo_full  = (count >= FIFO_DEPTH);
+
+wire do_push;
+wire do_pop;
+assign do_push = wr_push && !fifo_full;
+assign do_pop  = rd_pop && !fifo_empty;
+
+wire [$clog2(FIFO_DEPTH):0] wr_idx;
+assign wr_idx = do_pop ? (count - 'd1) : count;
+
+wire [DATA_WIDTH-1:0] fifo_out_data;
+assign fifo_out_data = mem[0];
+
+wire [DATA_WIDTH-1:0] rd_data;
+assign rd_data = fifo_out_data;
+
+always @(posedge clk) begin
+    if (!reset_) begin
+        count  <= 'd0;
+        mem[0] <= 'd0;
+        mem[1] <= 'd0;
+        mem[2] <= 'd0;
+        mem[3] <= 'd0;
+    end else begin
+        if (do_pop) begin
+            mem[0] <= mem[1];
+            mem[1] <= mem[2];
+            mem[2] <= mem[3];
+        end
+        if (do_push) begin
+            mem[wr_idx] <= wr_data;
+        end
+        count <= (count + (do_push ? 'd1 : 'd0)) - (do_pop ? 'd1 : 'd0);
+    end
+end
+
+endmodule

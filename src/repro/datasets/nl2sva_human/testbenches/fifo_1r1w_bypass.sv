@@ -1,0 +1,69 @@
+// NL2SVA-Human testbench: 1R1W FIFO with write-to-read bypass.
+// A push that meets a pop on an empty FIFO is forwarded combinationally
+// (bypass); storage is only touched when the bypass does not fire.
+module fifo_1r1w_bypass_tb #(parameter DATA_WIDTH = 8,
+                             parameter FIFO_DEPTH = 4) (
+    input clk,
+    input reset_,
+    input wr_vld,
+    input wr_ready,
+    input [DATA_WIDTH-1:0] wr_data,
+    input rd_vld,
+    input rd_ready
+);
+
+wire tb_reset;
+assign tb_reset = !reset_;
+
+wire wr_push;
+wire rd_pop;
+assign wr_push = wr_vld && wr_ready;
+assign rd_pop  = rd_vld && rd_ready;
+
+reg [$clog2(FIFO_DEPTH):0] count;
+reg [DATA_WIDTH-1:0] mem [FIFO_DEPTH-1:0];
+
+wire fifo_empty;
+wire fifo_full;
+assign fifo_empty = (count == 'd0);
+assign fifo_full  = (count >= FIFO_DEPTH);
+
+// write meets read on an empty FIFO: forward, skip storage
+wire bypass;
+assign bypass = wr_push && rd_pop && fifo_empty;
+
+wire do_push;
+wire do_pop;
+assign do_push = wr_push && !fifo_full && !bypass;
+assign do_pop  = rd_pop && !fifo_empty;
+
+wire [$clog2(FIFO_DEPTH):0] wr_idx;
+assign wr_idx = do_pop ? (count - 'd1) : count;
+
+wire [DATA_WIDTH-1:0] fifo_out_data;
+assign fifo_out_data = bypass ? wr_data : mem[0];
+
+wire [DATA_WIDTH-1:0] rd_data;
+assign rd_data = fifo_out_data;
+
+always @(posedge clk) begin
+    if (!reset_) begin
+        count  <= 'd0;
+        mem[0] <= 'd0;
+        mem[1] <= 'd0;
+        mem[2] <= 'd0;
+        mem[3] <= 'd0;
+    end else begin
+        if (do_pop) begin
+            mem[0] <= mem[1];
+            mem[1] <= mem[2];
+            mem[2] <= mem[3];
+        end
+        if (do_push) begin
+            mem[wr_idx] <= wr_data;
+        end
+        count <= (count + (do_push ? 'd1 : 'd0)) - (do_pop ? 'd1 : 'd0);
+    end
+end
+
+endmodule

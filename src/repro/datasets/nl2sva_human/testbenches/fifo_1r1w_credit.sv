@@ -1,0 +1,57 @@
+// NL2SVA-Human testbench: 1R1W FIFO with credit-based flow control.
+// A writer spends one credit per push and the consumer hands credits
+// back via credit_rtn; the occupancy model mirrors fifo_1r1w_ptr.
+module fifo_1r1w_credit_tb #(parameter DATA_WIDTH = 8,
+                             parameter FIFO_DEPTH = 4) (
+    input clk,
+    input reset_,
+    input wr_vld,
+    input wr_ready,
+    input [DATA_WIDTH-1:0] wr_data,
+    input rd_vld,
+    input rd_ready,
+    input credit_rtn
+);
+
+wire tb_reset;
+assign tb_reset = !reset_;
+
+wire wr_push;
+wire rd_pop;
+assign wr_push = wr_vld && wr_ready;
+assign rd_pop  = rd_vld && rd_ready;
+
+reg [$clog2(FIFO_DEPTH):0] credits;
+reg [$clog2(FIFO_DEPTH):0] count;
+
+wire no_credit;
+wire all_credits;
+assign no_credit   = (credits == 'd0);
+assign all_credits = (credits >= FIFO_DEPTH);
+
+wire fifo_empty;
+wire fifo_full;
+assign fifo_empty = (count == 'd0);
+assign fifo_full  = (count >= FIFO_DEPTH);
+
+wire spend;
+wire rtn;
+assign spend = wr_push && !no_credit;
+assign rtn   = credit_rtn && (!all_credits || spend);
+
+wire do_push;
+wire do_pop;
+assign do_push = wr_push && !fifo_full;
+assign do_pop  = rd_pop && !fifo_empty;
+
+always @(posedge clk) begin
+    if (!reset_) begin
+        credits <= FIFO_DEPTH;
+        count   <= 'd0;
+    end else begin
+        credits <= (credits - (spend ? 'd1 : 'd0)) + (rtn ? 'd1 : 'd0);
+        count   <= (count + (do_push ? 'd1 : 'd0)) - (do_pop ? 'd1 : 'd0);
+    end
+end
+
+endmodule

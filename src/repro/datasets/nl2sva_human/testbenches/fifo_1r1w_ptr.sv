@@ -1,0 +1,61 @@
+// NL2SVA-Human testbench: 1R1W FIFO (read/write pointer model).
+// Circular-buffer storage with wrapping pointers and an occupancy
+// counter; full/empty derive from the counter alone.
+module fifo_1r1w_ptr_tb #(parameter DATA_WIDTH = 8,
+                          parameter FIFO_DEPTH = 4) (
+    input clk,
+    input reset_,
+    input wr_vld,
+    input wr_ready,
+    input [DATA_WIDTH-1:0] wr_data,
+    input rd_vld,
+    input rd_ready
+);
+
+wire tb_reset;
+assign tb_reset = !reset_;
+
+wire wr_push;
+wire rd_pop;
+assign wr_push = wr_vld && wr_ready;
+assign rd_pop  = rd_vld && rd_ready;
+
+reg [$clog2(FIFO_DEPTH)-1:0] wr_ptr;
+reg [$clog2(FIFO_DEPTH)-1:0] rd_ptr;
+reg [$clog2(FIFO_DEPTH):0] count;
+reg [DATA_WIDTH-1:0] mem [FIFO_DEPTH-1:0];
+
+wire fifo_empty;
+wire fifo_full;
+assign fifo_empty = (count == 'd0);
+assign fifo_full  = (count >= FIFO_DEPTH);
+
+wire do_push;
+wire do_pop;
+assign do_push = wr_push && !fifo_full;
+assign do_pop  = rd_pop && !fifo_empty;
+
+wire [DATA_WIDTH-1:0] fifo_out_data;
+assign fifo_out_data = mem[rd_ptr];
+
+wire [DATA_WIDTH-1:0] rd_data;
+assign rd_data = fifo_out_data;
+
+always @(posedge clk) begin
+    if (!reset_) begin
+        wr_ptr <= 'd0;
+        rd_ptr <= 'd0;
+        count  <= 'd0;
+    end else begin
+        if (do_push) begin
+            mem[wr_ptr] <= wr_data;
+            wr_ptr <= wr_ptr + 'd1;
+        end
+        if (do_pop) begin
+            rd_ptr <= rd_ptr + 'd1;
+        end
+        count <= (count + (do_push ? 'd1 : 'd0)) - (do_pop ? 'd1 : 'd0);
+    end
+end
+
+endmodule

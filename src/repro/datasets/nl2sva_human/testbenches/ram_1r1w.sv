@@ -1,0 +1,55 @@
+// NL2SVA-Human testbench: 1R1W RAM with a shadow scoreboard.
+// Reads have one cycle of latency (rd_en_q / rd_addr_q register the read
+// command); the shadow model tracks which addresses hold known data and
+// what that data must be.
+module ram_1r1w_tb #(parameter DATA_WIDTH = 4, parameter ADDR_WIDTH = 2) (
+    input clk,
+    input reset_,
+    input wr_en,
+    input [ADDR_WIDTH-1:0] wr_addr,
+    input [DATA_WIDTH-1:0] wr_data,
+    input rd_en,
+    input [ADDR_WIDTH-1:0] rd_addr
+);
+
+localparam DEPTH = 4;
+
+wire tb_reset;
+assign tb_reset = !reset_;
+
+reg [DATA_WIDTH-1:0] mem [DEPTH-1:0];
+reg [DATA_WIDTH-1:0] shadow_mem [DEPTH-1:0];
+reg [DEPTH-1:0] shadow_vld;
+
+reg rd_en_q;
+reg [ADDR_WIDTH-1:0] rd_addr_q;
+
+wire [DATA_WIDTH-1:0] rd_data;
+assign rd_data = mem[rd_addr_q];
+
+wire [DATA_WIDTH-1:0] shadow_out;
+assign shadow_out = shadow_mem[rd_addr_q];
+
+wire shadow_known;
+assign shadow_known = shadow_vld[rd_addr_q];
+
+wire collision;
+assign collision = wr_en && rd_en && (wr_addr == rd_addr);
+
+always @(posedge clk) begin
+    if (!reset_) begin
+        shadow_vld <= 'd0;
+        rd_en_q    <= 1'b0;
+        rd_addr_q  <= 'd0;
+    end else begin
+        if (wr_en) begin
+            mem[wr_addr]        <= wr_data;
+            shadow_mem[wr_addr] <= wr_data;
+            shadow_vld[wr_addr] <= 1'b1;
+        end
+        rd_en_q   <= rd_en;
+        rd_addr_q <= rd_addr;
+    end
+end
+
+endmodule

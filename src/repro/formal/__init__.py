@@ -12,7 +12,7 @@ This package replaces JasperGold in the FVEval evaluation flow:
   cone-of-influence reduction (:mod:`~repro.formal.coi`).
 """
 
-from .aig import AIG, FALSE, TRUE, neg
+from .aig import AIG, FALSE, TRUE, CnfWriter, neg
 from .bitvec import (
     AigBackend,
     EvalError,
@@ -31,7 +31,9 @@ from .equivalence import (
 )
 from .prover import (
     ProofResult,
+    ProofSession,
     Prover,
+    TraceChecker,
     UnrolledSource,
     check_trace,
     has_unbounded_strong,
@@ -41,11 +43,12 @@ from .sat import SatResult, Solver, solve_cnf
 from .semantics import EncodingError, PropertyEncoder, horizon_of
 
 __all__ = [
-    "AIG", "AigBackend", "EncodingError", "EquivalenceResult", "EvalError",
-    "ExprEvaluator", "FALSE", "FixedTraceSource", "FreeSignalSource",
-    "IntBackend", "ProofResult", "PropertyEncoder", "Prover", "SatResult",
-    "SignalSource", "Solver", "TRUE", "UnrolledSource", "Verdict",
-    "assertion_roots", "check_equivalence", "check_trace", "coi_stats",
-    "cone_of_influence", "has_unbounded_strong", "horizon_of", "is_tautology",
-    "neg", "prove_assertion", "solve_cnf",
+    "AIG", "AigBackend", "CnfWriter", "EncodingError", "EquivalenceResult",
+    "EvalError", "ExprEvaluator", "FALSE", "FixedTraceSource",
+    "FreeSignalSource", "IntBackend", "ProofResult", "ProofSession",
+    "PropertyEncoder", "Prover", "SatResult", "SignalSource", "Solver",
+    "TRUE", "TraceChecker", "UnrolledSource", "Verdict", "assertion_roots",
+    "check_equivalence", "check_trace", "coi_stats", "cone_of_influence",
+    "has_unbounded_strong", "horizon_of", "is_tautology", "neg",
+    "prove_assertion", "solve_cnf",
 ]

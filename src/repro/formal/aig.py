@@ -195,3 +195,75 @@ class AIG:
             raise KeyError(f"node {node} not in CNF cone")
         v = node2var[node]
         return -v if lit & 1 else v
+
+
+class CnfWriter:
+    """Incremental Tseitin encoder: AIG cones -> clauses in a live solver.
+
+    Tracks which AIG nodes have already been clausified so that each
+    :meth:`encode` call emits only the *delta* -- the not-yet-encoded part
+    of the requested cones.  This is what lets one :class:`~.sat.Solver`
+    instance accumulate the CNF of a growing unrolling (BMC frame by frame,
+    k-induction step by step) instead of re-encoding the whole formula per
+    depth (DESIGN.md, "Formal engine architecture & performance").
+
+    The writer allocates solver variables on demand; ``node2var`` maps AIG
+    node index -> solver variable for counterexample extraction.
+    """
+
+    def __init__(self, aig: AIG, solver) -> None:
+        self.aig = aig
+        self.solver = solver
+        self.node2var: dict[int, int] = {}
+        # nodes whose defining clauses have been emitted (inputs/constants
+        # count once visited); a variable allocated via :meth:`lit` alone is
+        # NOT clausified -- assumption literals must go through
+        # :meth:`encode` before they constrain anything
+        self._clausified: set[int] = set()
+
+    def var_of(self, node: int) -> int:
+        """Solver variable of an AIG node, allocating (and for constant
+        TRUE, pinning) it on first use."""
+        v = self.node2var.get(node)
+        if v is None:
+            v = self.solver.new_var()
+            self.node2var[node] = v
+            if node == 0:
+                self.solver.add_clause([v])  # TRUE must be true
+        return v
+
+    def lit(self, lit: int) -> int:
+        """DIMACS literal of an AIG literal (allocates the variable)."""
+        v = self.var_of(lit >> 1)
+        return -v if lit & 1 else v
+
+    def encode(self, roots: list[int]) -> None:
+        """Clausify the cones of *roots*, skipping already-encoded nodes."""
+        fanins = self.aig._fanins
+        clausified = self._clausified
+        add = self.solver.add_clause
+        # depth-first over the not-yet-encoded region only: a clausified
+        # node has its whole cone clausified already
+        visit: list[tuple[int, bool]] = [
+            (lit >> 1, False) for lit in roots]
+        while visit:
+            node, processed = visit.pop()
+            fi = fanins[node]
+            if processed:
+                a, b = fi
+                o = self.var_of(node)
+                la = self.lit(a)
+                lb = self.lit(b)
+                add([-o, la])
+                add([-o, lb])
+                add([o, -la, -lb])
+                continue
+            if node in clausified:
+                continue
+            clausified.add(node)
+            if fi is None:
+                self.var_of(node)  # input or constant: variable only
+                continue
+            visit.append((node, True))
+            visit.append((fi[0] >> 1, False))
+            visit.append((fi[1] >> 1, False))

@@ -20,9 +20,9 @@ from enum import Enum
 
 from ..sva.ast_nodes import Assertion
 from ..sva.parser import ParseError, parse_assertion
-from .aig import AIG, FALSE, TRUE, neg
+from .aig import AIG, FALSE, TRUE, CnfWriter, neg
 from .bitvec import FreeSignalSource
-from .sat import solve_cnf
+from .sat import Solver, solve_cnf
 from .semantics import EncodingError, PropertyEncoder, horizon_of
 
 MAX_HORIZON = 40
@@ -88,7 +88,14 @@ def _clocks_compatible(a: Assertion, b: Assertion) -> bool:
 
 
 class _Check:
-    """One bounded check at a fixed horizon."""
+    """One bounded check at a fixed horizon.
+
+    The miter and both implication directions run on a single incremental
+    solver: each query literal is Tseitin-encoded as a delta by the shared
+    :class:`~.aig.CnfWriter` and activated as an assumption, so the three
+    solves reuse one CNF of the (heavily overlapping) ref/candidate cones
+    plus whatever the earlier queries learned.
+    """
 
     def __init__(self, ref: Assertion, cand: Assertion, horizon: int,
                  widths: dict[str, int], default_width: int,
@@ -100,6 +107,8 @@ class _Check:
         self.cand_lit = encoder.encode_assertion(cand)
         self.horizon = horizon
         self.conflicts = 0
+        self.solver = Solver()
+        self.writer = CnfWriter(self.aig, self.solver)
 
     def _sat(self, lit: int, max_conflicts: int):
         """Solve satisfiability of an AIG literal; returns (status, model)."""
@@ -107,13 +116,13 @@ class _Check:
             return "sat", ({}, 0)
         if lit == FALSE:
             return "unsat", None
-        clauses, node2var, nv = self.aig.to_cnf([lit])
-        root = self.aig.cnf_literal(lit, node2var)
-        clauses.append([root])
-        result = solve_cnf(nv, clauses, max_conflicts=max_conflicts)
+        self.writer.encode([lit])
+        result = self.solver.solve([self.writer.lit(lit)],
+                                   max_conflicts=max_conflicts)
         self.conflicts += result.conflicts
         if result.is_sat:
-            return "sat", self._extract_trace(result.model, node2var)
+            return "sat", self._extract_trace(result.model,
+                                              self.writer.node2var)
         if result.is_unsat:
             return "unsat", None
         return "unknown", None

@@ -13,6 +13,15 @@ Pipeline:
    any ``k`` consecutive satisfied attempts force the next one, the property
    holds at all depths.
 
+Both bounded engines run on a **persistent incremental pipeline**
+(DESIGN.md, "Formal engine architecture & performance"): one AIG +
+unrolling + SAT solver per (design cone, init mode) is shared across every
+depth of a proof and across the assertions proved on one design.  Per-depth
+violation targets and per-step induction obligations are activated through
+solver *assumptions*, so learned clauses about the transition relation are
+retained between queries instead of being recomputed.  The pre-refactor
+one-shot path is kept (``use_incremental=False``) as a differential oracle.
+
 Verdicts mirror a commercial tool: ``proven`` / ``cex`` / ``undetermined``
 (with the bound and engine recorded).  Properties containing *unbounded
 strong* operators (``strong(##[0:$] ...)``, ``s_eventually``, ``s_until``)
@@ -35,10 +44,10 @@ from ..sva.ast_nodes import (
     StrongWeak,
     Until,
 )
-from .aig import AIG, FALSE, TRUE, neg
+from .aig import AIG, FALSE, TRUE, CnfWriter, neg
 from .bitvec import AigBackend, EvalError, ExprEvaluator, SignalSource
 from .coi import assertion_roots, cone_of_influence
-from .sat import solve_cnf
+from .sat import Solver, solve_cnf
 from .semantics import EncodingError, PropertyEncoder, horizon_of
 
 
@@ -147,13 +156,139 @@ class UnrolledSource(SignalSource):
         return tuple(bits) + tuple([FALSE] * (want - have))
 
 
+class ProofSession:
+    """Persistent incremental solving context for one design cone.
+
+    Holds the shared AIG, its unrolled signal source, one incremental
+    :class:`~.sat.Solver` and the :class:`~.aig.CnfWriter` that streams the
+    Tseitin delta of each new query into it.  Property encoders are cached
+    per horizon so BMC and every k-induction step reuse the same unrolling
+    nodes (structural hashing makes re-encoding at a new horizon touch only
+    the new frames).
+    """
+
+    def __init__(self, design: Design, free_init: bool):
+        self.design = design
+        self.aig = AIG()
+        self.source = UnrolledSource(self.aig, design, free_init=free_init)
+        self.solver = Solver()
+        self.writer = CnfWriter(self.aig, self.solver)
+        self._encoders: dict[int, PropertyEncoder] = {}
+
+    def encoder(self, horizon: int) -> PropertyEncoder:
+        enc = self._encoders.get(horizon)
+        if enc is None:
+            enc = PropertyEncoder(self.aig, self.source, horizon,
+                                  self.design.params)
+            self._encoders[horizon] = enc
+        return enc
+
+    def solve(self, lits: list[int], max_conflicts: int | None = None):
+        """Solve the conjunction of AIG literals *lits* via assumptions.
+
+        Encodes the not-yet-clausified part of each literal's cone, then
+        solves with the literals as assumptions, so nothing query-specific
+        is ever asserted permanently and learned clauses stay reusable.
+        Returns a :class:`~.sat.SatResult`; constant-FALSE literals
+        short-circuit to unsat.
+        """
+        live = [lit for lit in lits if lit != TRUE]
+        if any(lit == FALSE for lit in live):
+            from .sat import SatResult
+            return SatResult("unsat")
+        self.writer.encode(live)
+        return self.solver.solve([self.writer.lit(lit) for lit in live],
+                                 max_conflicts)
+
+    def extract_cex(self, model, max_t: int | None = None
+                    ) -> dict[str, list[int]]:
+        """Read back input valuations from a sat model (missing vars are
+        don't-cares, reported 0)."""
+        node2var = self.writer.node2var
+        frames: dict[str, dict[int, int]] = {}
+        for (name, t), bits in self.source.input_vars.items():
+            if max_t is not None and t > max_t:
+                continue
+            value = 0
+            for i, lit in enumerate(bits):
+                var = node2var.get(lit >> 1)
+                if var is not None and model.get(var, False):
+                    value |= 1 << i
+            frames.setdefault(name, {})[t] = value
+        return {name: [by_t.get(t, 0) for t in range(max(by_t) + 1)]
+                for name, by_t in frames.items()}
+
+
+class TraceChecker:
+    """Evaluate one assertion against many concrete traces.
+
+    Encodes the assertion once per (assertion, trace length) and replays
+    each trace through the precomputed AIG cone -- the simulation-first
+    falsifier calls this once per random trace, so re-encoding per trace
+    was pure waste (ISSUE 1 satellite).
+    """
+
+    def __init__(self, assertion: Assertion, length: int,
+                 widths: dict[str, int], params: dict[str, int] | None = None,
+                 first_attempt: int = 0, last_attempt: int | None = None,
+                 prehistory: int = 0):
+        from .bitvec import FreeSignalSource
+        self.length = length
+        self.prehistory = prehistory
+        self.aig = AIG()
+        self.source = FreeSignalSource(self.aig, dict(widths),
+                                       default_width=1)
+        encoder = PropertyEncoder(self.aig, self.source, length, params)
+        window = max(1, horizon_of(assertion) + 1)
+        stop = last_attempt if last_attempt is not None else length - window
+        self.attempts: dict[int, int] = {}
+        for t in range(first_attempt, max(first_attempt, stop) + 1):
+            self.attempts[t] = encoder.encode_assertion(assertion, t)
+        self._lits = list(self.attempts.values())
+        self._order = self.aig.cone(self._lits)
+
+    def first_violation(self, trace: dict[str, list[int]]) -> int | None:
+        """First violated attempt cycle on *trace*, or None."""
+        fanins = self.aig._fanins
+        values: dict[int, bool] = {0: True}
+        for (name, t), bits in self.source._cache.items():
+            idx = t + self.prehistory
+            series = trace.get(name, ())
+            value = series[idx] if 0 <= idx < len(series) else 0
+            for i, lit in enumerate(bits):
+                values[lit >> 1] = bool((value >> i) & 1)
+        for n in self._order:
+            if n in values:
+                continue
+            fi = fanins[n]
+            if fi is None:
+                values[n] = False  # unconstrained input defaults to 0
+                continue
+            a, b = fi
+            if (values[a >> 1] ^ bool(a & 1)) and (values[b >> 1]
+                                                   ^ bool(b & 1)):
+                values[n] = True
+            else:
+                values[n] = False
+        for t, lit in self.attempts.items():
+            if not (values[lit >> 1] ^ bool(lit & 1)):
+                return t
+        return None
+
+
 class Prover:
-    """Proof orchestrator for one design."""
+    """Proof orchestrator for one design.
+
+    A single instance may prove many assertions against its design; the
+    COI-reduced cone and the incremental proof sessions (shared unrolling +
+    solver) are cached across :meth:`prove` calls, keyed by the assertion's
+    cone of influence.
+    """
 
     def __init__(self, design: Design, max_bmc: int = 12, max_k: int = 6,
                  max_conflicts: int = 300_000, sim_traces: int = 24,
                  sim_cycles: int = 40, use_coi: bool = True,
-                 use_simulation: bool = True):
+                 use_simulation: bool = True, use_incremental: bool = True):
         self.design = design
         self.max_bmc = max_bmc
         self.max_k = max_k
@@ -162,7 +297,11 @@ class Prover:
         self.sim_cycles = sim_cycles
         self.use_coi = use_coi
         self.use_simulation = use_simulation
+        self.use_incremental = use_incremental
         self._assumes: tuple[Assertion, ...] = ()
+        self._coi_cache: dict[frozenset, Design] = {}
+        self._sessions: dict[tuple[frozenset, bool], ProofSession] = {}
+        self._trace_cache: dict[frozenset, list[dict[str, list[int]]]] = {}
         if not design.init and design.state:
             from ..rtl.simulator import derive_init
             derive_init(design)
@@ -175,11 +314,12 @@ class Prover:
         (input constraints, as a formal tool's assume directives)."""
         sys.setrecursionlimit(max(sys.getrecursionlimit(), 100_000))
         design = self.design
+        cone_key = frozenset(self.design.widths)
         if self.use_coi:
             roots = assertion_roots(assertion)
             for a in assumes:
                 roots |= assertion_roots(a)
-            design = cone_of_influence(design, roots)
+            design, cone_key = self._reduced_design(roots)
         self._assumes = tuple(assumes)
         try:
             if has_unbounded_strong(assertion.prop):
@@ -190,38 +330,100 @@ class Prover:
                     "undetermined", engine="none",
                     detail="liveness obligation; bounded engines only")
             if self.use_simulation:
-                cex = self._simulate_falsify(design, assertion)
+                cex = self._simulate_falsify(design, cone_key, assertion)
                 if cex is not None:
                     return ProofResult("cex", engine="simulation",
                                        counterexample=cex)
-            bmc = self._bmc(design, assertion)
+            if self.use_incremental:
+                bmc = self._bmc(design, cone_key, assertion)
+            else:
+                bmc = self._bmc_oneshot(design, assertion)
             if bmc is not None:
                 return bmc
-            return self._k_induction(design, assertion)
+            if self.use_incremental:
+                return self._k_induction(design, cone_key, assertion)
+            return self._k_induction_oneshot(design, assertion)
         except (EncodingError, EvalError) as exc:
             return ProofResult("error", detail=str(exc))
 
+    def prove_all(self, assertions, assumes: tuple[Assertion, ...] = ()
+                  ) -> list[ProofResult]:
+        """Prove several assertions on this design, sharing cone sessions."""
+        return [self.prove(a, assumes=assumes) for a in assertions]
+
+    # -- shared infrastructure ---------------------------------------------------
+
+    def _reduced_design(self, roots: set[str]) -> tuple[Design, frozenset]:
+        """COI-reduce the design, caching per cone signal set.
+
+        Two assertions with different roots but the same transitive cone
+        share one reduced design (and hence one proof session).
+        """
+        key = frozenset(r for r in roots if r in self.design.widths)
+        cached = self._coi_cache.get(key)
+        if cached is not None:
+            return cached, frozenset(cached.widths)
+        reduced = cone_of_influence(self.design, roots)
+        cone = frozenset(reduced.widths)
+        # alias by the cone itself so root sets converging to one cone share
+        existing = self._coi_cache.get(cone)
+        if existing is not None:
+            self._coi_cache[key] = existing
+            return existing, cone
+        self._coi_cache[key] = reduced
+        self._coi_cache[cone] = reduced
+        return reduced, cone
+
+    def _session(self, design: Design, cone_key: frozenset,
+                 free_init: bool) -> ProofSession:
+        key = (cone_key, free_init)
+        session = self._sessions.get(key)
+        if session is None:
+            session = ProofSession(design, free_init=free_init)
+            self._sessions[key] = session
+        return session
+
     # -- simulation falsifier --------------------------------------------------------
 
-    def _simulate_falsify(self, design: Design,
-                          assertion: Assertion) -> dict | None:
-        from ..rtl.simulator import Simulator
-        window = max(1, horizon_of(assertion) + 1)
-        for trial in range(self.sim_traces):
-            sim = Simulator(design, seed=0xF5E0A1 + trial)
+    def _sim_trace(self, design: Design, cone_key: frozenset,
+                   trial: int) -> dict[str, list[int]]:
+        """Random simulation trace *trial* of the reduced design, cached
+        per cone and materialized lazily.
+
+        Simulation is seeded, so trace ``trial`` of a cone is identical on
+        every prove() call; re-running the simulator per assertion (the
+        pre-refactor behaviour) recomputed exactly these values.  Laziness
+        keeps the easy-counterexample path (violation on the first trace)
+        as cheap as it was.
+        """
+        traces = self._trace_cache.setdefault(cone_key, [])
+        while len(traces) <= trial:
+            from ..rtl.simulator import Simulator
+            sim = Simulator(design, seed=0xF5E0A1 + len(traces))
             sim.reset()
             sim.run_random(self.sim_cycles)
-            trace = sim.trace()
-            start = 2  # skip the reset phase
-            if any(check_trace(a, trace, design.widths, design.params,
-                               first_attempt=start,
-                               last_attempt=len(sim) - window) is not None
-                   for a in self._assumes):
+            traces.append(sim.trace())
+        return traces[trial]
+
+    def _simulate_falsify(self, design: Design, cone_key: frozenset,
+                          assertion: Assertion) -> dict | None:
+        window = max(1, horizon_of(assertion) + 1)
+        start = 2  # skip the reset phase
+        length = self.sim_cycles + 2  # reset() contributes two frames
+        last = length - window
+        checker = TraceChecker(assertion, length, design.widths,
+                               design.params, first_attempt=start,
+                               last_attempt=last)
+        assume_checkers = [
+            TraceChecker(a, length, design.widths, design.params,
+                         first_attempt=start, last_attempt=last)
+            for a in self._assumes]
+        for trial in range(self.sim_traces):
+            trace = self._sim_trace(design, cone_key, trial)
+            if any(c.first_violation(trace) is not None
+                   for c in assume_checkers):
                 continue  # random stimulus broke an assumption; discard
-            bad = check_trace(assertion, trace, design.widths,
-                              design.params, first_attempt=start,
-                              last_attempt=len(sim) - window)
-            if bad is not None:
+            if checker.first_violation(trace) is not None:
                 return {name: values for name, values in trace.items()}
         return None
 
@@ -235,7 +437,46 @@ class Prover:
 
     # -- BMC -------------------------------------------------------------
 
-    def _bmc(self, design: Design, assertion: Assertion) -> ProofResult | None:
+    def _bmc(self, design: Design, cone_key: frozenset,
+             assertion: Assertion) -> ProofResult | None:
+        """Incremental BMC: one shared unrolling, one persistent solver,
+        one assumption-activated violation target per depth."""
+        window = max(1, horizon_of(assertion) + 1)
+        K = self.max_bmc + window
+        session = self._session(design, cone_key, free_init=False)
+        encoder = session.encoder(K)
+        aig = session.aig
+        env = self._environment(encoder, self.max_bmc)
+        violations = [neg(encoder.encode_assertion(assertion, t))
+                      for t in range(self.max_bmc + 1)]
+        any_violation = aig.and_(env, aig.or_many(violations))
+        if any_violation == FALSE:
+            return None  # structurally true at this bound; go prove
+        if any_violation == TRUE:
+            return ProofResult("cex", engine="bmc", depth=0,
+                               detail="assertion constant-false")
+        conflicts = 0
+        for t, viol in enumerate(violations):
+            if aig.and_(env, viol) == FALSE:
+                continue
+            result = session.solve([env, viol],
+                                   max_conflicts=self.max_conflicts)
+            conflicts += result.conflicts
+            if result.is_sat:
+                cex = session.extract_cex(result.model, max_t=K - 1)
+                return ProofResult("cex", engine="bmc", depth=self.max_bmc,
+                                   counterexample=cex,
+                                   stats={"conflicts": conflicts,
+                                          "cex_depth": t})
+            if result.status == "unknown":
+                return ProofResult("undetermined", engine="bmc",
+                                   detail="conflict budget exhausted",
+                                   stats={"conflicts": conflicts})
+        return None
+
+    def _bmc_oneshot(self, design: Design,
+                     assertion: Assertion) -> ProofResult | None:
+        """Pre-incremental reference path: fresh AIG + monolithic solve."""
         window = max(1, horizon_of(assertion) + 1)
         K = self.max_bmc + window
         aig = AIG()
@@ -267,8 +508,46 @@ class Prover:
 
     # -- k-induction -------------------------------------------------------------
 
-    def _k_induction(self, design: Design,
+    def _k_induction(self, design: Design, cone_key: frozenset,
                      assertion: Assertion) -> ProofResult:
+        """Incremental k-induction: the free-init unrolling grows step by
+        step in one shared session; base obligations and the negated target
+        are passed as assumptions, never asserted, so every learned clause
+        carries over to the next k (and the next assertion)."""
+        window = max(1, horizon_of(assertion) + 1)
+        session = self._session(design, cone_key, free_init=True)
+        aig = session.aig
+        total_conflicts = 0
+        for k in range(1, self.max_k + 1):
+            K = k + window + 1
+            encoder = session.encoder(K)
+            holds = [encoder.encode_assertion(assertion, t) for t in range(k)]
+            target = encoder.encode_assertion(assertion, k)
+            env = self._environment(encoder, k)
+            query = aig.and_(env, aig.and_(aig.and_many(holds), neg(target)))
+            if query == FALSE:
+                return ProofResult("proven", engine="k-induction", depth=k,
+                                   stats={"conflicts": total_conflicts})
+            result = session.solve([env, *holds, neg(target)],
+                                   max_conflicts=self.max_conflicts)
+            total_conflicts += result.conflicts
+            if result.is_unsat:
+                return ProofResult("proven", engine="k-induction", depth=k,
+                                   vacuous=self._is_vacuous(design, cone_key,
+                                                            assertion),
+                                   stats={"conflicts": total_conflicts})
+            if result.status == "unknown":
+                return ProofResult("undetermined", engine="k-induction",
+                                   detail="conflict budget exhausted",
+                                   stats={"conflicts": total_conflicts})
+        return ProofResult("undetermined", engine="k-induction",
+                           depth=self.max_k,
+                           detail=f"not inductive up to k={self.max_k}",
+                           stats={"conflicts": total_conflicts})
+
+    def _k_induction_oneshot(self, design: Design,
+                             assertion: Assertion) -> ProofResult:
+        """Pre-incremental reference path: fresh AIG + solver per step."""
         window = max(1, horizon_of(assertion) + 1)
         total_conflicts = 0
         for k in range(1, self.max_k + 1):
@@ -281,14 +560,16 @@ class Prover:
             env = self._environment(encoder, k)
             query = aig.and_(env, aig.and_(aig.and_many(holds), neg(target)))
             if query == FALSE:
-                return ProofResult("proven", engine=f"k-induction", depth=k)
+                return ProofResult("proven", engine="k-induction", depth=k,
+                                   stats={"conflicts": total_conflicts})
             clauses, node2var, nv = aig.to_cnf([query])
             clauses.append([aig.cnf_literal(query, node2var)])
             result = solve_cnf(nv, clauses, max_conflicts=self.max_conflicts)
             total_conflicts += result.conflicts
             if result.is_unsat:
                 return ProofResult("proven", engine="k-induction", depth=k,
-                                   vacuous=self._is_vacuous(design, assertion),
+                                   vacuous=self._is_vacuous_oneshot(design,
+                                                                    assertion),
                                    stats={"conflicts": total_conflicts})
             if result.status == "unknown":
                 return ProofResult("undetermined", engine="k-induction",
@@ -301,9 +582,32 @@ class Prover:
 
     # -- diagnostics -------------------------------------------------------------
 
-    def _is_vacuous(self, design: Design, assertion: Assertion) -> bool:
+    def _is_vacuous(self, design: Design, cone_key: frozenset,
+                    assertion: Assertion) -> bool:
         """An implication whose antecedent can never match is vacuously true
-        (reported as a flag, as commercial tools do)."""
+        (reported as a flag, as commercial tools do).  Runs on the shared
+        reachable-init session."""
+        from ..sva.ast_nodes import Implication
+        if not isinstance(assertion.prop, Implication):
+            return False
+        K = self.max_bmc + max(1, horizon_of(assertion) + 1)
+        session = self._session(design, cone_key, free_init=False)
+        encoder = session.encoder(K)
+        aig = session.aig
+        fire = []
+        for t in range(self.max_bmc + 1):
+            ends, _ = encoder.seq(assertion.prop.antecedent, t)
+            fire.append(aig.or_many(ends.values()))
+        any_fire = aig.or_many(fire)
+        if any_fire == FALSE:
+            return True
+        if any_fire == TRUE:
+            return False
+        return session.solve([any_fire],
+                             max_conflicts=self.max_conflicts).is_unsat
+
+    def _is_vacuous_oneshot(self, design: Design,
+                            assertion: Assertion) -> bool:
         from ..sva.ast_nodes import Implication
         if not isinstance(assertion.prop, Implication):
             return False
@@ -350,32 +654,17 @@ def check_trace(assertion: Assertion, trace: dict[str, list[int]],
     whose window would be truncated are skipped (their verdict is unknown).
     ``prehistory`` is the index of cycle 0 within the series (earlier
     entries supply $past/$rose values before the first attempt).
+
+    One-shot wrapper around :class:`TraceChecker`; callers replaying many
+    traces against one assertion should hold a ``TraceChecker`` instead.
     """
     length = min((len(v) for v in trace.values()), default=0) - prehistory
     if length <= 0:
         return None
-    from .bitvec import FreeSignalSource
-    aig = AIG()
-    source = FreeSignalSource(aig, dict(widths), default_width=1)
-    encoder = PropertyEncoder(aig, source, length, params)
-    window = max(1, horizon_of(assertion) + 1)
-    stop = last_attempt if last_attempt is not None else length - window
-    attempts = {}
-    for t in range(first_attempt, max(first_attempt, stop) + 1):
-        attempts[t] = encoder.encode_assertion(assertion, t)
-    assignment = {}
-    for (name, t), bits in source._cache.items():
-        idx = t + prehistory
-        series = trace.get(name, ())
-        value = series[idx] if 0 <= idx < len(series) else 0
-        for i, lit in enumerate(bits):
-            assignment[lit] = bool((value >> i) & 1)
-    lits = list(attempts.values())
-    values = aig.simulate(assignment, lits)
-    for (t, _lit), ok in zip(attempts.items(), values):
-        if not ok:
-            return t
-    return None
+    checker = TraceChecker(assertion, length, widths, params,
+                           first_attempt=first_attempt,
+                           last_attempt=last_attempt, prehistory=prehistory)
+    return checker.first_violation(trace)
 
 
 def prove_assertion(design: Design, assertion: Assertion,

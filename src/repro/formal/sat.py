@@ -1,9 +1,18 @@
-"""CDCL SAT solver (conflict-driven clause learning), from scratch.
+"""Incremental CDCL SAT solver (conflict-driven clause learning).
 
 Standard architecture: two-watched-literal propagation, 1-UIP conflict
-analysis with clause learning, VSIDS-style activity ordering, phase saving,
-and Luby restarts.  This is the decision procedure underneath every formal
+analysis with clause learning, VSIDS activity ordering over an indexed
+max-heap, phase saving, Luby restarts, and activity-driven learned-clause
+database reduction.  This is the decision procedure underneath every formal
 verdict in the repo: assertion equivalence checking, BMC and k-induction.
+
+The solver is *incremental*: clauses may be added at any time between
+``solve`` calls (``add_clause``), variables grow on demand, and repeated
+``solve(assumptions=...)`` calls retain learned clauses, variable
+activities and saved phases.  This is what lets the prover share one
+solver instance across every depth of a BMC / k-induction run and across
+the assertions proved on one design (DESIGN.md, "Formal engine
+architecture & performance").
 
 Literals use DIMACS convention: variable ``v`` (1-based) appears as ``v`` or
 ``-v``.  Internally literals are mapped to ``2*v`` / ``2*v+1``.
@@ -12,6 +21,10 @@ Literals use DIMACS convention: variable ``v`` (1-based) appears as ``v`` or
 from __future__ import annotations
 
 from dataclasses import dataclass
+
+#: learned-clause DB reduction: first reduction threshold and growth factor
+_REDUCE_BASE = 2000
+_REDUCE_GROWTH = 1.3
 
 
 def _iabs(x: int) -> int:
@@ -49,27 +62,78 @@ class SatResult:
         return self.status == "unsat"
 
 
-class Solver:
-    """A CDCL solver instance over a fixed clause database."""
+class _Clause(list):
+    """A clause is its literal list plus learned-clause metadata."""
 
-    def __init__(self, num_vars: int, clauses: list[list[int]]):
-        self.nv = num_vars
-        nlit = 2 * (num_vars + 1)
-        self.clauses: list[list[int]] = []  # internal-literal clauses
-        self.watches: list[list[int]] = [[] for _ in range(nlit)]
-        self.assign: list[int] = [-1] * (num_vars + 1)  # -1 unassigned, 0/1
-        self.level: list[int] = [0] * (num_vars + 1)
-        self.reason: list[int] = [-1] * (num_vars + 1)  # clause index
+    __slots__ = ("learned", "act")
+
+    def __init__(self, lits, learned: bool = False):
+        super().__init__(lits)
+        self.learned = learned
+        self.act = 0.0
+
+
+class Solver:
+    """An incremental CDCL solver over a growable clause database."""
+
+    def __init__(self, num_vars: int = 0,
+                 clauses: list[list[int]] | None = None):
+        self.nv = 0
+        self.clauses: list[_Clause] = []        # problem clauses
+        self.learned: list[_Clause] = []        # learned clauses
+        self.watches: list[list[_Clause]] = [[], []]
+        self.assign: list[int] = [-1]  # -1 unassigned, 0/1; index 0 unused
+        self.level: list[int] = [0]
+        self.reason: list[_Clause | None] = [None]
         self.trail: list[int] = []  # internal lits in assignment order
         self.trail_lim: list[int] = []
         self.qhead = 0
-        self.activity: list[float] = [0.0] * (num_vars + 1)
+        self.activity: list[float] = [0.0]
         self.var_inc = 1.0
         self.var_decay = 1.0 / 0.95
-        self.phase: list[int] = [0] * (num_vars + 1)
+        self.cla_inc = 1.0
+        self.cla_decay = 1.0 / 0.999
+        self.phase: list[int] = [0]
         self.ok = True
-        for c in clauses:
-            self._add_clause([self._ilit(x) for x in c])
+        self.total_conflicts = 0
+        self._max_learned = _REDUCE_BASE
+        # indexed max-heap over variable activity
+        self._heap: list[int] = []
+        self._heap_pos: list[int] = [-1]
+        self.new_vars(num_vars)
+        for c in clauses or ():
+            self.add_clause(c)
+
+    # -- variables -----------------------------------------------------------
+
+    def new_var(self) -> int:
+        """Allocate a fresh variable; returns its (positive) index.
+
+        Initial activity decreases with the index so that activity ties
+        break toward low (topologically earlier) variables -- CNF variables
+        are allocated in AIG topological order, and deciding along that
+        order maximizes propagation on easy satisfiable queries.
+        """
+        self.nv += 1
+        v = self.nv
+        self.assign.append(-1)
+        self.level.append(0)
+        self.reason.append(None)
+        self.activity.append(-1e-9 * v)
+        self.phase.append(0)
+        self.watches.append([])
+        self.watches.append([])
+        self._heap_pos.append(-1)
+        self._heap_insert(v)
+        return v
+
+    def new_vars(self, n: int) -> None:
+        for _ in range(n):
+            self.new_var()
+
+    def _ensure_vars(self, max_var: int) -> None:
+        while self.nv < max_var:
+            self.new_var()
 
     # -- literal helpers -----------------------------------------------------
 
@@ -89,11 +153,84 @@ class Solver:
             return -1
         return a ^ (ilit & 1)
 
+    # -- activity heap -------------------------------------------------------
+
+    def _heap_insert(self, v: int) -> None:
+        if self._heap_pos[v] >= 0:
+            return
+        self._heap.append(v)
+        self._heap_pos[v] = len(self._heap) - 1
+        self._heap_up(len(self._heap) - 1)
+
+    def _heap_up(self, i: int) -> None:
+        heap = self._heap
+        pos = self._heap_pos
+        act = self.activity
+        v = heap[i]
+        a = act[v]
+        while i > 0:
+            parent = (i - 1) >> 1
+            pv = heap[parent]
+            if act[pv] >= a:
+                break
+            heap[i] = pv
+            pos[pv] = i
+            i = parent
+        heap[i] = v
+        pos[v] = i
+
+    def _heap_down(self, i: int) -> None:
+        heap = self._heap
+        pos = self._heap_pos
+        act = self.activity
+        n = len(heap)
+        v = heap[i]
+        a = act[v]
+        while True:
+            left = 2 * i + 1
+            if left >= n:
+                break
+            right = left + 1
+            child = (right if right < n and act[heap[right]] > act[heap[left]]
+                     else left)
+            cv = heap[child]
+            if a >= act[cv]:
+                break
+            heap[i] = cv
+            pos[cv] = i
+            i = child
+        heap[i] = v
+        pos[v] = i
+
+    def _heap_pop(self) -> int:
+        heap = self._heap
+        pos = self._heap_pos
+        v = heap[0]
+        last = heap.pop()
+        pos[v] = -1
+        if heap:
+            heap[0] = last
+            pos[last] = 0
+            self._heap_down(0)
+        return v
+
     # -- clause database -----------------------------------------------------
 
-    def _add_clause(self, lits: list[int]) -> None:
+    def add_clause(self, lits: list[int]) -> None:
+        """Add a problem clause (external literals), any time at level 0."""
         if not self.ok:
             return
+        if self.trail_lim:  # defensive: clause addition happens at level 0
+            self._backtrack(0)
+        mx = 0
+        for x in lits:
+            v = -x if x < 0 else x
+            if v > mx:
+                mx = v
+        self._ensure_vars(mx)
+        self._add_clause_internal([self._ilit(x) for x in lits])
+
+    def _add_clause_internal(self, lits: list[int]) -> None:
         # de-duplicate, detect tautology, simplify against level-0 assignment
         seen = set()
         out = []
@@ -116,74 +253,110 @@ class Solver:
             if self._value(out[0]) == 0:
                 self.ok = False
             elif self._value(out[0]) == -1:
-                self._enqueue(out[0], -1)
-                if self._propagate() != -1:
+                self._enqueue(out[0], None)
+                if self._propagate() is not None:
                     self.ok = False
             return
-        idx = len(self.clauses)
-        self.clauses.append(out)
-        self.watches[out[0]].append(idx)
-        self.watches[out[1]].append(idx)
+        clause = _Clause(out)
+        self.clauses.append(clause)
+        self.watches[out[0]].append(clause)
+        self.watches[out[1]].append(clause)
+
+    def _learn_clause(self, lits: list[int]) -> _Clause:
+        clause = _Clause(lits, learned=True)
+        clause.act = self.cla_inc
+        self.learned.append(clause)
+        self.watches[lits[0]].append(clause)
+        self.watches[lits[1]].append(clause)
+        return clause
+
+    def _reduce_db(self) -> None:
+        """Drop the low-activity half of the learned clauses (level 0 only).
+
+        Binary clauses and clauses locked as a propagation reason survive;
+        watch lists are filtered in one pass afterwards.
+        """
+        locked = set()
+        for v in range(1, self.nv + 1):
+            r = self.reason[v]
+            if r is not None and self.assign[v] >= 0:
+                locked.add(id(r))
+        candidates = [c for c in self.learned
+                      if len(c) > 2 and id(c) not in locked]
+        if not candidates:
+            return
+        candidates.sort(key=lambda c: c.act)
+        removed = {id(c) for c in candidates[:len(candidates) // 2]}
+        if not removed:
+            return
+        self.learned = [c for c in self.learned if id(c) not in removed]
+        for wl in self.watches:
+            if wl:
+                wl[:] = [c for c in wl if id(c) not in removed]
 
     # -- assignment / propagation ---------------------------------------------
 
-    def _enqueue(self, ilit: int, reason: int) -> None:
+    def _enqueue(self, ilit: int, reason: _Clause | None) -> None:
         v = ilit >> 1
         self.assign[v] = 0 if ilit & 1 else 1
         self.level[v] = len(self.trail_lim)
         self.reason[v] = reason
         self.trail.append(ilit)
 
-    def _propagate(self) -> int:
-        """Unit propagation; returns conflicting clause index or -1."""
-        while self.qhead < len(self.trail):
-            p = self.trail[self.qhead]
+    def _propagate(self) -> _Clause | None:
+        """Unit propagation; returns the conflicting clause or None."""
+        trail = self.trail
+        assign = self.assign
+        watches = self.watches
+        while self.qhead < len(trail):
+            p = trail[self.qhead]
             self.qhead += 1
             falsified = p ^ 1
-            watchlist = self.watches[falsified]
+            watchlist = watches[falsified]
             i = 0
             j = 0
             n = len(watchlist)
             while i < n:
-                ci = watchlist[i]
+                clause = watchlist[i]
                 i += 1
-                clause = self.clauses[ci]
                 # ensure falsified literal is at position 1
                 if clause[0] == falsified:
                     clause[0], clause[1] = clause[1], clause[0]
                 first = clause[0]
-                if self._value(first) == 1:
-                    watchlist[j] = ci
+                a = assign[first >> 1]
+                if a >= 0 and a ^ (first & 1) == 1:
+                    watchlist[j] = clause
                     j += 1
                     continue
                 # search replacement watch
                 found = False
                 for k in range(2, len(clause)):
-                    if self._value(clause[k]) != 0:
-                        clause[1], clause[k] = clause[k], clause[1]
-                        self.watches[clause[1]].append(ci)
+                    lk = clause[k]
+                    ak = assign[lk >> 1]
+                    if ak < 0 or ak ^ (lk & 1) != 0:
+                        clause[1], clause[k] = lk, clause[1]
+                        watches[lk].append(clause)
                         found = True
                         break
                 if found:
                     continue
                 # clause is unit or conflicting
-                watchlist[j] = ci
+                watchlist[j] = clause
                 j += 1
-                if self._value(first) == 0:
-                    # conflict: keep remaining watches, then report
+                if a >= 0:  # first is false: conflict
                     while i < n:
                         watchlist[j] = watchlist[i]
                         j += 1
                         i += 1
                     del watchlist[j:]
-                    return ci
-                self._enqueue(first, ci)
+                    return clause
+                self._enqueue(first, clause)
             del watchlist[j:]
-        return -1
+        return None
 
     # -- conflict analysis -----------------------------------------------------
 
-    def _analyze(self, confl: int) -> tuple[list[int], int]:
+    def _analyze(self, confl: _Clause) -> tuple[list[int], int]:
         """1-UIP learning; returns (learned clause, backtrack level)."""
         learned: list[int] = [0]  # placeholder for the asserting literal
         seen = [False] * (self.nv + 1)
@@ -192,8 +365,9 @@ class Solver:
         index = len(self.trail) - 1
         cur_level = len(self.trail_lim)
         while True:
-            clause = self.clauses[confl]
-            for lit in clause:
+            if confl.learned:
+                self._bump_clause(confl)
+            for lit in confl:
                 if lit == p:
                     continue  # skip the literal this clause is the reason for
                 v = lit >> 1
@@ -232,6 +406,15 @@ class Solver:
             for i in range(1, self.nv + 1):
                 self.activity[i] *= 1e-100
             self.var_inc *= 1e-100
+        if self._heap_pos[v] >= 0:
+            self._heap_up(self._heap_pos[v])
+
+    def _bump_clause(self, clause: _Clause) -> None:
+        clause.act += self.cla_inc
+        if clause.act > 1e20:
+            for c in self.learned:
+                c.act *= 1e-20
+            self.cla_inc *= 1e-20
 
     def _backtrack(self, target_level: int) -> None:
         while len(self.trail_lim) > target_level:
@@ -241,7 +424,8 @@ class Solver:
                 v = ilit >> 1
                 self.phase[v] = self.assign[v]
                 self.assign[v] = -1
-                self.reason[v] = -1
+                self.reason[v] = None
+                self._heap_insert(v)
             del self.trail[limit:]
         self.qhead = min(self.qhead, len(self.trail))
 
@@ -251,52 +435,68 @@ class Solver:
               max_conflicts: int | None = None) -> SatResult:
         """Solve under optional assumptions (external literal convention).
 
-        ``max_conflicts`` bounds the search; exceeding it yields 'unknown'
-        (the prover maps that to an *undetermined* verdict, as a commercial
-        tool does on timeout).
+        ``max_conflicts`` bounds this call's search; exceeding it yields
+        'unknown' (the prover maps that to an *undetermined* verdict, as a
+        commercial tool does on timeout).  The solver always returns at
+        decision level 0, so further ``add_clause`` / ``solve`` calls may
+        follow; learned clauses, activities and phases are retained.
         """
         if not self.ok:
             return SatResult("unsat")
+        self._backtrack(0)
         conflicts = 0
         decisions = 0
         restart_idx = 0
         restart_budget = 32 * _luby(0)
         assume = [self._ilit(a) for a in (assumptions or [])]
+        for a in assume:
+            self._ensure_vars(a >> 1)
         assume_pos = 0
+
+        def finish(status: str, model=None) -> SatResult:
+            self._backtrack(0)
+            self.total_conflicts += conflicts
+            return SatResult(status, model=model, conflicts=conflicts,
+                             decisions=decisions)
 
         while True:
             confl = self._propagate()
-            if confl != -1:
+            if confl is not None:
                 conflicts += 1
                 if len(self.trail_lim) == 0:
-                    return SatResult("unsat", conflicts=conflicts,
-                                     decisions=decisions)
+                    self.ok = False
+                    return finish("unsat")
                 learned, back = self._analyze(confl)
                 self._backtrack(back)
                 # each assumption occupies one decision level; dropping below
                 # an assumption level means it must be re-placed
                 assume_pos = min(assume_pos, back)
                 if len(learned) == 1:
-                    if self._value(learned[0]) == 0:
-                        return SatResult("unsat", conflicts=conflicts,
-                                         decisions=decisions)
-                    if self._value(learned[0]) == -1:
-                        self._enqueue(learned[0], -1)
+                    val = self._value(learned[0])
+                    if val == 0:
+                        # the asserting literal is still false: it can only be
+                        # falsified by level-0 facts or by an assumption
+                        if len(self.trail_lim) == 0:
+                            self.ok = False
+                        return finish("unsat")
+                    if val == -1:
+                        self._enqueue(learned[0], None)
                 else:
-                    idx = len(self.clauses)
-                    self.clauses.append(learned)
-                    self.watches[learned[0]].append(idx)
-                    self.watches[learned[1]].append(idx)
-                    self._enqueue(learned[0], idx)
+                    clause = self._learn_clause(learned)
+                    self._enqueue(learned[0], clause)
                 self.var_inc *= self.var_decay
+                self.cla_inc *= self.cla_decay
                 if max_conflicts is not None and conflicts >= max_conflicts:
-                    return SatResult("unknown", conflicts=conflicts,
-                                     decisions=decisions)
+                    return finish("unknown")
                 if conflicts >= restart_budget:
                     restart_idx += 1
                     restart_budget = conflicts + 32 * _luby(restart_idx)
                     self._backtrack(0)
                     assume_pos = 0
+                    if len(self.learned) > self._max_learned:
+                        self._reduce_db()
+                        self._max_learned = int(
+                            self._max_learned * _REDUCE_GROWTH)
                 continue
 
             # place assumptions as pseudo-decisions
@@ -304,30 +504,29 @@ class Solver:
                 lit = assume[assume_pos]
                 val = self._value(lit)
                 if val == 0:
-                    return SatResult("unsat", conflicts=conflicts,
-                                     decisions=decisions)
+                    return finish("unsat")
                 self.trail_lim.append(len(self.trail))
                 assume_pos += 1
                 if val == -1:
-                    self._enqueue(lit, -1)
+                    self._enqueue(lit, None)
                 continue
 
-            # pick branching variable by activity
+            # pick branching variable: max-activity unassigned var
+            heap = self._heap
             best_v = 0
-            best_a = -1.0
-            for v in range(1, self.nv + 1):
-                if self.assign[v] < 0 and self.activity[v] > best_a:
-                    best_a = self.activity[v]
+            while heap:
+                v = self._heap_pop()
+                if self.assign[v] < 0:
                     best_v = v
+                    break
             if best_v == 0:
-                model = {v: bool(self.assign[v]) for v in range(1, self.nv + 1)}
-                self._backtrack(0)
-                return SatResult("sat", model=model, conflicts=conflicts,
-                                 decisions=decisions)
+                model = {v: bool(self.assign[v])
+                         for v in range(1, self.nv + 1)}
+                return finish("sat", model=model)
             decisions += 1
             self.trail_lim.append(len(self.trail))
             # phase saving: re-try the variable's previous polarity
-            self._enqueue(2 * best_v + (0 if self.phase[best_v] else 1), -1)
+            self._enqueue(2 * best_v + (0 if self.phase[best_v] else 1), None)
 
 
 def solve_cnf(num_vars: int, clauses: list[list[int]],

@@ -90,19 +90,23 @@ class PropertyEncoder:
         self.aig = aig
         self.K = horizon
         self.evaluator = ExprEvaluator(AigBackend(aig), source, params)
-        self._bool_cache: dict[tuple[int, int], int] = {}
+        self._bool_cache: dict[tuple[int, int], tuple] = {}
 
     # -- expression sampling ---------------------------------------------------
 
     def expr_bool(self, expr, t: int) -> int:
         key = (id(expr), t)
-        lit = self._bool_cache.get(key)
-        if lit is None:
-            try:
-                lit = self.evaluator.eval_bool(expr, t)
-            except EvalError as exc:
-                raise EncodingError(str(exc)) from exc
-            self._bool_cache[key] = lit
+        hit = self._bool_cache.get(key)
+        if hit is not None:
+            return hit[0]
+        try:
+            lit = self.evaluator.eval_bool(expr, t)
+        except EvalError as exc:
+            raise EncodingError(str(exc)) from exc
+        # pin the expr object in the value: encoders now outlive the
+        # assertions they encode (shared proof sessions), and an id()-keyed
+        # cache is only sound while the keyed object cannot be recycled
+        self._bool_cache[key] = (lit, expr)
         return lit
 
     # -- assertion entry ---------------------------------------------------------

@@ -200,6 +200,13 @@ class Design:
     def is_comb(self, name: str) -> bool:
         return name in self.comb_exprs
 
+    def __getstate__(self):
+        # the compiled-simulation cache holds exec-generated functions,
+        # which cannot pickle; workers recompile lazily on first use
+        state = dict(self.__dict__)
+        state.pop("_compiled_sim", None)
+        return state
+
 
 _HOLD_PREFIX = "__hold__"
 

@@ -49,6 +49,7 @@ class Simulator:
     """
 
     def __init__(self, design: Design, seed: int | None = None):
+        from .compile import compile_design
         self.design = design
         self.rng = random.Random(seed)
         self.state: dict[str, int] = {
@@ -57,6 +58,9 @@ class Simulator:
         self._source = _MapSource(self)
         self._evaluator = ExprEvaluator(IntBackend(), self._source,
                                         design.params)
+        # expressions compiled to straight-line Python, once per design;
+        # signals outside the compilable subset fall back to the evaluator
+        self._compiled = compile_design(design)
 
     # -- driving ------------------------------------------------------------
 
@@ -88,14 +92,28 @@ class Simulator:
         values.update(self.state)
         self.history.append(values)
         t = len(self.history) - 1
-        for name, expr in self.design.comb_exprs.items():
-            v, w = self._evaluator.eval(expr, t)
-            values[name] = v & ((1 << w) - 1) if w else 0
-            values[name] &= (1 << self.design.widths[name]) - 1
-        next_state = {}
-        for name, expr in self.design.next_exprs.items():
-            v, _w = self._evaluator.eval(expr, t)
-            next_state[name] = v & ((1 << self.design.widths[name]) - 1)
+        compiled = self._compiled
+        widths = self.design.widths
+        try:
+            for name, expr in self.design.comb_exprs.items():
+                fn = compiled.get(name)
+                if fn is not None:
+                    values[name] = fn(values)
+                    continue
+                v, w = self._evaluator.eval(expr, t)
+                values[name] = v & ((1 << w) - 1) if w else 0
+                values[name] &= (1 << widths[name]) - 1
+            next_state = {}
+            for name, expr in self.design.next_exprs.items():
+                fn = compiled.get(name)
+                if fn is not None:
+                    next_state[name] = fn(values)
+                    continue
+                v, _w = self._evaluator.eval(expr, t)
+                next_state[name] = v & ((1 << widths[name]) - 1)
+        except KeyError as exc:  # compiled read of an undriven signal
+            raise EvalError(f"signal {exc.args[0]!r} not available "
+                            f"at cycle {t}") from None
         self.state = {s: next_state.get(s, self.state.get(s, 0))
                       for s in self.design.state}
         return dict(values)

@@ -1,0 +1,178 @@
+"""Incremental solver correctness: cross-checked against one-shot solves.
+
+The incremental interface (``add_clause`` after construction, repeated
+``solve(assumptions=...)`` with learned-clause retention, clause-DB
+reduction) must agree with a fresh one-shot ``solve_cnf`` on every query.
+"""
+
+import random
+
+import pytest
+
+from repro.formal.sat import Solver, solve_cnf
+
+
+def random_cnf(rng: random.Random, nv: int, nc: int) -> list[list[int]]:
+    clauses = []
+    for _ in range(nc):
+        width = rng.choice((2, 3, 3, 3, 4))
+        lits = []
+        for v in rng.sample(range(1, nv + 1), min(width, nv)):
+            lits.append(v if rng.random() < 0.5 else -v)
+        clauses.append(lits)
+    return clauses
+
+
+def assert_model_satisfies(model, clauses, assumptions=()):
+    for clause in clauses:
+        assert any(model.get(abs(l), False) == (l > 0) for l in clause), \
+            (clause, model)
+    for a in assumptions:
+        assert model.get(abs(a), False) == (a > 0), a
+
+
+class TestIncrementalVsOneShot:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_growing_database(self, seed):
+        """Interleave clause batches and solves; every solve must match a
+        fresh one-shot solve of the clauses added so far."""
+        rng = random.Random(seed)
+        nv = rng.randint(8, 30)
+        clauses = random_cnf(rng, nv, int(nv * 4.5))
+        inc = Solver()
+        added: list[list[int]] = []
+        batch = max(3, len(clauses) // 5)
+        for start in range(0, len(clauses), batch):
+            chunk = clauses[start:start + batch]
+            for c in chunk:
+                inc.add_clause(c)
+            added.extend(chunk)
+            got = inc.solve()
+            ref = solve_cnf(nv, added)
+            assert got.status == ref.status, (start, got.status, ref.status)
+            if got.is_sat:
+                assert_model_satisfies(got.model, added)
+            if got.is_unsat:
+                break  # database only grows; stays unsat
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_repeated_assumption_solves(self, seed):
+        """Assumption solves on one instance == independent one-shot solves
+        with the assumptions as unit clauses."""
+        rng = random.Random(seed + 1000)
+        nv = rng.randint(8, 24)
+        clauses = random_cnf(rng, nv, int(nv * 3.8))
+        inc = Solver(nv, clauses)
+        for _trial in range(12):
+            k = rng.randint(0, 3)
+            assumptions = [v if rng.random() < 0.5 else -v
+                           for v in rng.sample(range(1, nv + 1), k)]
+            got = inc.solve(assumptions=assumptions)
+            ref = solve_cnf(nv, clauses + [[a] for a in assumptions])
+            assert got.status == ref.status, (assumptions, got.status,
+                                              ref.status)
+            if got.is_sat:
+                assert_model_satisfies(got.model, clauses, assumptions)
+            if not inc.ok:
+                break  # formula itself unsat; nothing more to vary
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_learned_clause_retention_is_sound(self, seed):
+        """Solving twice must not change the verdict -- retained learned
+        clauses are logical consequences, never new constraints."""
+        rng = random.Random(seed + 2000)
+        nv = rng.randint(10, 24)
+        clauses = random_cnf(rng, nv, int(nv * 4.2))
+        inc = Solver(nv, clauses)
+        first = inc.solve()
+        again = inc.solve()
+        assert first.status == again.status
+        if again.is_sat:
+            assert_model_satisfies(again.model, clauses)
+        # a subsequent assumption solve still agrees with one-shot
+        assumptions = [1] if first.is_sat else []
+        got = inc.solve(assumptions=assumptions)
+        ref = solve_cnf(nv, clauses + [[a] for a in assumptions])
+        assert got.status == ref.status
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_clause_db_reduction_correctness(self, seed):
+        """Force aggressive learned-clause reduction; verdicts must still
+        match one-shot solves (reduction may only drop redundant clauses)."""
+        rng = random.Random(seed + 3000)
+        nv = rng.randint(16, 28)
+        clauses = random_cnf(rng, nv, int(nv * 4.4))
+        inc = Solver(nv, clauses)
+        inc._max_learned = 4  # reduce at nearly every restart
+        for _trial in range(8):
+            k = rng.randint(0, 2)
+            assumptions = [v if rng.random() < 0.5 else -v
+                           for v in rng.sample(range(1, nv + 1), k)]
+            got = inc.solve(assumptions=assumptions)
+            ref = solve_cnf(nv, clauses + [[a] for a in assumptions])
+            assert got.status == ref.status, (assumptions,)
+            if got.is_sat:
+                assert_model_satisfies(got.model, clauses, assumptions)
+            if not inc.ok:
+                break
+
+
+class TestIncrementalInterface:
+    def test_variables_grow_on_demand(self):
+        s = Solver()
+        s.add_clause([1, 2])
+        s.add_clause([-2, 5])
+        assert s.nv >= 5
+        assert s.solve().is_sat
+
+    def test_add_clause_after_solve(self):
+        s = Solver()
+        s.add_clause([1, 2])
+        assert s.solve().is_sat
+        s.add_clause([-1])
+        s.add_clause([-2])
+        assert s.solve().is_unsat
+
+    def test_unsat_under_assumptions_is_recoverable(self):
+        s = Solver()
+        s.add_clause([1, 2])
+        s.add_clause([-1, 2])
+        assert s.solve(assumptions=[-2]).is_unsat
+        assert s.ok  # only the assumptions were contradictory
+        assert s.solve().is_sat
+        assert s.solve(assumptions=[2]).is_sat
+
+    def test_globally_unsat_sticks(self):
+        s = Solver()
+        s.add_clause([1])
+        s.add_clause([-1])
+        assert s.solve().is_unsat
+        assert not s.ok
+        assert s.solve().is_unsat
+
+    def test_learned_clauses_accumulate(self):
+        rng = random.Random(7)
+        nv = 24
+        clauses = random_cnf(rng, nv, 110)
+        s = Solver(nv, clauses)
+        s.solve()
+        baseline = len(s.learned)
+        s.solve(assumptions=[1, -2, 3])
+        assert len(s.learned) >= baseline  # retained across calls
+
+    def test_conflict_budget_yields_unknown(self):
+        # pigeonhole PHP(5,4): hard for resolution, guarantees conflicts
+        nv = 0
+        var = {}
+        for p in range(5):
+            for h in range(4):
+                nv += 1
+                var[p, h] = nv
+        clauses = [[var[p, h] for h in range(4)] for p in range(5)]
+        for h in range(4):
+            for p1 in range(5):
+                for p2 in range(p1 + 1, 5):
+                    clauses.append([-var[p1, h], -var[p2, h]])
+        res = solve_cnf(nv, clauses, max_conflicts=3)
+        assert res.status == "unknown"
+        assert solve_cnf(nv, clauses).is_unsat
