@@ -10,10 +10,19 @@ tracked across PRs::
 
     PYTHONPATH=src python scripts/bench_prover.py --label current
     PYTHONPATH=src python scripts/bench_prover.py --count 16 --label full
+    PYTHONPATH=src python scripts/bench_prover.py --profile --expect-mix
 
 Each entry records wall-clock per category, per-proof latency, and the
 verdict mix (a silent correctness regression would show up as a verdict
-shift, not just a speedup).
+shift, not just a speedup).  ``--profile`` adds the per-stage breakdown
+(sim = trace generation + bit-parallel replay, BMC, k-induction, encode =
+property/CNF encoding, sat) plus solver statistics.  ``--scalar-sim``,
+``--no-simplify`` and ``--no-cache`` disable the bit-parallel simulator,
+the pre-CNF AIG sweep and the verdict memoization respectively -- together
+they reproduce the pre-PR-2 engine for A/B rows.  ``--expect-mix`` exits
+nonzero unless every category produced both ``proven`` and ``cex``
+verdicts and no errors (the CI smoke gate; no timing assertions, so slow
+shared runners cannot flake it).
 """
 
 from __future__ import annotations
@@ -33,6 +42,12 @@ CATEGORIES = ("fsm", "pipeline", "arbiter")
 #: CI-subset prover settings (mirrors benchmarks/conftest.py DESIGN_PROVER)
 PROVER_KWARGS = {"max_bmc": 6, "max_k": 4, "sim_traces": 6, "sim_cycles": 20}
 
+#: profile keys folded into the reported simulation-falsification stage
+SIM_KEYS = ("sim_gen_s", "sim_check_s")
+STAGE_KEYS = ("sim_s", "sim_build_s", "sim_gen_s", "sim_check_s", "bmc_s",
+              "kind_s", "encode_s", "sat_s")
+SOLVER_KEYS = ("decisions", "propagations", "conflicts", "learned_db")
+
 
 def _responses_for(design, rng: random.Random) -> list[str]:
     from repro.models import design_assist
@@ -45,10 +60,12 @@ def _responses_for(design, rng: random.Random) -> list[str]:
             design_assist.flawed_response(design, rng)]
 
 
-def bench_category(category: str, count: int) -> dict:
+def bench_category(category: str, count: int, prover_kwargs: dict,
+                   use_cache: bool, with_profile: bool) -> dict:
     from repro.core.tasks import Design2SvaTask
     task = Design2SvaTask(category, count=count,
-                          prover_kwargs=dict(PROVER_KWARGS))
+                          prover_kwargs=dict(prover_kwargs),
+                          use_cache=use_cache)
     problems = task.problems()  # generation excluded from the timing
     verdicts: dict[str, int] = {}
     proofs = 0
@@ -60,23 +77,79 @@ def bench_category(category: str, count: int) -> dict:
             verdicts[record.verdict] = verdicts.get(record.verdict, 0) + 1
             proofs += 1
     elapsed = time.perf_counter() - t0
-    return {
+    result = {
         "designs": len(problems),
         "proofs": proofs,
         "wall_s": round(elapsed, 4),
         "per_proof_ms": round(1000.0 * elapsed / max(1, proofs), 3),
         "verdicts": dict(sorted(verdicts.items())),
     }
+    if with_profile:
+        prof = task.profile
+        stages = {k: round(prof[k], 4) for k in STAGE_KEYS if k in prof}
+        stages["sim_stage_s"] = round(
+            sum(prof.get(k, 0.0) for k in SIM_KEYS), 4)
+        result["profile"] = stages
+        result["solver"] = {k: prof[k] for k in SOLVER_KEYS if k in prof}
+        result["cache"] = task.cache_stats()
+    return result
 
 
-def git_rev() -> str:
+def print_profile(category: str, entry: dict) -> None:
+    prof = entry.get("profile")
+    if not prof:
+        return
+    parts = [f"sim={prof.get('sim_stage_s', 0):.3f}s"
+             f" (gen={prof.get('sim_gen_s', 0):.3f}"
+             f" replay={prof.get('sim_check_s', 0):.3f})",
+             f"bmc={prof.get('bmc_s', 0):.3f}s",
+             f"k-ind={prof.get('kind_s', 0):.3f}s",
+             f"encode={prof.get('sim_build_s', 0) + prof.get('encode_s', 0):.3f}s"
+             f" (prop={prof.get('sim_build_s', 0):.3f}"
+             f" cnf={prof.get('encode_s', 0):.3f})",
+             f"sat={prof.get('sat_s', 0):.3f}s"]
+    print(f"{category:>9}  stages: " + "  ".join(parts))
+    solver = entry.get("solver")
+    if solver:
+        print(f"{category:>9}  solver: " + "  ".join(
+            f"{k}={v}" for k, v in solver.items()))
+
+
+def git_state() -> tuple[str, bool]:
+    """Actual commit of the benched tree plus its dirty flag.
+
+    Pre-PR-2 entries recorded whatever HEAD said even when the working
+    tree carried the changes being measured; the dirty flag makes a bench
+    row traceable to a real commit (or visibly not).
+    """
+    root = Path(__file__).resolve().parent.parent
     try:
         out = subprocess.run(["git", "rev-parse", "--short", "HEAD"],
                              capture_output=True, text=True, timeout=10,
-                             cwd=Path(__file__).resolve().parent.parent)
-        return out.stdout.strip() or "unknown"
-    except OSError:
-        return "unknown"
+                             cwd=root)
+        rev = out.stdout.strip() or "unknown"
+        status = subprocess.run(["git", "status", "--porcelain"],
+                                capture_output=True, text=True, timeout=10,
+                                cwd=root)
+        dirty = bool(status.stdout.strip()) or status.returncode != 0
+        return rev, dirty
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown", False
+
+
+def check_mix(entry: dict) -> list[str]:
+    """Verdict-mix assertion: each category proves and refutes something."""
+    problems = []
+    for category, data in entry["categories"].items():
+        verdicts = data["verdicts"]
+        for needed in ("proven", "cex"):
+            if verdicts.get(needed, 0) == 0:
+                problems.append(f"{category}: no {needed!r} verdicts")
+        for bad in ("error", "syntax_error"):
+            if verdicts.get(bad, 0):
+                problems.append(
+                    f"{category}: {verdicts[bad]} {bad!r} verdicts")
+    return problems
 
 
 def main() -> int:
@@ -85,21 +158,47 @@ def main() -> int:
                     help="designs per category (default 8)")
     ap.add_argument("--label", default="current",
                     help="entry label, e.g. seed / current (default current)")
+    ap.add_argument("--profile", action="store_true",
+                    help="record per-stage wall-clock and solver statistics")
+    ap.add_argument("--scalar-sim", action="store_true",
+                    help="disable the bit-parallel simulator (pre-PR-2 path)")
+    ap.add_argument("--no-simplify", action="store_true",
+                    help="disable the pre-CNF AIG sweep")
+    ap.add_argument("--no-cache", action="store_true",
+                    help="disable cross-sample verdict memoization")
+    ap.add_argument("--expect-mix", action="store_true",
+                    help="fail unless every category has proven+cex verdicts")
     ap.add_argument("--output", default=str(
         Path(__file__).resolve().parent.parent / "BENCH_prover.json"))
     args = ap.parse_args()
 
+    prover_kwargs = dict(PROVER_KWARGS)
+    if args.scalar_sim:
+        prover_kwargs["use_packed_sim"] = False
+    if args.no_simplify:
+        prover_kwargs["simplify"] = False
+
+    rev, dirty = git_state()
     entry = {
         "label": args.label,
-        "git_rev": git_rev(),
+        "git_rev": rev,
+        "git_dirty": dirty,
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
         "count": args.count,
-        "prover_kwargs": dict(PROVER_KWARGS),
+        "prover_kwargs": dict(prover_kwargs),
+        "use_cache": not args.no_cache,
         "categories": {},
     }
     for category in CATEGORIES:
-        entry["categories"][category] = bench_category(category, args.count)
-        print(f"{category:>9}: {entry['categories'][category]}")
+        entry["categories"][category] = bench_category(
+            category, args.count, prover_kwargs,
+            use_cache=not args.no_cache, with_profile=args.profile)
+        data = entry["categories"][category]
+        print(f"{category:>9}: designs={data['designs']} "
+              f"proofs={data['proofs']} wall={data['wall_s']}s "
+              f"per_proof={data['per_proof_ms']}ms "
+              f"verdicts={data['verdicts']}")
+        print_profile(category, data)
 
     path = Path(args.output)
     doc = {"runs": []}
@@ -108,6 +207,15 @@ def main() -> int:
     doc.setdefault("runs", []).append(entry)
     path.write_text(json.dumps(doc, indent=2) + "\n")
     print(f"appended entry {args.label!r} to {path}")
+
+    if args.expect_mix:
+        problems = check_mix(entry)
+        if problems:
+            print("verdict-mix check FAILED:")
+            for p in problems:
+                print(f"  {p}")
+            return 1
+        print("verdict-mix check passed")
     return 0
 
 

@@ -1,0 +1,136 @@
+"""Cross-sample verdict memoization for pass@k evaluation.
+
+FVEval's dominant cost is re-checking many LLM samples per problem; in a
+pass@k sampling run a large fraction of samples are semantically identical
+(same property modulo formatting, operand order, operator spelling).  The
+:class:`VerdictCache` maps a *semantic key* -- design/context signature +
+canonicalized assertion (:mod:`repro.sva.canonical`) + engine
+configuration -- to the verdict-level fields of an evaluation, so
+duplicate samples within a problem share one formal verdict and repeated
+runs skip re-proving entirely.
+
+Two layers:
+
+* an **in-memory** dict, always on (disable with ``FVEVAL_NO_CACHE=1`` or
+  per-task ``use_cache=False`` -- the differential tests do);
+* an optional **on-disk** layer enabled by ``FVEVAL_CACHE=<dir>``: one
+  JSON file per key under ``<dir>/<namespace>/<k[:2]>/<k>.json``, written
+  atomically (temp file + ``os.replace``), so concurrent ``FVEVAL_JOBS``
+  workers and successive runs share verdicts without locking.
+
+Keys are SHA-256 over a stable JSON rendering and include the engine
+configuration (prover kwargs / equivalence settings) plus a schema
+version, so changing either invalidates the cache instead of serving
+stale verdicts (``tests/test_core_cache.py``).
+
+Correctness note: only *deterministic, history-independent* fields are
+cached (verdict, functional flags, detail, proof metadata) -- never solver
+statistics, which legitimately vary with incremental-solver history.
+Cached and uncached runs are therefore record-for-record identical.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+
+#: bump to invalidate all persisted entries on semantics changes
+SCHEMA_VERSION = 1
+
+
+def cache_dir_from_env() -> str | None:
+    """Directory of the on-disk layer, or None when disabled."""
+    if os.environ.get("FVEVAL_NO_CACHE", "") == "1":
+        return None
+    return os.environ.get("FVEVAL_CACHE") or None
+
+
+def caching_disabled() -> bool:
+    return os.environ.get("FVEVAL_NO_CACHE", "") == "1"
+
+
+class VerdictCache:
+    """Two-layer (memory + optional disk) verdict store.
+
+    ``namespace`` separates task families; the disk directory is read per
+    operation so a worker process inherits ``FVEVAL_CACHE`` naturally.
+    """
+
+    def __init__(self, namespace: str, disk_dir: str | None | object = None):
+        self.namespace = namespace
+        self._explicit_dir = disk_dir
+        self.mem: dict[str, dict] = {}
+        self.hits = 0
+        self.misses = 0
+        self.disk_hits = 0
+        self.puts = 0
+
+    # -- keys ----------------------------------------------------------------
+
+    @staticmethod
+    def key(*parts) -> str:
+        """Stable digest of arbitrarily nested JSON-serializable parts."""
+        blob = json.dumps([SCHEMA_VERSION, *parts], sort_keys=True,
+                          separators=(",", ":"), default=str)
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+    # -- storage -------------------------------------------------------------
+
+    def _dir(self) -> Path | None:
+        root = (self._explicit_dir if self._explicit_dir is not None
+                else cache_dir_from_env())
+        if not root:
+            return None
+        return Path(root) / self.namespace
+
+    def _path(self, key: str) -> Path | None:
+        d = self._dir()
+        if d is None:
+            return None
+        return d / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> dict | None:
+        value = self.mem.get(key)
+        if value is not None:
+            self.hits += 1
+            return value
+        path = self._path(key)
+        if path is not None:
+            try:
+                value = json.loads(path.read_text())
+            except (OSError, ValueError):
+                value = None
+            if isinstance(value, dict):
+                self.mem[key] = value
+                self.hits += 1
+                self.disk_hits += 1
+                return value
+        self.misses += 1
+        return None
+
+    def put(self, key: str, value: dict) -> None:
+        self.mem[key] = value
+        self.puts += 1
+        path = self._path(key)
+        if path is None:
+            return
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w") as fh:
+                    json.dump(value, fh, separators=(",", ":"))
+                os.replace(tmp, path)  # atomic on POSIX: no torn reads
+            except BaseException:
+                os.unlink(tmp)
+                raise
+        except OSError:
+            pass  # disk layer is best-effort; memory layer already holds it
+
+    def stats(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "disk_hits": self.disk_hits, "puts": self.puts,
+                "entries": len(self.mem)}

@@ -155,6 +155,55 @@ def table6_corpus_stats() -> Table:
 
 
 # ---------------------------------------------------------------------------
+# Run summaries
+# ---------------------------------------------------------------------------
+
+
+def run_summary(result: RunResult, task=None) -> str:
+    """Human-readable summary of one run: aggregate metrics plus engine
+    observability (verdict-cache hit rates, per-stage prover wall-clock and
+    SAT statistics -- decisions, propagations, conflicts, learned-DB size).
+
+    ``result.stats`` is populated by :func:`~repro.core.runner.
+    run_model_on_task`; pass the task to read live counters instead.
+    """
+    stats = dict(result.stats)
+    if task is not None:
+        from .runner import _collect_stats
+        stats = _collect_stats(task) or stats
+    lines = [f"run: model={result.model} task={result.task} "
+             f"records={len(result.records)}"]
+    lines.append(f"  rates: syntax={result.syntax_rate:.3f} "
+                 f"func={result.func_rate:.3f} "
+                 f"partial={result.partial_rate:.3f}")
+    cache = stats.get("cache")
+    if cache:
+        total = cache.get("hits", 0) + cache.get("misses", 0)
+        rate = cache.get("hits", 0) / total if total else 0.0
+        lines.append(f"  verdict cache: {cache.get('hits', 0)} hits / "
+                     f"{total} lookups ({rate:.1%}), "
+                     f"{cache.get('disk_hits', 0)} from disk, "
+                     f"{cache.get('entries', 0)} entries")
+    prover = stats.get("prover")
+    if prover:
+        stages = [(label, prover.get(key)) for label, key in
+                  (("sim", "sim_s"), ("bmc", "bmc_s"), ("k-ind", "kind_s"),
+                   ("encode", "encode_s"), ("sat", "sat_s"))
+                  if prover.get(key) is not None]
+        if stages:
+            lines.append("  prover stages: " + "  ".join(
+                f"{label}={value:.3f}s" for label, value in stages))
+        sat = [(label, prover.get(key)) for label, key in
+               (("decisions", "decisions"), ("propagations", "propagations"),
+                ("conflicts", "conflicts"), ("learned-db", "learned_db"))
+               if prover.get(key) is not None]
+        if sat:
+            lines.append("  solver: " + "  ".join(
+                f"{label}={value}" for label, value in sat))
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
 # Figures
 # ---------------------------------------------------------------------------
 

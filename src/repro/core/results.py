@@ -22,6 +22,8 @@ def save_records(result: RunResult, path: str | Path) -> int:
     with path.open("w") as fh:
         header = {"model": result.model, "task": result.task,
                   "kind": "fveval-run"}
+        if result.stats:
+            header["stats"] = result.stats
         fh.write(json.dumps(header) + "\n")
         for record in result.records:
             fh.write(json.dumps(asdict(record)) + "\n")
@@ -36,7 +38,8 @@ def load_records(path: str | Path) -> RunResult:
     if not lines or lines[0].get("kind") != "fveval-run":
         raise ValueError(f"{path} is not a saved FVEval run")
     header = lines[0]
-    result = RunResult(model=header["model"], task=header["task"])
+    result = RunResult(model=header["model"], task=header["task"],
+                       stats=header.get("stats", {}))
     for payload in lines[1:]:
         result.records.append(EvalRecord(**payload))
     return result

@@ -36,6 +36,9 @@ class RunResult:
     model: str
     task: str
     records: list[EvalRecord] = field(default_factory=list)
+    #: run observability: verdict-cache hit rates and prover stage/solver
+    #: totals (serial runs only -- workers keep their own counters)
+    stats: dict = field(default_factory=dict)
 
     # -- aggregates ------------------------------------------------------------
 
@@ -174,6 +177,19 @@ def _run_parallel(model: SimulatedModel, task, config: RunConfig,
     return [record for records in per_problem for record in records]
 
 
+def _collect_stats(task) -> dict:
+    """Observability payload from a task: cache hit rates, prover profile."""
+    stats: dict = {}
+    cache_stats = getattr(task, "cache_stats", None)
+    if callable(cache_stats):
+        stats["cache"] = cache_stats()
+    profile = getattr(task, "profile", None)
+    if isinstance(profile, dict) and profile:
+        stats["prover"] = {k: (round(v, 6) if isinstance(v, float) else v)
+                           for k, v in profile.items()}
+    return stats
+
+
 def run_model_on_task(model: SimulatedModel | str, task,
                       config: RunConfig | None = None) -> RunResult:
     """Evaluate one model on one task under the given decoding config."""
@@ -188,10 +204,13 @@ def run_model_on_task(model: SimulatedModel | str, task,
         records = _run_parallel(model, task, config, total, jobs)
         if records is not None:
             result.records.extend(records)
+            # the parent task's counters never ticked -- the pool workers
+            # hold the real ones -- so attach nothing rather than zeros
             return result
     for index, problem in enumerate(problems):
         result.records.extend(
             _evaluate_problem(model, task, config, problem, index, total))
+    result.stats = _collect_stats(task)
     return result
 
 

@@ -25,10 +25,12 @@ from ..datasets.nl2sva_machine.generator import (
 from ..formal.equivalence import Verdict, check_equivalence
 from ..formal.prover import Prover
 from ..rtl.elaborate import Design, ElaborationError, elaborate
+from ..sva.canonical import CanonicalizationError, canonical_key
 from ..sva.lexer import strip_code_fences
 from ..sva.syntax import check_assertion_syntax
 from ..eval.metrics import sentence_bleu
 from . import prompts
+from .cache import VerdictCache, caching_disabled
 
 
 @dataclass
@@ -49,12 +51,94 @@ class EvalRecord:
     meta: dict = field(default_factory=dict)
 
 
-class Nl2SvaHumanTask:
+def _memoized_fields(cache: VerdictCache, enabled: bool, key_parts,
+                     record: EvalRecord, fields: tuple[str, ...],
+                     compute) -> None:
+    """Get-or-compute the deterministic verdict fields of *record*.
+
+    ``key_parts`` is a zero-arg callable returning the semantic key parts
+    (it may raise :class:`CanonicalizationError`, which skips memoization
+    for the sample); ``compute`` fills the record by running the formal
+    check.  One shared protocol keeps the equivalence and proof caches
+    field-for-field consistent -- the record-identical-to-uncached
+    invariant depends on both sites caching exactly the same way.
+    """
+    key = None
+    if enabled and not caching_disabled():
+        try:
+            key = cache.key(*key_parts())
+        except CanonicalizationError:
+            key = None  # unparseable despite syntax pass: just compute
+        if key is not None:
+            hit = cache.get(key)
+            if hit is not None:
+                for name in fields:
+                    value = hit[name]
+                    setattr(record, name,
+                            dict(value) if isinstance(value, dict) else value)
+                return
+    compute()
+    if key is not None:
+        entry = {}
+        for name in fields:
+            value = getattr(record, name)
+            entry[name] = dict(value) if isinstance(value, dict) else value
+        cache.put(key, entry)
+
+
+class _EquivalenceMemo:
+    """Shared verdict memoization for the two NL2SVA tasks.
+
+    Candidate responses are canonicalized (:mod:`repro.sva.canonical`);
+    samples whose canonical key, reference and signal context match share
+    one equivalence verdict instead of re-running the miter checks.  Only
+    deterministic verdict fields are cached, so cached and uncached runs
+    produce identical records (``tests/test_core_cache.py``).
+    """
+
+    def __init__(self, namespace: str, use_cache: bool):
+        from ..formal.equivalence import DEFAULT_MAX_CONFLICTS, MAX_HORIZON
+        self.use_cache = use_cache
+        self.cache = VerdictCache(namespace)
+        # engine settings the verdict depends on: changing the checker's
+        # horizon/budget defaults invalidates instead of serving stale
+        # verdicts (mirrors Design2SvaTask._engine_key)
+        self._engine_key = ("equiv-defaults", MAX_HORIZON,
+                            DEFAULT_MAX_CONFLICTS)
+
+    def cache_stats(self) -> dict[str, int]:
+        return self.cache.stats()
+
+    def _cached_equivalence(self, reference, response: str,
+                            widths: dict[str, int],
+                            params: dict[str, int] | None,
+                            record: EvalRecord) -> None:
+        """Fill *record*'s verdict fields, via the cache when possible."""
+        def key_parts():
+            return ("equiv", canonical_key(reference, params),
+                    canonical_key(response, params),
+                    sorted(widths.items()), sorted((params or {}).items()),
+                    self._engine_key)
+
+        def compute():
+            result = check_equivalence(reference, response,
+                                       signal_widths=widths, params=params)
+            record.verdict = result.verdict.value
+            record.func = result.is_full
+            record.partial = result.is_partial
+            record.detail = result.detail
+
+        _memoized_fields(self.cache, self.use_cache, key_parts, record,
+                         ("verdict", "func", "partial", "detail"), compute)
+
+
+class Nl2SvaHumanTask(_EquivalenceMemo):
     """NL2SVA-Human: assertion generation against real-world testbenches."""
 
     name = "nl2sva_human"
 
-    def __init__(self):
+    def __init__(self, use_cache: bool = True):
+        super().__init__("nl2sva_human", use_cache)
         self._design_cache: dict[str, Design] = {}
 
     def problems(self) -> list[HumanProblem]:
@@ -91,23 +175,20 @@ class Nl2SvaHumanTask:
             record.verdict = "syntax_error"
             record.detail = "; ".join(report.errors[:2])
             return record
-        result = check_equivalence(problem.reference,
-                                   strip_code_fences(response),
-                                   signal_widths=design.widths,
-                                   params=design.params)
-        record.verdict = result.verdict.value
-        record.func = result.is_full
-        record.partial = result.is_partial
-        record.detail = result.detail
+        self._cached_equivalence(problem.reference,
+                                 strip_code_fences(response),
+                                 design.widths, design.params, record)
         return record
 
 
-class Nl2SvaMachineTask:
+class Nl2SvaMachineTask(_EquivalenceMemo):
     """NL2SVA-Machine: synthetic NL-to-SVA translation stress test."""
 
     name = "nl2sva_machine"
 
-    def __init__(self, count: int = 300, seed: int = 0):
+    def __init__(self, count: int = 300, seed: int = 0,
+                 use_cache: bool = True):
+        super().__init__("nl2sva_machine", use_cache)
         self.count = count
         self.seed = seed
         self._problems: list[MachineProblem] | None = None
@@ -137,13 +218,9 @@ class Nl2SvaMachineTask:
             record.verdict = "syntax_error"
             record.detail = "; ".join(report.errors[:2])
             return record
-        result = check_equivalence(problem.assertion,
-                                   strip_code_fences(response),
-                                   signal_widths=dict(SIGNAL_WIDTHS))
-        record.verdict = result.verdict.value
-        record.func = result.is_full
-        record.partial = result.is_partial
-        record.detail = result.detail
+        self._cached_equivalence(problem.assertion,
+                                 strip_code_fences(response),
+                                 dict(SIGNAL_WIDTHS), None, record)
         return record
 
 
@@ -153,21 +230,33 @@ class Design2SvaTask:
     name = "design2sva"
 
     def __init__(self, category: str = "fsm", count: int = 96, seed: int = 0,
-                 prover_kwargs: dict | None = None):
+                 prover_kwargs: dict | None = None, use_cache: bool = True):
         self.category = category
         self.count = count
         self.seed = seed
+        self.use_cache = use_cache
         self.prover_kwargs = dict(prover_kwargs or {})
         self.prover_kwargs.setdefault("max_bmc", 8)
         self.prover_kwargs.setdefault("max_k", 5)
         self.prover_kwargs.setdefault("sim_traces", 8)
         self.prover_kwargs.setdefault("sim_cycles", 24)
+        #: per-stage wall-clock + solver totals aggregated over all provers
+        #: this task creates (callers may inject a shared dict)
+        self.profile: dict = self.prover_kwargs.setdefault("profile", {})
+        #: engine settings that determine verdicts -- the cache key part;
+        #: the profile dict is observability, not semantics
+        self._engine_key = sorted(
+            (k, v) for k, v in self.prover_kwargs.items() if k != "profile")
+        self.cache = VerdictCache(f"design2sva_{category}")
         self._problems: list[GeneratedDesign] | None = None
         # Provers cached by transition-system signature: the n samples of
         # one problem usually splice different assertions into the *same*
         # support logic, and a reused Prover shares its COI cones, unrolled
         # AIGs, incremental solvers and simulation traces across them
         self._prover_cache: dict[tuple, Prover] = {}
+
+    def cache_stats(self) -> dict[str, int]:
+        return self.cache.stats()
 
     @staticmethod
     def _design_signature(design: Design) -> tuple:
@@ -235,13 +324,24 @@ class Design2SvaTask:
             return record
         record.syntax_ok = True
         assertion = design.assertions[-1]
-        result = self._prover_for(design).prove(assertion)
-        record.verdict = result.status
-        record.func = result.is_proven
-        record.partial = result.is_proven
-        record.detail = result.detail
-        record.meta = {"engine": result.engine, "depth": result.depth,
-                       "vacuous": result.vacuous}
+
+        def key_parts():
+            return ("prove", self._design_signature(design),
+                    canonical_key(assertion, design.params),
+                    self._engine_key)
+
+        def compute():
+            result = self._prover_for(design).prove(assertion)
+            record.verdict = result.status
+            record.func = result.is_proven
+            record.partial = result.is_proven
+            record.detail = result.detail
+            record.meta = {"engine": result.engine, "depth": result.depth,
+                           "vacuous": result.vacuous}
+
+        _memoized_fields(self.cache, self.use_cache, key_parts, record,
+                         ("verdict", "func", "partial", "detail", "meta"),
+                         compute)
         return record
 
 

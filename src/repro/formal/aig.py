@@ -21,14 +21,24 @@ def neg(lit: int) -> int:
     return lit ^ 1
 
 
-class AIG:
-    """Structurally hashed And-Inverter Graph."""
+class AigOverflow(Exception):
+    """Raised when construction exceeds the graph's ``max_nodes`` budget."""
 
-    def __init__(self) -> None:
+
+class AIG:
+    """Structurally hashed And-Inverter Graph.
+
+    ``max_nodes`` (optional) bounds construction: exceeding it raises
+    :class:`AigOverflow` from :meth:`and_`, so a caller probing whether a
+    circuit bit-blasts small enough pays O(budget), not O(circuit).
+    """
+
+    def __init__(self, max_nodes: int | None = None) -> None:
         # fanins[n] = (a, b) literals for AND node n; inputs/const have None
         self._fanins: list[tuple[int, int] | None] = [None]  # node 0 = TRUE
         self._hash: dict[tuple[int, int], int] = {}
         self.num_inputs = 0
+        self.max_nodes = max_nodes
 
     # -- construction --------------------------------------------------------
 
@@ -49,10 +59,74 @@ class AIG:
         key = (a, b) if a < b else (b, a)
         node = self._hash.get(key)
         if node is None:
+            if (self.max_nodes is not None
+                    and len(self._fanins) >= self.max_nodes):
+                raise AigOverflow(f"AIG exceeds {self.max_nodes} nodes")
             self._fanins.append(key)
             node = len(self._fanins) - 1
             self._hash[key] = node
         return node * 2
+
+    def and_2l(self, a: int, b: int) -> int:
+        """AND with the two-level strash rules on top of :meth:`and_`.
+
+        Looks one level into AND fanins for contradiction, containment,
+        subsumption, substitution and resolution patterns (the O(1) subset
+        of DAG-aware AIG rewriting).  Used by the pre-CNF :class:`Sweeper`;
+        plain construction keeps :meth:`and_` so existing structures are
+        untouched.
+        """
+        if a == FALSE or b == FALSE or a == neg(b):
+            return FALSE
+        if a == TRUE:
+            return b
+        if b == TRUE or a == b:
+            return a
+        fa = self._fanins[a >> 1]
+        fb = self._fanins[b >> 1]
+        for x, other, fx in ((a, b, fa), (b, a, fb)):
+            if fx is None:
+                continue
+            p, q = fx
+            if not (x & 1):  # x = p & q
+                if other in (p, q):
+                    return x  # containment: (p&q) & p
+                if neg(other) in (p, q):
+                    return FALSE  # contradiction: (p&q) & !p
+            else:  # x = !(p & q)
+                if other in (neg(p), neg(q)):
+                    return other  # subsumption: !(p&q) & !p == !p
+                if other == p:
+                    return self.and_2l(p, neg(q))  # substitution
+                if other == q:
+                    return self.and_2l(q, neg(p))
+        if fa is not None and fb is not None:
+            p, q = fa
+            r, s = fb
+            if not (a & 1) and not (b & 1):
+                # contradiction across two positive ANDs: shared opposite part
+                if (p == neg(r) or p == neg(s) or q == neg(r)
+                        or q == neg(s)):
+                    return FALSE
+            elif (a & 1) and (b & 1):
+                # resolution: !(p&q) & !(!p&q) == !q
+                if p == neg(r) and q == s:
+                    return neg(q)
+                if p == neg(s) and q == r:
+                    return neg(q)
+                if q == neg(r) and p == s:
+                    return neg(p)
+                if q == neg(s) and p == r:
+                    return neg(p)
+            else:
+                # positive AND implies a negative AND with an opposite part:
+                # (p&q) & !(r&s) == p&q when p == !r (x true forces r false)
+                pos, posf, negf = (a, fa, fb) if not (a & 1) else (b, fb, fa)
+                p, q = posf
+                r, s = negf
+                if p == neg(r) or p == neg(s) or q == neg(r) or q == neg(s):
+                    return pos
+        return self.and_(a, b)
 
     def or_(self, a: int, b: int) -> int:
         return neg(self.and_(neg(a), neg(b)))
@@ -195,6 +269,92 @@ class AIG:
             raise KeyError(f"node {node} not in CNF cone")
         v = node2var[node]
         return -v if lit & 1 else v
+
+
+def implied_constants(aig: AIG, lits) -> dict[int, bool]:
+    """Node constants implied by asserting every literal in *lits* true.
+
+    Each literal pins its node; a node pinned *true* whose literal is a
+    positive AND recursively pins both fanins (ternary propagation of the
+    known values -- an X-valued input never blocks this, only enables it).
+    Used to sweep a query target under the assumptions it is solved with.
+    """
+    known: dict[int, bool] = {}
+    stack = list(lits)
+    while stack:
+        lit = stack.pop()
+        node = lit >> 1
+        value = not (lit & 1)
+        if node == 0 or known.get(node) == value:
+            continue
+        known[node] = value
+        if value:
+            fi = aig._fanins[node]
+            if fi is not None:
+                stack.extend(fi)
+    return known
+
+
+class Sweeper:
+    """Cone simplification: constant sweeping + two-level strash rewriting.
+
+    Maps literals of an AIG onto simplified literals *in the same AIG*:
+    the cone is rebuilt bottom-up through :meth:`AIG.and_2l`, which applies
+    the classic two-level AND rules (contradiction, containment,
+    subsumption, substitution, resolution) on top of the constructor's
+    constant folding and structural hashing.  ``known`` seeds node
+    constants (e.g. from :func:`implied_constants`); they propagate
+    ternarily through the rebuild -- a node whose simplified value is
+    determined by the constants collapses before CNF emission, so the
+    :class:`CnfWriter` streams a smaller delta.
+
+    The node map is memoized, so sweeping the growing query cones of an
+    incremental proof (BMC depth by depth) touches each node once per
+    sweeper.  Rewriting is semantics-preserving: each mapped literal is
+    logically equivalent to its source given the ``known`` constants
+    (``tests/test_formal_sweep.py`` checks this exhaustively).
+    """
+
+    def __init__(self, aig: AIG, known: dict[int, bool] | None = None):
+        self.aig = aig
+        self._map: dict[int, int] = {0: TRUE}
+        if known:
+            for node, value in known.items():
+                self._map[node] = TRUE if value else FALSE
+
+    def lit(self, lit: int) -> int:
+        """Simplified literal equivalent to *lit* (under the known set)."""
+        node = lit >> 1
+        mapped = self._map.get(node)
+        if mapped is None:
+            self._sweep(node)
+            mapped = self._map[node]
+        return mapped ^ (lit & 1)
+
+    def _sweep(self, root: int) -> None:
+        aig = self.aig
+        fanins = aig._fanins
+        mapping = self._map
+        visit: list[tuple[int, bool]] = [(root, False)]
+        while visit:
+            node, processed = visit.pop()
+            if node in mapping:
+                continue
+            fi = fanins[node]
+            if fi is None:
+                mapping[node] = node * 2  # primary input: unchanged
+                continue
+            a, b = fi
+            if processed:
+                ma = mapping[a >> 1] ^ (a & 1)
+                mb = mapping[b >> 1] ^ (b & 1)
+                mapping[node] = aig.and_2l(ma, mb)
+                continue
+            visit.append((node, True))
+            if a >> 1 not in mapping:
+                visit.append((a >> 1, False))
+            if b >> 1 not in mapping:
+                visit.append((b >> 1, False))
 
 
 class CnfWriter:

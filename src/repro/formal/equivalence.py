@@ -100,6 +100,7 @@ class _Check:
     def __init__(self, ref: Assertion, cand: Assertion, horizon: int,
                  widths: dict[str, int], default_width: int,
                  params: dict[str, int] | None):
+        from .aig import Sweeper
         self.aig = AIG()
         self.source = FreeSignalSource(self.aig, widths, default_width)
         encoder = PropertyEncoder(self.aig, self.source, horizon, params)
@@ -107,11 +108,19 @@ class _Check:
         self.cand_lit = encoder.encode_assertion(cand)
         self.horizon = horizon
         self.conflicts = 0
+        self.propagations = 0
+        self.decisions = 0
         self.solver = Solver()
         self.writer = CnfWriter(self.aig, self.solver)
+        self._sweeper = Sweeper(self.aig)
 
     def _sat(self, lit: int, max_conflicts: int):
         """Solve satisfiability of an AIG literal; returns (status, model)."""
+        # pre-CNF sweep: the miter/implication cones of two near-identical
+        # assertions collapse heavily under the two-level rules, so the
+        # writer streams a much smaller delta (a swept constant decides
+        # the query without touching the solver)
+        lit = self._sweeper.lit(lit)
         if lit == TRUE:
             return "sat", ({}, 0)
         if lit == FALSE:
@@ -120,6 +129,8 @@ class _Check:
         result = self.solver.solve([self.writer.lit(lit)],
                                    max_conflicts=max_conflicts)
         self.conflicts += result.conflicts
+        self.propagations += result.propagations
+        self.decisions += result.decisions
         if result.is_sat:
             return "sat", self._extract_trace(result.model,
                                               self.writer.node2var)
@@ -212,12 +223,14 @@ def check_equivalence(
     verdicts: list[Verdict] = []
     cex = None
     cex_offset = 0
-    conflicts = 0
+    stats = {"conflicts": 0, "decisions": 0, "propagations": 0}
     try:
         for K in horizons:
             chk = _Check(ref, cand, K, widths, default_width, params)
             v, c = chk.verdict(max_conflicts)
-            conflicts += chk.conflicts
+            stats["conflicts"] += chk.conflicts
+            stats["decisions"] += chk.decisions
+            stats["propagations"] += chk.propagations
             verdicts.append(v)
             if c is not None:
                 cex, cex_offset = c
@@ -228,8 +241,7 @@ def check_equivalence(
     stable = all(v == final for v in verdicts)
     return EquivalenceResult(final, horizons=tuple(horizons),
                              counterexample=cex, cex_offset=cex_offset,
-                             stable=stable,
-                             stats={"conflicts": conflicts})
+                             stable=stable, stats=stats)
 
 
 def is_tautology(assertion: Assertion | str,

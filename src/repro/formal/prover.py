@@ -32,6 +32,8 @@ are liveness obligations that bounded engines cannot prove; they are reported
 from __future__ import annotations
 
 import sys
+import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 from ..rtl.elaborate import Design
@@ -165,15 +167,25 @@ class ProofSession:
     per horizon so BMC and every k-induction step reuse the same unrolling
     nodes (structural hashing makes re-encoding at a new horizon touch only
     the new frames).
+
+    With ``simplify`` (the default) each query target passes through an
+    :class:`~.aig.Sweeper` before clausification: constant sweeping,
+    two-level strash rewriting and constants implied by the other
+    assumption literals shrink the Tseitin delta the writer streams
+    (DESIGN.md, "AIG simplification before CNF emission").
     """
 
-    def __init__(self, design: Design, free_init: bool):
+    def __init__(self, design: Design, free_init: bool,
+                 simplify: bool = True, profile: dict | None = None):
         self.design = design
         self.aig = AIG()
         self.source = UnrolledSource(self.aig, design, free_init=free_init)
         self.solver = Solver()
         self.writer = CnfWriter(self.aig, self.solver)
+        self.simplify = simplify
+        self.profile = profile
         self._encoders: dict[int, PropertyEncoder] = {}
+        self._sweepers: dict[tuple, object] = {}
 
     def encoder(self, horizon: int) -> PropertyEncoder:
         enc = self._encoders.get(horizon)
@@ -182,6 +194,42 @@ class ProofSession:
                                   self.design.params)
             self._encoders[horizon] = enc
         return enc
+
+    def _sweeper(self, context: tuple):
+        sweeper = self._sweepers.get(context)
+        if sweeper is None:
+            from .aig import Sweeper, implied_constants
+            known = implied_constants(self.aig, context) if context else None
+            sweeper = Sweeper(self.aig, known)
+            self._sweepers[context] = sweeper
+        return sweeper
+
+    def _simplify_lits(self, live: list[int]) -> list[int] | None:
+        """Sweep the query literals; None signals unsat, an empty tail means
+        the whole query reduced away.
+
+        Context literals (all but the last) are swept without extra
+        knowledge and must stay asserted; the last literal -- the query
+        target -- is additionally swept under the constants the context
+        implies (each assumption holds, so its positive AND decomposition
+        is free knowledge for the target's cone).  A target that sweeps to
+        constant TRUE keeps its original literal: the solver model must
+        still witness it for counterexample extraction.
+        """
+        pure = self._sweeper(())
+        out: list[int] = []
+        for lit in live[:-1]:
+            swept = pure.lit(lit)
+            if swept == FALSE:
+                return None
+            if swept != TRUE:
+                out.append(swept)
+        target = live[-1]
+        swept = self._sweeper(tuple(out)).lit(pure.lit(target))
+        if swept == FALSE:
+            return None
+        out.append(target if swept == TRUE else swept)
+        return out
 
     def solve(self, lits: list[int], max_conflicts: int | None = None):
         """Solve the conjunction of AIG literals *lits* via assumptions.
@@ -192,13 +240,30 @@ class ProofSession:
         Returns a :class:`~.sat.SatResult`; constant-FALSE literals
         short-circuit to unsat.
         """
+        from .sat import SatResult
         live = [lit for lit in lits if lit != TRUE]
         if any(lit == FALSE for lit in live):
-            from .sat import SatResult
             return SatResult("unsat")
+        if self.simplify and live:
+            swept = self._simplify_lits(live)
+            if swept is None:
+                return SatResult("unsat")
+            live = swept
+        profile = self.profile
+        t0 = time.perf_counter() if profile is not None else 0.0
         self.writer.encode(live)
-        return self.solver.solve([self.writer.lit(lit) for lit in live],
-                                 max_conflicts)
+        t1 = time.perf_counter() if profile is not None else 0.0
+        result = self.solver.solve([self.writer.lit(lit) for lit in live],
+                                   max_conflicts)
+        if profile is not None:
+            t2 = time.perf_counter()
+            profile["encode_s"] = profile.get("encode_s", 0.0) + (t1 - t0)
+            profile["sat_s"] = profile.get("sat_s", 0.0) + (t2 - t1)
+            for key in ("conflicts", "decisions", "propagations"):
+                profile[key] = profile.get(key, 0) + getattr(result, key)
+            profile["learned_db"] = max(profile.get("learned_db", 0),
+                                        result.learned_db)
+        return result
 
     def extract_cex(self, model, max_t: int | None = None
                     ) -> dict[str, list[int]]:
@@ -288,7 +353,10 @@ class Prover:
     def __init__(self, design: Design, max_bmc: int = 12, max_k: int = 6,
                  max_conflicts: int = 300_000, sim_traces: int = 24,
                  sim_cycles: int = 40, use_coi: bool = True,
-                 use_simulation: bool = True, use_incremental: bool = True):
+                 use_simulation: bool = True, use_incremental: bool = True,
+                 use_packed_sim: bool = True, simplify: bool = True,
+                 packed_max_nodes: int | None = None,
+                 profile: dict | None = None):
         self.design = design
         self.max_bmc = max_bmc
         self.max_k = max_k
@@ -298,10 +366,24 @@ class Prover:
         self.use_coi = use_coi
         self.use_simulation = use_simulation
         self.use_incremental = use_incremental
+        self.use_packed_sim = use_packed_sim
+        self.simplify = simplify
+        #: step-AIG node budget for packed simulation; above it the cone is
+        #: datapath-dominated and the scalar compiled simulator is faster
+        #: (the budget scales with the lane count the bit-parallel pass
+        #: amortizes over; 16 nodes/lane measured best on the bench suite)
+        self.packed_max_nodes = (packed_max_nodes if packed_max_nodes
+                                 is not None else 16 * sim_traces)
+        #: per-stage wall-clock and solver totals, accumulated across
+        #: prove() calls; pass a shared dict to aggregate over provers
+        self.profile: dict = profile if profile is not None else {}
         self._assumes: tuple[Assertion, ...] = ()
         self._coi_cache: dict[frozenset, Design] = {}
         self._sessions: dict[tuple[frozenset, bool], ProofSession] = {}
         self._trace_cache: dict[frozenset, list[dict[str, list[int]]]] = {}
+        #: cone -> PackedTraces, or None where the design is outside the
+        #: packed subset (those cones fall back to the scalar replay)
+        self._packed_cache: dict[frozenset, object] = {}
         if not design.init and design.state:
             from ..rtl.simulator import derive_init
             derive_init(design)
@@ -330,19 +412,22 @@ class Prover:
                     "undetermined", engine="none",
                     detail="liveness obligation; bounded engines only")
             if self.use_simulation:
-                cex = self._simulate_falsify(design, cone_key, assertion)
+                with self._stage("sim_s"):
+                    cex = self._simulate_falsify(design, cone_key, assertion)
                 if cex is not None:
                     return ProofResult("cex", engine="simulation",
                                        counterexample=cex)
-            if self.use_incremental:
-                bmc = self._bmc(design, cone_key, assertion)
-            else:
-                bmc = self._bmc_oneshot(design, assertion)
+            with self._stage("bmc_s"):
+                if self.use_incremental:
+                    bmc = self._bmc(design, cone_key, assertion)
+                else:
+                    bmc = self._bmc_oneshot(design, assertion)
             if bmc is not None:
                 return bmc
-            if self.use_incremental:
-                return self._k_induction(design, cone_key, assertion)
-            return self._k_induction_oneshot(design, assertion)
+            with self._stage("kind_s"):
+                if self.use_incremental:
+                    return self._k_induction(design, cone_key, assertion)
+                return self._k_induction_oneshot(design, assertion)
         except (EncodingError, EvalError) as exc:
             return ProofResult("error", detail=str(exc))
 
@@ -352,6 +437,16 @@ class Prover:
         return [self.prove(a, assumes=assumes) for a in assertions]
 
     # -- shared infrastructure ---------------------------------------------------
+
+    @contextmanager
+    def _stage(self, key: str):
+        """Accumulate a stage's wall-clock into the profile dict."""
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.profile[key] = (self.profile.get(key, 0.0)
+                                 + time.perf_counter() - t0)
 
     def _reduced_design(self, roots: set[str]) -> tuple[Design, frozenset]:
         """COI-reduce the design, caching per cone signal set.
@@ -379,7 +474,9 @@ class Prover:
         key = (cone_key, free_init)
         session = self._sessions.get(key)
         if session is None:
-            session = ProofSession(design, free_init=free_init)
+            session = ProofSession(design, free_init=free_init,
+                                   simplify=self.simplify,
+                                   profile=self.profile)
             self._sessions[key] = session
         return session
 
@@ -405,25 +502,103 @@ class Prover:
             traces.append(sim.trace())
         return traces[trial]
 
+    def _packed_traces(self, design: Design, cone_key: frozenset):
+        """Packed random traces of the reduced design (None: unsupported).
+
+        One bit-parallel run replaces ``sim_traces`` scalar simulations;
+        the per-lane RNG streams match :meth:`_sim_trace` exactly, so the
+        packed and scalar paths see bit-identical stimulus.
+        """
+        from .bitsim import MAX_LANES, PackedSimulator, PackedUnsupported
+        cached = self._packed_cache.get(cone_key, False)
+        if cached is not False:
+            return cached
+        packed = None
+        if self.sim_traces <= MAX_LANES:
+            try:
+                with self._stage("sim_gen_s"):
+                    sim = PackedSimulator(
+                        design, max_nodes=self.packed_max_nodes)
+                    packed = sim.run(lanes=self.sim_traces,
+                                     seed_base=0xF5E0A1,
+                                     cycles=self.sim_cycles)
+            except PackedUnsupported:
+                packed = None
+        self._packed_cache[cone_key] = packed
+        return packed
+
+    def _packed_scalar(self, design: Design, cone_key: frozenset):
+        """Scalar-generated traces of a cone in packed (lane) form.
+
+        The fallback for datapath-heavy cones: the compiled word-level
+        simulator generates the traces (cheaper than bit-blasting a wide
+        cone), then one transpose packs them so the property check still
+        runs bit-parallel.
+        """
+        key = (cone_key, "scalar")
+        packed = self._packed_cache.get(key)
+        if packed is None:
+            with self._stage("sim_gen_s"):
+                traces = [self._sim_trace(design, cone_key, trial)
+                          for trial in range(self.sim_traces)]
+                from .bitsim import pack_traces
+                packed = pack_traces(traces, design.widths)
+            self._packed_cache[key] = packed
+        return packed
+
     def _simulate_falsify(self, design: Design, cone_key: frozenset,
                           assertion: Assertion) -> dict | None:
         window = max(1, horizon_of(assertion) + 1)
         start = 2  # skip the reset phase
         length = self.sim_cycles + 2  # reset() contributes two frames
         last = length - window
-        checker = TraceChecker(assertion, length, design.widths,
-                               design.params, first_attempt=start,
-                               last_attempt=last)
-        assume_checkers = [
-            TraceChecker(a, length, design.widths, design.params,
-                         first_attempt=start, last_attempt=last)
-            for a in self._assumes]
+        with self._stage("sim_build_s"):
+            checker = TraceChecker(assertion, length, design.widths,
+                                   design.params, first_attempt=start,
+                                   last_attempt=last)
+            assume_checkers = [
+                TraceChecker(a, length, design.widths, design.params,
+                             first_attempt=start, last_attempt=last)
+                for a in self._assumes]
+        from .bitsim import MAX_LANES
+        if self.use_packed_sim and 0 < self.sim_traces <= MAX_LANES:
+            packed = self._packed_traces(design, cone_key)
+            if packed is None:
+                # hybrid: the lazy scalar front kills most flawed samples
+                # on trial 0; survivors get one bit-parallel pass over the
+                # scalar traces instead of a per-trace replay loop
+                with self._stage("sim_gen_s"):
+                    trace = self._sim_trace(design, cone_key, 0)
+                with self._stage("sim_check_s"):
+                    ok0 = not any(c.first_violation(trace) is not None
+                                  for c in assume_checkers)
+                    bad0 = ok0 and checker.first_violation(trace) is not None
+                if bad0:
+                    return {name: values for name, values in trace.items()}
+                if self.sim_traces == 1:
+                    return None
+                packed = self._packed_scalar(design, cone_key)
+            from .bitsim import packed_violation_lanes
+            with self._stage("sim_check_s"):
+                eligible = packed.mask
+                for c in assume_checkers:
+                    eligible &= ~packed_violation_lanes(c, packed)
+                viol = packed_violation_lanes(checker, packed) & eligible
+            if not viol:
+                return None
+            # lowest violating lane == the scalar loop's first trial
+            return packed.lane_trace((viol & -viol).bit_length() - 1)
         for trial in range(self.sim_traces):
-            trace = self._sim_trace(design, cone_key, trial)
-            if any(c.first_violation(trace) is not None
-                   for c in assume_checkers):
+            with self._stage("sim_gen_s"):
+                trace = self._sim_trace(design, cone_key, trial)
+            with self._stage("sim_check_s"):
+                skip = any(c.first_violation(trace) is not None
+                           for c in assume_checkers)
+                bad = (not skip
+                       and checker.first_violation(trace) is not None)
+            if skip:
                 continue  # random stimulus broke an assumption; discard
-            if checker.first_violation(trace) is not None:
+            if bad:
                 return {name: values for name, values in trace.items()}
         return None
 

@@ -46,12 +46,15 @@ def _luby(i: int) -> int:
 
 @dataclass
 class SatResult:
-    """Outcome of a solve call."""
+    """Outcome of a solve call, with per-call search statistics."""
 
     status: str  # 'sat' | 'unsat' | 'unknown'
     model: dict[int, bool] | None = None  # var -> value when sat
     conflicts: int = 0
     decisions: int = 0
+    propagations: int = 0
+    learned_db: int = 0  # learned-clause database size after the call
+    restarts: int = 0
 
     @property
     def is_sat(self) -> bool:
@@ -96,6 +99,9 @@ class Solver:
         self.phase: list[int] = [0]
         self.ok = True
         self.total_conflicts = 0
+        self.total_decisions = 0
+        self.total_propagations = 0
+        self.propagations = 0  # running counter, snapshotted per solve call
         self._max_learned = _REDUCE_BASE
         # indexed max-heap over variable activity
         self._heap: list[int] = []
@@ -103,6 +109,14 @@ class Solver:
         self.new_vars(num_vars)
         for c in clauses or ():
             self.add_clause(c)
+
+    def stats(self) -> dict[str, int]:
+        """Lifetime search statistics of this solver instance."""
+        return {"vars": self.nv, "clauses": len(self.clauses),
+                "learned_db": len(self.learned),
+                "conflicts": self.total_conflicts,
+                "decisions": self.total_decisions,
+                "propagations": self.total_propagations}
 
     # -- variables -----------------------------------------------------------
 
@@ -350,6 +364,7 @@ class Solver:
                         i += 1
                     del watchlist[j:]
                     return clause
+                self.propagations += 1
                 self._enqueue(first, clause)
             del watchlist[j:]
         return None
@@ -448,6 +463,7 @@ class Solver:
         decisions = 0
         restart_idx = 0
         restart_budget = 32 * _luby(0)
+        props_start = self.propagations
         assume = [self._ilit(a) for a in (assumptions or [])]
         for a in assume:
             self._ensure_vars(a >> 1)
@@ -455,9 +471,14 @@ class Solver:
 
         def finish(status: str, model=None) -> SatResult:
             self._backtrack(0)
+            propagations = self.propagations - props_start
             self.total_conflicts += conflicts
+            self.total_decisions += decisions
+            self.total_propagations += propagations
             return SatResult(status, model=model, conflicts=conflicts,
-                             decisions=decisions)
+                             decisions=decisions, propagations=propagations,
+                             learned_db=len(self.learned),
+                             restarts=restart_idx)
 
         while True:
             confl = self._propagate()

@@ -316,3 +316,117 @@ def compile_design(design) -> dict[str, object]:
                 pass
     object.__setattr__(design, "_compiled_sim", compiled)
     return compiled
+
+
+# ---------------------------------------------------------------------------
+# One-step bit-blasting (the bit-parallel simulator's front end)
+# ---------------------------------------------------------------------------
+
+
+class _StepSource:
+    """Signal source for bit-blasting ONE simulation step.
+
+    Inputs and current state are fresh AIG inputs; combinational signals
+    evaluate their defining expression at t=0.  Any time-shifted read
+    (``$past``/``$rose`` in a design expression) falls outside the
+    single-frame subset and raises :class:`Uncompilable` -- callers fall
+    back to the sequential interpreter for the whole design.
+    """
+
+    def __init__(self, aig, design):
+        self.aig = aig
+        self.design = design
+        self._memo: dict[str, tuple] = {}
+        from ..formal.bitvec import AigBackend, ExprEvaluator
+        self.evaluator = ExprEvaluator(AigBackend(aig), self, design.params)
+        self.input_bits: dict[str, tuple] = {}
+
+    def width(self, name: str) -> int:
+        try:
+            return self.design.widths[name]
+        except KeyError:
+            from ..formal.bitvec import EvalError
+            raise EvalError(f"unknown signal {name!r}") from None
+
+    def read(self, name: str, t: int):
+        if t != 0:
+            raise Uncompilable(f"time-shifted read of {name!r} in step")
+        w = self.width(name)
+        bits = self._memo.get(name)
+        if bits is not None:
+            return bits, w
+        design = self.design
+        # comb wins over a same-named input: Simulator.step overwrites the
+        # driven value with the combinational assignment before any reader
+        # (COI reduction can leave a signal in both roles)
+        if name in design.comb_exprs:
+            v, vw = self.evaluator.eval(design.comb_exprs[name], 0)
+            bits = _fit_bits(v, vw, w)
+        elif (name in design.inputs or name in design.state
+                or name == design.clock):
+            bits = tuple(self.aig.new_input() for _ in range(w))
+            self.input_bits[name] = bits
+        else:
+            from ..formal.bitvec import EvalError
+            raise EvalError(f"undriven signal {name!r}")
+        self._memo[name] = bits
+        return bits, w
+
+
+def _fit_bits(bits, have: int, want: int):
+    from ..formal.aig import FALSE
+    if have == want:
+        return tuple(bits)
+    if have > want:
+        return tuple(bits[:want])
+    return tuple(bits) + tuple([FALSE] * (want - have))
+
+
+def bitblast_step(design, max_nodes: int | None = None):
+    """Bit-blast one simulation step of *design* into an AIG.
+
+    Returns ``(aig, input_bits, comb_bits, next_bits)``:
+
+    * ``input_bits``: signal -> tuple of AIG input literals (primary inputs
+      and current state, exactly the frame the scalar simulator starts from),
+    * ``comb_bits``: combinational signal -> output literals for this cycle,
+    * ``next_bits``: state signal -> literals of its registered next value.
+
+    The result is cached on the design; :class:`Uncompilable` marks designs
+    with time-shifted reads (those simulate through the scalar interpreter).
+    ``max_nodes`` aborts mid-build once the AIG outgrows the budget --
+    datapath-dominated cones explode under bit-blasting and are better
+    served word-level, so callers cap the cost of finding that out.
+    Semantics mirror :meth:`repro.rtl.simulator.Simulator.step` exactly --
+    the packed simulator built on top of this is differentially tested
+    against it (``tests/test_formal_bitsim.py``).
+    """
+    cached, budget = getattr(design, "_step_aig", (None, None))
+    if cached is not None:
+        if not isinstance(cached, Uncompilable):
+            return cached
+        # a budget abort only binds callers with the same or smaller budget
+        if budget is None or (max_nodes is not None and max_nodes <= budget):
+            raise cached
+    from ..formal.aig import AIG, AigOverflow
+    from ..formal.bitvec import EvalError
+    aig = AIG(max_nodes=max_nodes)
+    source = _StepSource(aig, design)
+    try:
+        comb_bits = {}
+        for name in design.comb_exprs:
+            bits, _w = source.read(name, 0)
+            comb_bits[name] = bits
+        next_bits = {}
+        for name, expr in design.next_exprs.items():
+            v, vw = source.evaluator.eval(expr, 0)
+            next_bits[name] = _fit_bits(v, vw, design.widths[name])
+    except (EvalError, Uncompilable, AigOverflow) as exc:
+        marker = Uncompilable(str(exc))
+        budget = max_nodes if isinstance(exc, AigOverflow) else None
+        object.__setattr__(design, "_step_aig", (marker, budget))
+        raise marker from exc
+    aig.max_nodes = None  # the cache outlives the probe budget
+    result = (aig, dict(source.input_bits), comb_bits, next_bits)
+    object.__setattr__(design, "_step_aig", (result, None))
+    return result

@@ -40,6 +40,7 @@ from .ast_nodes import (
     Until,
     signals_of,
 )
+from .canonical import CanonicalizationError, canonical_key, canonicalize
 from .lexer import LexError, Token, TokKind, strip_code_fences, tokenize
 from .parser import (
     ParseError,
@@ -53,13 +54,15 @@ from .syntax import SyntaxReport, check_assertion_syntax
 from .unparse import unparse
 
 __all__ = [
-    "AlwaysProp", "Assertion", "Binary", "ClockingEvent", "Concat", "Delay",
+    "AlwaysProp", "Assertion", "Binary", "CanonicalizationError",
+    "ClockingEvent", "Concat", "Delay",
     "Expr", "FirstMatch", "Identifier", "IfElseProp", "Implication", "Index",
     "LexError", "Nexttime", "Node", "Number", "ParseError", "Parser",
     "PropBinary", "PropNode", "PropNot", "PropSeq", "RangeSelect",
     "Repetition", "Replication", "SeqBinary", "SeqExpr", "SeqNode",
     "SEventually", "StrongWeak", "SyntaxReport", "SystemCall", "Ternary",
-    "TokKind", "Token", "Unary", "Until", "check_assertion_syntax",
+    "TokKind", "Token", "Unary", "Until", "canonical_key", "canonicalize",
+    "check_assertion_syntax",
     "parse_assertion", "parse_expression", "parse_number", "parse_property",
     "signals_of", "strip_code_fences", "tokenize", "unparse",
 ]

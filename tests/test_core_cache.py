@@ -1,0 +1,150 @@
+"""Verdict memoization: dedup parity, disk persistence, invalidation.
+
+The cache must be invisible in the records -- cached and uncached runs
+produce byte-identical ``EvalRecord``s -- while skipping re-proofs for
+semantically duplicate samples, persisting across runs/workers through
+``FVEVAL_CACHE``, and invalidating when the prover configuration changes.
+"""
+
+import json
+from dataclasses import asdict
+
+import pytest
+
+from repro.core.cache import VerdictCache, cache_dir_from_env
+from repro.core.runner import RunConfig, run_model_on_task
+from repro.core.tasks import Design2SvaTask, Nl2SvaMachineTask
+
+PROVER = {"max_bmc": 5, "max_k": 3, "sim_traces": 4, "sim_cycles": 16}
+
+
+def _design_records(use_cache=True, repeats=2, count=3, prover=None,
+                    category="fsm"):
+    """Evaluate each bench response *repeats* times (duplicate samples)."""
+    import random
+    from repro.models import design_assist
+    task = Design2SvaTask(category, count=count,
+                          prover_kwargs=dict(prover or PROVER),
+                          use_cache=use_cache)
+    records = []
+    for i, design in enumerate(task.problems()):
+        rng = random.Random(i)
+        responses = [design_assist.correct_response(design, rng),
+                     design_assist.flawed_response(design, rng)]
+        for response in responses:
+            for sample in range(repeats):
+                records.append(asdict(task.evaluate(
+                    design, response, sample_idx=sample)))
+    return records, task
+
+
+class TestVerdictCache:
+    def test_memory_roundtrip(self):
+        cache = VerdictCache("t", disk_dir="")
+        k = cache.key("a", [1, 2], {"x": 3})
+        assert cache.get(k) is None
+        cache.put(k, {"verdict": "proven"})
+        assert cache.get(k) == {"verdict": "proven"}
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+
+    def test_key_is_order_insensitive_for_dicts(self):
+        assert VerdictCache.key({"a": 1, "b": 2}) == \
+            VerdictCache.key({"b": 2, "a": 1})
+        assert VerdictCache.key("x") != VerdictCache.key("y")
+
+    def test_disk_roundtrip(self, tmp_path):
+        first = VerdictCache("t", disk_dir=str(tmp_path))
+        k = first.key("entry")
+        first.put(k, {"verdict": "cex"})
+        fresh = VerdictCache("t", disk_dir=str(tmp_path))
+        assert fresh.get(k) == {"verdict": "cex"}
+        assert fresh.stats()["disk_hits"] == 1
+
+    def test_corrupt_disk_entry_is_a_miss(self, tmp_path):
+        cache = VerdictCache("t", disk_dir=str(tmp_path))
+        k = cache.key("entry")
+        path = tmp_path / "t" / k[:2] / f"{k}.json"
+        path.parent.mkdir(parents=True)
+        path.write_text("{not json")
+        assert cache.get(k) is None
+
+    def test_env_controls(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("FVEVAL_CACHE", str(tmp_path))
+        assert cache_dir_from_env() == str(tmp_path)
+        monkeypatch.setenv("FVEVAL_NO_CACHE", "1")
+        assert cache_dir_from_env() is None
+
+
+class TestDedupParity:
+    def test_duplicate_samples_share_one_proof(self, monkeypatch):
+        monkeypatch.delenv("FVEVAL_CACHE", raising=False)
+        cached, task = _design_records(use_cache=True)
+        uncached, _ = _design_records(use_cache=False)
+        assert cached == uncached  # record-for-record identical
+        stats = task.cache_stats()
+        assert stats["hits"] > 0  # the duplicates actually dedup'd
+        assert stats["misses"] == stats["puts"]
+
+    def test_machine_task_dedup_parity(self, monkeypatch):
+        monkeypatch.delenv("FVEVAL_CACHE", raising=False)
+        monkeypatch.delenv("FVEVAL_JOBS", raising=False)
+
+        def run(use_cache):
+            task = Nl2SvaMachineTask(count=8, use_cache=use_cache)
+            result = run_model_on_task(
+                "gpt-4o", task, RunConfig(n_samples=3, temperature=0.8))
+            return [asdict(r) for r in result.records], task
+
+        cached, task = run(True)
+        uncached, _ = run(False)
+        assert cached == uncached
+
+    def test_no_cache_env_kill_switch(self, monkeypatch):
+        monkeypatch.setenv("FVEVAL_NO_CACHE", "1")
+        records, task = _design_records(use_cache=True, count=2)
+        assert task.cache_stats()["hits"] == 0
+        assert task.cache_stats()["misses"] == 0
+
+
+class TestDiskPersistence:
+    def test_hits_across_runs_and_invalidation(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("FVEVAL_CACHE", str(tmp_path))
+        first, task1 = _design_records(repeats=1)
+        assert task1.cache_stats()["puts"] > 0
+        files = list(tmp_path.rglob("*.json"))
+        assert files, "disk layer wrote no entries"
+        # every persisted value is verdict-shaped JSON
+        payload = json.loads(files[0].read_text())
+        assert "verdict" in payload and "meta" in payload
+
+        # a fresh task (fresh process in real runs) serves from disk
+        second, task2 = _design_records(repeats=1)
+        assert second == first
+        assert task2.cache_stats()["disk_hits"] > 0
+        assert task2.profile.get("bmc_s") is None  # no proofs re-ran
+
+        # changing prover kwargs must invalidate, not serve stale verdicts
+        changed = dict(PROVER, max_bmc=PROVER["max_bmc"] + 1)
+        third, task3 = _design_records(repeats=1, prover=changed)
+        assert task3.cache_stats()["disk_hits"] == 0
+        assert [r["verdict"] for r in third] == \
+            [r["verdict"] for r in first]  # easy designs: same verdicts
+
+    def test_hits_across_parallel_workers(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("FVEVAL_CACHE", str(tmp_path))
+        monkeypatch.setenv("FVEVAL_JOBS", "2")
+        task = Design2SvaTask("fsm", count=4, prover_kwargs=dict(PROVER))
+        parallel = run_model_on_task("gpt-4o", task,
+                                     RunConfig(n_samples=2, temperature=0.8))
+        assert list(tmp_path.rglob("*.json")), \
+            "workers did not persist verdicts"
+        # a serial rerun consumes what the pool workers wrote
+        monkeypatch.setenv("FVEVAL_JOBS", "1")
+        fresh = Design2SvaTask("fsm", count=4, prover_kwargs=dict(PROVER))
+        serial = run_model_on_task("gpt-4o", fresh,
+                                   RunConfig(n_samples=2, temperature=0.8))
+        assert [asdict(r) for r in serial.records] == \
+            [asdict(r) for r in parallel.records]
+        assert fresh.cache_stats()["disk_hits"] > 0
+        assert serial.stats["cache"]["disk_hits"] > 0

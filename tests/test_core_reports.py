@@ -33,3 +33,29 @@ class TestFigures:
         text = render_histogram([1, 2, 2, 3, 10], bins=3, label="L")
         assert text.startswith("L")
         assert "#" in text
+
+
+class TestRunSummary:
+    def test_summary_includes_cache_and_solver_stats(self):
+        from repro.core.reports import run_summary
+        from repro.core.runner import RunConfig, run_model_on_task
+        from repro.core.tasks import Design2SvaTask
+        # simulation off: refutations must come from BMC; the pipeline
+        # category needs genuine SAT search (fsm folds to constants), so
+        # the solver statistics are guaranteed to be populated
+        task = Design2SvaTask("pipeline", count=3,
+                              prover_kwargs={"max_bmc": 5, "max_k": 3,
+                                             "use_simulation": False})
+        result = run_model_on_task(
+            "gpt-4o", task, RunConfig(n_samples=2, temperature=0.8))
+        text = run_summary(result, task=task)
+        assert "verdict cache:" in text
+        assert "solver:" in text and "propagations=" in text
+        assert "prover stages:" in text
+        assert result.stats.get("cache") is not None
+
+    def test_summary_without_stats_is_still_readable(self):
+        from repro.core.reports import run_summary
+        from repro.core.runner import RunResult
+        text = run_summary(RunResult(model="m", task="t"))
+        assert "model=m" in text

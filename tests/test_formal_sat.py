@@ -99,3 +99,34 @@ def test_solver_reusable_after_solve():
     assert s.solve([-1]).is_sat
     assert s.solve([-2]).is_sat
     assert s.solve([-1, -2]).is_unsat
+
+
+class TestSearchStatistics:
+    """Per-call statistics exposed on SatResult (ISSUE 2 satellite)."""
+
+    def test_propagations_counted(self):
+        # assuming 1 implies 2 -> 3 -> 4 without a single decision
+        s = Solver(4, [[-1, 2], [-2, 3], [-3, 4]])
+        result = s.solve([1])
+        assert result.is_sat
+        assert result.propagations >= 3
+        assert result.decisions == 0
+
+    def test_learned_db_reported(self):
+        nv, clauses = _pigeonhole(4)
+        result = solve_cnf(nv, clauses)
+        assert result.is_unsat
+        assert result.conflicts > 0
+        assert result.learned_db >= 0
+        assert result.propagations > result.conflicts
+
+    def test_lifetime_stats_accumulate(self):
+        s = Solver(3, [[1, 2], [-1, 3]])
+        s.solve([1])
+        s.solve([-1])
+        stats = s.stats()
+        assert stats["vars"] == 3
+        assert stats["clauses"] == 2
+        assert stats["propagations"] == s.total_propagations
+        assert set(stats) == {"vars", "clauses", "learned_db", "conflicts",
+                              "decisions", "propagations"}

@@ -1,0 +1,164 @@
+"""AIG sweeping: two-level rewrite rules and known-constant propagation.
+
+Every swept literal must be logically equivalent to its source (given the
+seeded constants) -- checked by exhaustive simulation over all input
+assignments on randomly generated cones.
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.formal.aig import (
+    AIG,
+    AigOverflow,
+    FALSE,
+    TRUE,
+    Sweeper,
+    implied_constants,
+    neg,
+)
+
+
+def _random_cone(rng, n_inputs=5, n_ops=40):
+    aig = AIG()
+    inputs = [aig.new_input() for _ in range(n_inputs)]
+    pool = list(inputs) + [TRUE, FALSE]
+    for _ in range(n_ops):
+        a = rng.choice(pool) ^ rng.randint(0, 1)
+        b = rng.choice(pool) ^ rng.randint(0, 1)
+        pool.append(aig.and_(a, b))
+    return aig, inputs, pool
+
+
+def _equivalent(aig, inputs, lit_a, lit_b, fixed=None):
+    for bits in itertools.product([False, True], repeat=len(inputs)):
+        assignment = dict(zip(inputs, bits))
+        if fixed:
+            if any(assignment[i] != v for i, v in fixed.items()):
+                continue
+        va, vb = aig.simulate(assignment, [lit_a, lit_b])
+        if va != vb:
+            return False
+    return True
+
+
+class TestTwoLevelRules:
+    def test_containment_and_contradiction(self):
+        g = AIG()
+        x, y = g.new_input(), g.new_input()
+        a = g.and_(x, y)
+        assert g.and_2l(a, x) == a
+        assert g.and_2l(x, a) == a
+        assert g.and_2l(a, neg(x)) == FALSE
+        assert g.and_2l(neg(y), a) == FALSE
+
+    def test_subsumption_and_substitution(self):
+        g = AIG()
+        x, y = g.new_input(), g.new_input()
+        na = neg(g.and_(x, y))
+        assert g.and_2l(na, neg(x)) == neg(x)
+        # !(x&y) & x == x & !y
+        assert g.and_2l(na, x) == g.and_(x, neg(y))
+
+    def test_resolution(self):
+        g = AIG()
+        x, y = g.new_input(), g.new_input()
+        a = neg(g.and_(x, y))
+        b = neg(g.and_(neg(x), y))
+        assert g.and_2l(a, b) == neg(y)
+
+    def test_positive_pair_contradiction(self):
+        g = AIG()
+        x, y, z = g.new_input(), g.new_input(), g.new_input()
+        assert g.and_2l(g.and_(x, y), g.and_(neg(x), z)) == FALSE
+
+    def test_mixed_pair_implication(self):
+        g = AIG()
+        x, y, z = g.new_input(), g.new_input(), g.new_input()
+        a = g.and_(x, y)
+        b = neg(g.and_(neg(x), z))
+        assert g.and_2l(a, b) == a
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_random_pairs_equivalent(self, seed):
+        rng = random.Random(seed)
+        aig, inputs, pool = _random_cone(rng)
+        for _ in range(30):
+            a = rng.choice(pool) ^ rng.randint(0, 1)
+            b = rng.choice(pool) ^ rng.randint(0, 1)
+            reference = aig.and_(a, b)
+            rewritten = aig.and_2l(a, b)
+            assert _equivalent(aig, inputs, reference, rewritten), (a, b)
+
+
+class TestSweeper:
+    @pytest.mark.parametrize("seed", range(15))
+    def test_sweep_preserves_semantics(self, seed):
+        rng = random.Random(seed)
+        aig, inputs, pool = _random_cone(rng, n_ops=60)
+        sweeper = Sweeper(aig)
+        for lit in rng.sample(pool, 10):
+            swept = sweeper.lit(lit)
+            assert _equivalent(aig, inputs, lit, swept)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_sweep_under_known_constants(self, seed):
+        rng = random.Random(seed)
+        aig, inputs, pool = _random_cone(rng, n_ops=60)
+        fixed_input = inputs[0]
+        known = {fixed_input >> 1: True}
+        sweeper = Sweeper(aig, known)
+        fixed = {fixed_input: True}
+        for lit in rng.sample(pool, 10):
+            swept = sweeper.lit(lit)
+            assert _equivalent(aig, inputs, lit, swept, fixed=fixed)
+
+    def test_known_constant_collapses(self):
+        g = AIG()
+        x, y = g.new_input(), g.new_input()
+        conj = g.and_(x, y)
+        sweeper = Sweeper(g, {x >> 1: False})
+        assert sweeper.lit(conj) == FALSE
+        assert sweeper.lit(neg(conj)) == TRUE
+
+    def test_never_shrinks_inputs(self):
+        g = AIG()
+        x = g.new_input()
+        assert Sweeper(g).lit(x) == x
+        assert Sweeper(g).lit(neg(x)) == neg(x)
+
+
+class TestImpliedConstants:
+    def test_positive_and_decomposes(self):
+        g = AIG()
+        x, y, z = g.new_input(), g.new_input(), g.new_input()
+        conj = g.and_(g.and_(x, y), z)
+        known = implied_constants(g, [conj])
+        assert known[x >> 1] is True
+        assert known[y >> 1] is True
+        assert known[z >> 1] is True
+
+    def test_negative_literal_pins_node_only(self):
+        g = AIG()
+        x, y = g.new_input(), g.new_input()
+        conj = g.and_(x, y)
+        known = implied_constants(g, [neg(conj)])
+        assert known[conj >> 1] is False
+        assert x >> 1 not in known  # either side could be the false one
+
+
+class TestOverflowBudget:
+    def test_budget_raises(self):
+        g = AIG(max_nodes=2)
+        x, y = g.new_input(), g.new_input()
+        with pytest.raises(AigOverflow):
+            g.and_(x, y)
+
+    def test_strash_hits_do_not_count(self):
+        g = AIG()
+        x, y = g.new_input(), g.new_input()
+        node = g.and_(x, y)
+        g.max_nodes = len(g)
+        assert g.and_(x, y) == node  # cached lookup, no new node

@@ -1,0 +1,115 @@
+"""Semantic canonicalization: equal keys must mean equivalent assertions.
+
+Positive cases (same key) are cross-checked against the formal
+equivalence engine; negative cases keep genuinely different assertions
+apart so memoization can never merge distinct verdicts.
+"""
+
+import pytest
+
+from repro.formal.equivalence import Verdict, check_equivalence
+from repro.sva.canonical import (
+    CanonicalizationError,
+    canonical_key,
+    canonicalize,
+)
+from repro.sva.parser import parse_assertion
+
+W = {"a": 1, "b": 1, "req": 1, "ack": 1, "q": 4, "d": 8}
+
+
+def key(text, params=None):
+    return canonical_key(text, params)
+
+
+SAME = [
+    # whitespace / label / fence-independent formatting
+    ("assert property (@(posedge clk) a |-> ##1 b);",
+     "my_label: assert property (@(posedge   clk)   a |-> ##1 b);"),
+    # commutative boolean operands
+    ("assert property (@(posedge clk) (a && b) |-> ack);",
+     "assert property (@(posedge clk) (b && a) |-> ack);"),
+    ("assert property (@(posedge clk) (a || b));",
+     "assert property (@(posedge clk) (b || a));"),
+    # comparison direction
+    ("assert property (@(posedge clk) q < 4'd7);",
+     "assert property (@(posedge clk) 4'd7 > q);"),
+    ("assert property (@(posedge clk) q <= 4'd7);",
+     "assert property (@(posedge clk) 4'd7 >= q);"),
+    # 2-state operator aliases and number spelling
+    ("assert property (@(posedge clk) (q === 4'hA));",
+     "assert property (@(posedge clk) (4'b1010 == q));"),
+    # unary plus and $unsigned are identities
+    ("assert property (@(posedge clk) ($unsigned(q) == +4'd3));",
+     "assert property (@(posedge clk) (q == 4'd3));"),
+    # property-level commutativity
+    ("assert property (@(posedge clk) (a) and (b));",
+     "assert property (@(posedge clk) (b) and (a));"),
+]
+
+DIFFERENT = [
+    ("assert property (@(posedge clk) a |-> ##1 b);",
+     "assert property (@(posedge clk) a |-> ##2 b);"),
+    ("assert property (@(posedge clk) a |-> b);",
+     "assert property (@(posedge clk) b |-> a);"),
+    ("assert property (@(posedge clk) q < 4'd7);",
+     "assert property (@(posedge clk) q <= 4'd7);"),
+    ("assert property (@(posedge clk) a);",
+     "assert property (@(negedge clk) a);"),
+    ("assert property (@(posedge clk) a until b);",
+     "assert property (@(posedge clk) a s_until b);"),
+]
+
+
+class TestCanonicalKey:
+    @pytest.mark.parametrize("left,right", SAME)
+    def test_same_key_and_formally_equivalent(self, left, right):
+        assert key(left) == key(right)
+        result = check_equivalence(left, right, signal_widths=W)
+        assert result.verdict is Verdict.EQUIVALENT
+
+    @pytest.mark.parametrize("left,right", DIFFERENT)
+    def test_different_assertions_stay_apart(self, left, right):
+        assert key(left) != key(right)
+
+    def test_key_is_deterministic(self):
+        text = "assert property (@(posedge clk) (b && a) |-> ##[1:3] ack);"
+        assert key(text) == key(text)
+
+    def test_params_substituted(self):
+        assert key("assert property (@(posedge clk) q == DEPTH);",
+                   {"DEPTH": 4}) == \
+            key("assert property (@(posedge clk) q == 4);", {"DEPTH": 4})
+
+    def test_unparseable_raises(self):
+        with pytest.raises(CanonicalizationError):
+            key("this is not an assertion")
+
+    def test_accepts_ast(self):
+        text = "assert property (@(posedge clk) a |-> b);"
+        assert key(parse_assertion(text)) == key(text)
+
+    def test_default_clock_edge(self):
+        assert key("assert property (@(clk) a);") == \
+            key("assert property (@(posedge clk) a);")
+
+
+class TestCanonicalizeTree:
+    def test_label_dropped_kind_kept(self):
+        a = canonicalize(parse_assertion(
+            "lbl: assume property (@(posedge clk) a);"))
+        assert a.label is None
+        assert a.kind == "assume"
+
+    def test_idempotent(self):
+        a = parse_assertion(
+            "assert property (@(posedge clk) (b && a) |-> (4'd7 > q));")
+        once = canonicalize(a)
+        assert canonicalize(once) == once
+
+    @pytest.mark.parametrize("left,right", SAME)
+    def test_canonical_forms_still_equivalent_to_source(self, left, right):
+        src = parse_assertion(left)
+        canon = canonicalize(src)
+        result = check_equivalence(src, canon, signal_widths=W)
+        assert result.verdict is Verdict.EQUIVALENT
