@@ -1,6 +1,6 @@
 """Ablation: cone-of-influence reduction and simulation-first falsification.
 
-DESIGN.md decisions 2 and 3.  Measures proof time and problem size with and
+docs/architecture.md decisions 2 and 3.  Measures proof time and problem size with and
 without COI on a control assertion over a wide-datapath pipeline, and
 falsification time with and without the simulation pre-pass.
 """

@@ -1,6 +1,6 @@
 """Ablation: the formal critic in the NL2SVA-Machine data pipeline.
 
-DESIGN.md decision 4: without the critic, sloppy descriptions ship; the
+docs/architecture.md decision 4: without the critic, sloppy descriptions ship; the
 bench measures first-attempt acceptance and the end-to-end faithfulness of
 the shipped descriptions with and without the critic loop.
 """

@@ -1,6 +1,6 @@
 """Ablation: bounded-horizon stability of equivalence verdicts.
 
-DESIGN.md decision 1: verdicts are computed at two horizons and must agree.
+docs/architecture.md decision 1: verdicts are computed at two horizons and must agree.
 This bench measures verdict stability across horizon choices and the cost
 of larger horizons.
 """

@@ -5,7 +5,7 @@ Uses the repo as a verification tool rather than a benchmark: elaborate the
 paper's 1R1W FIFO testbench, then try to prove each corpus assertion about
 it on the model itself (BMC + k-induction), printing a Jasper-style proof
 table.  Liveness obligations come back 'undetermined' -- bounded engines
-refute but cannot prove them (DESIGN.md).
+refute but cannot prove them (docs/architecture.md, decision 5).
 """
 
 from repro.datasets.nl2sva_human import corpus

@@ -16,10 +16,15 @@ Each entry records wall-clock per category, per-proof latency, and the
 verdict mix (a silent correctness regression would show up as a verdict
 shift, not just a speedup).  ``--profile`` adds the per-stage breakdown
 (sim = trace generation + bit-parallel replay, BMC, k-induction, encode =
-property/CNF encoding, sat) plus solver statistics.  ``--scalar-sim``,
+property/CNF encoding, sat) plus solver statistics and per-strategy win
+counts (which engine produced each verdict).  ``--scalar-sim``,
 ``--no-simplify`` and ``--no-cache`` disable the bit-parallel simulator,
 the pre-CNF AIG sweep and the verdict memoization respectively -- together
-they reproduce the pre-PR-2 engine for A/B rows.  ``--expect-mix`` exits
+they reproduce the pre-PR-2 engine for A/B rows.  ``--strategy
+{auto,bmc,kind,portfolio}`` selects the proof-engine scheduling policy
+(``portfolio`` races BMC depth probes against k-induction steps under a
+conflict-budget ladder; pair an ``auto`` row with a ``portfolio`` row for
+the A/B comparison, see docs/benchmarks.md).  ``--expect-mix`` exits
 nonzero unless every category produced both ``proven`` and ``cex``
 verdicts and no errors (the CI smoke gate; no timing assertions, so slow
 shared runners cannot flake it).
@@ -92,6 +97,13 @@ def bench_category(category: str, count: int, prover_kwargs: dict,
         result["profile"] = stages
         result["solver"] = {k: prof[k] for k in SOLVER_KEYS if k in prof}
         result["cache"] = task.cache_stats()
+        from repro.core.reports import strategy_stats
+        wins, rates, portfolio = strategy_stats(prof)
+        if wins:
+            result["wins"] = wins
+            result["win_rates"] = {k: round(v, 4) for k, v in rates.items()}
+        if portfolio:
+            result["portfolio"] = portfolio
     return result
 
 
@@ -113,6 +125,15 @@ def print_profile(category: str, entry: dict) -> None:
     if solver:
         print(f"{category:>9}  solver: " + "  ".join(
             f"{k}={v}" for k, v in solver.items()))
+    wins = entry.get("wins")
+    if wins:
+        rates = entry.get("win_rates", {})
+        print(f"{category:>9}  wins  : " + "  ".join(
+            f"{k}={v} ({rates.get(k, 0):.0%})" for k, v in wins.items()))
+    portfolio = entry.get("portfolio")
+    if portfolio:
+        print(f"{category:>9}  sched : " + "  ".join(
+            f"{k.split('_', 1)[1]}={v}" for k, v in portfolio.items()))
 
 
 def git_state() -> tuple[str, bool]:
@@ -166,6 +187,9 @@ def main() -> int:
                     help="disable the pre-CNF AIG sweep")
     ap.add_argument("--no-cache", action="store_true",
                     help="disable cross-sample verdict memoization")
+    ap.add_argument("--strategy", default="auto",
+                    choices=["auto", "bmc", "kind", "portfolio"],
+                    help="proof-engine scheduling policy (default auto)")
     ap.add_argument("--expect-mix", action="store_true",
                     help="fail unless every category has proven+cex verdicts")
     ap.add_argument("--output", default=str(
@@ -177,6 +201,11 @@ def main() -> int:
         prover_kwargs["use_packed_sim"] = False
     if args.no_simplify:
         prover_kwargs["simplify"] = False
+    if args.strategy != "auto":
+        # only non-default strategies enter the prover kwargs (and hence
+        # the verdict-cache engine key), so existing 'auto' rows and cache
+        # entries stay comparable
+        prover_kwargs["strategy"] = args.strategy
 
     rev, dirty = git_state()
     entry = {
@@ -185,6 +214,7 @@ def main() -> int:
         "git_dirty": dirty,
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
         "count": args.count,
+        "strategy": args.strategy,
         "prover_kwargs": dict(prover_kwargs),
         "use_cache": not args.no_cache,
         "categories": {},

@@ -4,7 +4,7 @@ A full-system reproduction of "FVEval: Understanding Language Model
 Capabilities in Formal Verification of Digital Hardware" (DATE 2025) with a
 pure-Python substrate: an SVA front end, a SAT-based formal engine standing
 in for JasperGold, the three sub-benchmarks, and calibrated simulated models
-standing in for the paper's LLM suite.  See DESIGN.md and EXPERIMENTS.md.
+standing in for the paper's LLM suite.  See docs/architecture.md.
 """
 
 __version__ = "1.0.0"

@@ -5,6 +5,8 @@ Commands:
     verify FILE [--assume SVA ...]  prove a file's assertions on itself
     equiv REF CAND [--width N=W]    assertion-to-assertion equivalence
     generate {fsm,pipeline} [--seed N]   emit a synthetic design to stdout
+    cache-gc [DIR] [--max-age-days N] [--max-entries N] [--max-bytes N]
+                                    compact an FVEVAL_CACHE directory
 """
 
 from __future__ import annotations
@@ -77,6 +79,33 @@ def _cmd_generate(args) -> int:
     return 0
 
 
+def _cmd_cache_gc(args) -> int:
+    import os
+    from .core.cache import gc_cache_dir
+    root = args.dir or os.environ.get("FVEVAL_CACHE")
+    if not root:
+        print("no cache directory: pass DIR or set FVEVAL_CACHE",
+              file=sys.stderr)
+        return 2
+    kwargs = {}
+    if args.max_age_days is not None:
+        kwargs["max_age_s"] = args.max_age_days * 86400.0
+    if args.max_entries is not None:
+        kwargs["max_entries"] = args.max_entries
+    if args.max_bytes is not None:
+        kwargs["max_bytes"] = args.max_bytes
+    if not kwargs:
+        print("nothing to do: pass at least one of --max-age-days, "
+              "--max-entries, --max-bytes", file=sys.stderr)
+        return 2
+    stats = gc_cache_dir(root, dry_run=args.dry_run, **kwargs)
+    verb = "would remove" if args.dry_run else "removed"
+    print(f"{root}: scanned {stats['scanned']} entries, "
+          f"{verb} {stats['removed']} ({stats['bytes_freed']} bytes), "
+          f"kept {stats['kept']} ({stats['bytes_kept']} bytes)")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="python -m repro",
                                      description=__doc__)
@@ -102,6 +131,20 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("category", choices=["fsm", "pipeline"])
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(fn=_cmd_generate)
+
+    p = sub.add_parser("cache-gc",
+                       help="compact a verdict-cache directory (age/LRU)")
+    p.add_argument("dir", nargs="?",
+                   help="cache directory (default: $FVEVAL_CACHE)")
+    p.add_argument("--max-age-days", type=float,
+                   help="evict entries not read for this many days")
+    p.add_argument("--max-entries", type=int,
+                   help="keep at most this many entries (LRU)")
+    p.add_argument("--max-bytes", type=int,
+                   help="keep at most this many bytes of entries (LRU)")
+    p.add_argument("--dry-run", action="store_true",
+                   help="report what would be evicted without deleting")
+    p.set_defaults(fn=_cmd_cache_gc)
 
     args = parser.parse_args(argv)
     return args.fn(args)

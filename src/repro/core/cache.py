@@ -27,6 +27,12 @@ Correctness note: only *deterministic, history-independent* fields are
 cached (verdict, functional flags, detail, proof metadata) -- never solver
 statistics, which legitimately vary with incremental-solver history.
 Cached and uncached runs are therefore record-for-record identical.
+
+The disk layer is append-only during evaluation; long-lived ``FVEVAL_CACHE``
+directories are compacted offline by :func:`gc_cache_dir` (age- and
+LRU-based eviction; ``python -m repro cache-gc``).  Disk hits refresh the
+entry's mtime, so "least recently used" means least recently *read*, not
+least recently written.
 """
 
 from __future__ import annotations
@@ -39,6 +45,9 @@ from pathlib import Path
 
 #: bump to invalidate all persisted entries on semantics changes
 SCHEMA_VERSION = 1
+
+#: age after which an orphaned writer temp file is considered crashed
+_TMP_GRACE_S = 3600.0
 
 
 def cache_dir_from_env() -> str | None:
@@ -107,6 +116,10 @@ class VerdictCache:
                 self.mem[key] = value
                 self.hits += 1
                 self.disk_hits += 1
+                try:
+                    os.utime(path)  # LRU touch: eviction is by last *read*
+                except OSError:
+                    pass
                 return value
         self.misses += 1
         return None
@@ -134,3 +147,117 @@ class VerdictCache:
         return {"hits": self.hits, "misses": self.misses,
                 "disk_hits": self.disk_hits, "puts": self.puts,
                 "entries": len(self.mem)}
+
+
+# ---------------------------------------------------------------------------
+# disk-layer compaction
+# ---------------------------------------------------------------------------
+
+
+def _entry_files(root: Path):
+    """Every persisted verdict entry under *root* (any namespace/bucket)."""
+    for path in root.rglob("*.json"):
+        if path.is_file():
+            yield path
+
+
+def gc_cache_dir(root: str | os.PathLike,
+                 max_age_s: float | None = None,
+                 max_entries: int | None = None,
+                 max_bytes: int | None = None,
+                 now: float | None = None,
+                 dry_run: bool = False) -> dict[str, int]:
+    """Compact one ``FVEVAL_CACHE`` directory; returns eviction statistics.
+
+    Two policies compose (either may be ``None`` = unlimited):
+
+    * **age** -- entries whose mtime is older than ``max_age_s`` are
+      removed.  Disk hits refresh mtime, so an entry only ages out after
+      ``max_age_s`` without being *read*.
+    * **LRU caps** -- if more than ``max_entries`` entries (or more than
+      ``max_bytes`` of JSON) survive the age pass, the least recently
+      used are removed until both caps hold.
+
+    Removal is safe against concurrent readers/writers: a reader that
+    loses the race simply misses and recomputes (the layer is best-effort
+    by design), and writers replace atomically, so no torn entry can be
+    observed.  Orphaned ``*.tmp`` files (a writer killed between
+    ``mkstemp`` and ``os.replace``) older than a short grace period are
+    reaped first, then empty bucket directories are pruned afterwards.
+    With ``dry_run`` nothing is deleted; the returned counts describe
+    what *would* go.
+
+    Returns ``{"scanned", "removed", "kept", "bytes_freed",
+    "bytes_kept"}``.
+    """
+    import time
+    root = Path(root)
+    stats = {"scanned": 0, "removed": 0, "kept": 0,
+             "bytes_freed": 0, "bytes_kept": 0}
+    if not root.is_dir():
+        return stats
+    now = time.time() if now is None else now
+
+    # reap crashed writers' temp files (grace period covers live writers)
+    for tmp in root.rglob("*.tmp"):
+        try:
+            st = tmp.stat()
+        except OSError:
+            continue
+        if st.st_mtime < now - _TMP_GRACE_S:
+            if not dry_run:
+                try:
+                    tmp.unlink()
+                except OSError:
+                    continue
+            stats["scanned"] += 1  # keep scanned == removed + kept
+            stats["removed"] += 1
+            stats["bytes_freed"] += st.st_size
+    entries: list[tuple[float, int, Path]] = []  # (mtime, size, path)
+    for path in _entry_files(root):
+        try:
+            st = path.stat()
+        except OSError:
+            continue  # raced with a concurrent removal
+        entries.append((st.st_mtime, st.st_size, path))
+    stats["scanned"] += len(entries)
+
+    doomed: list[tuple[float, int, Path]] = []
+    if max_age_s is not None:
+        cutoff = now - max_age_s
+        doomed = [e for e in entries if e[0] < cutoff]
+        entries = [e for e in entries if e[0] >= cutoff]
+    # LRU pass: oldest-read first until both caps hold
+    entries.sort()  # ascending mtime == least recently used first
+    kept_bytes = sum(size for _mtime, size, _path in entries)
+    over_entries = (len(entries) - max_entries
+                    if max_entries is not None else 0)
+    index = 0
+    while index < len(entries) and (
+            index < over_entries
+            or (max_bytes is not None and kept_bytes > max_bytes)):
+        kept_bytes -= entries[index][1]
+        doomed.append(entries[index])
+        index += 1
+    entries = entries[index:]
+
+    for _mtime, size, path in doomed:
+        if not dry_run:
+            try:
+                path.unlink()
+            except OSError:
+                continue  # already gone: don't count it twice
+        stats["removed"] += 1
+        stats["bytes_freed"] += size
+    stats["kept"] = len(entries)
+    stats["bytes_kept"] = sum(size for _mtime, size, _path in entries)
+
+    if not dry_run:
+        # prune bucket dirs the eviction emptied (<namespace>/<k[:2]>/)
+        for bucket in sorted((p for p in root.rglob("*") if p.is_dir()),
+                             key=lambda p: len(p.parts), reverse=True):
+            try:
+                bucket.rmdir()  # only succeeds when empty
+            except OSError:
+                pass
+    return stats

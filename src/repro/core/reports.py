@@ -3,7 +3,7 @@
 Each ``table_*`` function runs the corresponding experiment and returns rows
 in the paper's layout plus a formatted text rendering; ``figure_*`` functions
 return the underlying series.  Benchmarks under ``benchmarks/`` call these
-and print the output next to the paper's reference values (EXPERIMENTS.md).
+and print the output next to the paper's reference values.
 """
 
 from __future__ import annotations
@@ -159,10 +159,37 @@ def table6_corpus_stats() -> Table:
 # ---------------------------------------------------------------------------
 
 
+#: scheduler counters the portfolio accumulates in the prover profile
+PORTFOLIO_COUNTERS = ("portfolio_solves", "portfolio_requeues",
+                      "portfolio_cancelled")
+
+
+def strategy_stats(profile: dict) -> tuple[dict, dict, dict]:
+    """Extract ``(wins, win_rates, scheduler_counters)`` from a prover
+    profile dict.
+
+    The single decoder of the ``win_*`` / ``portfolio_*`` keys the prover
+    writes -- :func:`run_summary` and ``scripts/bench_prover.py`` both
+    render through this, so a new counter shows up on every surface at
+    once.  All three dicts are empty when the profile carries no
+    strategy data.
+    """
+    wins = {key[len("win_"):]: value for key, value in sorted(profile.items())
+            if key.startswith("win_")}
+    total = sum(wins.values())
+    rates = ({engine: count / total for engine, count in wins.items()}
+             if total else {})
+    sched = {key: profile[key] for key in PORTFOLIO_COUNTERS
+             if key in profile}
+    return wins, rates, sched
+
+
 def run_summary(result: RunResult, task=None) -> str:
     """Human-readable summary of one run: aggregate metrics plus engine
-    observability (verdict-cache hit rates, per-stage prover wall-clock and
-    SAT statistics -- decisions, propagations, conflicts, learned-DB size).
+    observability (verdict-cache hit rates, per-stage prover wall-clock,
+    SAT statistics -- decisions, propagations, conflicts, learned-DB size
+    -- and per-strategy win rates: which engine produced each verdict,
+    including the portfolio scheduler's requeue/cancel counters).
 
     ``result.stats`` is populated by :func:`~repro.core.runner.
     run_model_on_task`; pass the task to read live counters instead.
@@ -200,6 +227,15 @@ def run_summary(result: RunResult, task=None) -> str:
         if sat:
             lines.append("  solver: " + "  ".join(
                 f"{label}={value}" for label, value in sat))
+        wins, rates, sched = strategy_stats(prover)
+        if wins:
+            lines.append("  strategy wins: " + "  ".join(
+                f"{engine}={count} ({rates[engine]:.0%})"
+                for engine, count in wins.items()))
+        if sched:
+            lines.append("  portfolio: " + "  ".join(
+                f"{key.split('_', 1)[1]}={value}"
+                for key, value in sched.items()))
     return "\n".join(lines)
 
 

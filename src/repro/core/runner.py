@@ -1,12 +1,32 @@
 """Benchmark orchestration: model x task x samples -> evaluation records.
 
+The public entry point every table reduces to is
+:func:`run_model_on_task` (and the :func:`run_suite` convenience over
+several models)::
+
+    from repro.core import Nl2SvaHumanTask, RunConfig, run_model_on_task
+
+    result = run_model_on_task("gpt-4o", Nl2SvaHumanTask(),
+                               RunConfig(n_samples=5, temperature=0.8))
+    result.func_at(5)       # unbiased pass@5 over the run's records
+
+It generates ``n_samples`` responses per problem, scores each through
+``task.evaluate`` and returns a :class:`RunResult` carrying the raw
+:class:`~repro.core.tasks.EvalRecord` rows plus the aggregate metrics
+(greedy rates, unbiased pass@k) and engine observability
+(``result.stats``; rendered by :func:`repro.core.reports.run_summary`).
+
 Independent problems evaluate in parallel when the ``FVEVAL_JOBS``
 environment variable asks for more than one worker (``FVEVAL_JOBS=0`` or
 ``auto`` uses every core).  Each worker process receives the (model, task,
 config) triple once at pool start-up and evaluates whole problems, so
 records stay deterministic and identical to a serial run -- the pool only
 changes wall-clock, never results.  The default is serial, which keeps CI
-runs reproducible under tools that dislike forks.
+runs reproducible under tools that dislike forks.  Workers share formal
+verdicts through the on-disk verdict cache when ``FVEVAL_CACHE`` is set
+(docs/engine.md, "Environment variables") -- with an engine strategy like
+``portfolio`` this is the fleet-level layer of the portfolio: problems
+race across processes while strategies race within each prover.
 """
 
 from __future__ import annotations

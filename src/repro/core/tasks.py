@@ -1,10 +1,29 @@
 """The three FVEval sub-benchmark task definitions.
 
-Each task exposes ``problems()``, ``prompt(problem)`` and
-``evaluate(problem, response)``; the latter issues the *measured* verdicts
-through the formal engine (syntax via :mod:`repro.sva.syntax`, equivalence
-via :mod:`repro.formal.equivalence`, proofs via :mod:`repro.formal.prover`),
-exactly mirroring the JasperGold-backed flow of the paper.
+Public entry points: :class:`Nl2SvaHumanTask`, :class:`Nl2SvaMachineTask`
+and :class:`Design2SvaTask` (or :func:`default_tasks` for the standard
+instances).  Each task exposes the protocol the runner consumes --
+``problems()``, ``prompt(problem)``, ``evaluate(problem, response)`` --
+and is usually driven through
+:func:`repro.core.runner.run_model_on_task`::
+
+    from repro.core import Design2SvaTask, RunConfig, run_model_on_task
+
+    task = Design2SvaTask("fsm", count=16, strategy="portfolio")
+    result = run_model_on_task("gpt-4o", task, RunConfig(n_samples=5,
+                                                         temperature=0.8))
+
+``evaluate`` issues the *measured* verdicts through the formal engine
+(syntax via :mod:`repro.sva.syntax`, equivalence via
+:mod:`repro.formal.equivalence`, proofs via :mod:`repro.formal.prover`),
+exactly mirroring the JasperGold-backed flow of the paper; each call
+returns one :class:`EvalRecord`.  Deterministic verdict fields are
+memoized across semantically identical samples
+(:mod:`repro.core.cache`; disable per task with ``use_cache=False``).
+``Design2SvaTask`` forwards ``prover_kwargs`` / ``strategy`` to every
+:class:`~repro.formal.prover.Prover` it builds; engine settings are part
+of the cache key, so reconfiguring invalidates instead of serving stale
+verdicts (docs/engine.md).
 """
 
 from __future__ import annotations
@@ -230,12 +249,19 @@ class Design2SvaTask:
     name = "design2sva"
 
     def __init__(self, category: str = "fsm", count: int = 96, seed: int = 0,
-                 prover_kwargs: dict | None = None, use_cache: bool = True):
+                 prover_kwargs: dict | None = None, use_cache: bool = True,
+                 strategy: str | None = None):
         self.category = category
         self.count = count
         self.seed = seed
         self.use_cache = use_cache
         self.prover_kwargs = dict(prover_kwargs or {})
+        if strategy is not None and strategy != "auto":
+            # engine scheduling policy (bmc | kind | portfolio), forwarded
+            # to every Prover and hence part of the verdict-cache engine
+            # key below; the default "auto" is omitted so explicit-default
+            # tasks share cache entries with unconfigured ones
+            self.prover_kwargs["strategy"] = strategy
         self.prover_kwargs.setdefault("max_bmc", 8)
         self.prover_kwargs.setdefault("max_k", 5)
         self.prover_kwargs.setdefault("sim_traces", 8)

@@ -15,7 +15,7 @@ from .testbench_gen import generate_testbench
 #: Default formal-check width.  The paper's most complex instances use
 #: WIDTH=128; proofs here run through a pure-Python SAT engine, so the sweep
 #: spans widths up to 128 while the bench configs may narrow it (documented
-#: in EXPERIMENTS.md).
+#: in docs/benchmarks.md).
 PIPELINE_WIDTHS = (8, 16, 32, 64, 128)
 FSM_WIDTHS = (8, 16, 32, 64)
 

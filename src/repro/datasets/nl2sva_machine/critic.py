@@ -5,7 +5,7 @@ candidate NL description, re-derive an assertion from the description alone
 (oracle semantic parse) and formally check it against the source assertion.
 A description is accepted only if the round trip is *provably equivalent* --
 strictly stronger than the paper's LLM critic, so accepted descriptions are
-faithful by construction (documented substitution, DESIGN.md).
+faithful by construction (docs/architecture.md, "Substitutions").
 
 ``build_problems`` runs the full generate -> describe -> criticize -> retry
 loop and attaches accepted descriptions to the raw problems.

@@ -4,7 +4,7 @@ The paper measures NL/SVA lengths with the Llama-3 tokenizer, which is not
 available offline; this module provides a deterministic BPE-like substitute
 calibrated to a similar tokens-per-character ratio (~0.3 for English prose,
 denser for code).  Only length *distributions* are consumed downstream, so
-the substitution preserves the figures' shape (DESIGN.md "Substitutions").
+the substitution preserves the figures' shape (docs/architecture.md "Substitutions").
 """
 
 from __future__ import annotations

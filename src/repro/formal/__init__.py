@@ -6,6 +6,8 @@ This package replaces JasperGold in the FVEval evaluation flow:
   implication (the paper's custom Jasper app),
 * :mod:`~repro.formal.prover` -- BMC + k-induction proofs of assertions on
   elaborated designs (Design2SVA's "is it proven?" verdict),
+* :mod:`~repro.formal.portfolio` -- races the bounded strategies under a
+  conflict-budget ladder (``Prover(strategy="portfolio")``),
 * supporting layers: AIG (:mod:`~repro.formal.aig`), CDCL SAT
   (:mod:`~repro.formal.sat`), bit-blasting (:mod:`~repro.formal.bitvec`),
   bounded SVA trace semantics (:mod:`~repro.formal.semantics`), and
@@ -29,6 +31,7 @@ from .equivalence import (
     check_equivalence,
     is_tautology,
 )
+from .portfolio import DEFAULT_LADDER, PortfolioScheduler
 from .prover import (
     ProofResult,
     ProofSession,
@@ -43,12 +46,13 @@ from .sat import SatResult, Solver, solve_cnf
 from .semantics import EncodingError, PropertyEncoder, horizon_of
 
 __all__ = [
-    "AIG", "AigBackend", "CnfWriter", "EncodingError", "EquivalenceResult",
-    "EvalError", "ExprEvaluator", "FALSE", "FixedTraceSource",
-    "FreeSignalSource", "IntBackend", "ProofResult", "ProofSession",
-    "PropertyEncoder", "Prover", "SatResult", "SignalSource", "Solver",
-    "TRUE", "TraceChecker", "UnrolledSource", "Verdict", "assertion_roots",
-    "check_equivalence", "check_trace", "coi_stats", "cone_of_influence",
+    "AIG", "AigBackend", "CnfWriter", "DEFAULT_LADDER", "EncodingError",
+    "EquivalenceResult", "EvalError", "ExprEvaluator", "FALSE",
+    "FixedTraceSource", "FreeSignalSource", "IntBackend", "ProofResult",
+    "ProofSession", "PortfolioScheduler", "PropertyEncoder", "Prover",
+    "SatResult", "SignalSource", "Solver", "TRUE", "TraceChecker",
+    "UnrolledSource", "Verdict", "assertion_roots", "check_equivalence",
+    "check_trace", "coi_stats", "cone_of_influence",
     "has_unbounded_strong", "horizon_of", "is_tautology", "neg",
     "prove_assertion", "solve_cnf",
 ]

@@ -365,7 +365,7 @@ class CnfWriter:
     of the requested cones.  This is what lets one :class:`~.sat.Solver`
     instance accumulate the CNF of a growing unrolling (BMC frame by frame,
     k-induction step by step) instead of re-encoding the whole formula per
-    depth (DESIGN.md, "Formal engine architecture & performance").
+    depth (docs/engine.md, "Incremental sessions").
 
     The writer allocates solver variables on demand; ``node2var`` maps AIG
     node index -> solver variable for counterexample extraction.

@@ -1,6 +1,6 @@
 """Word-level bit-parallel simulation: 64 traces per bitwise operation.
 
-The simulation-first falsification pass (DESIGN.md decision 3) used to
+The simulation-first falsification pass (docs/architecture.md decision 3) used to
 replay random traces one at a time: ``sim_traces`` scalar simulations of
 the design followed by ``sim_traces`` interpretive passes over the
 property cone.  This module packs the traces into *lanes*: every AIG node

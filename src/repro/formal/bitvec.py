@@ -15,7 +15,7 @@ the benchmark: operands of binary arithmetic/bitwise/comparison operators are
 zero-extended to a common width; shifts are self-determined on the right;
 reductions and logical operators produce one bit; unsized literals are 32 bits
 wide.  ``===``/``!==`` evaluate as ``==``/``!=`` (2-state semantics; see
-DESIGN.md).
+docs/architecture.md decision 4).
 """
 
 from __future__ import annotations

@@ -3,7 +3,7 @@
 Before bit-blasting a proof obligation, prune the design to the signals that
 can influence the assertion.  This is what keeps control-path proofs on wide
 datapath designs tractable: an assertion over the valid/ready chain of a
-128-bit pipeline never touches the arithmetic at all (DESIGN.md decision 2;
+128-bit pipeline never touches the arithmetic at all (docs/architecture.md decision 2;
 measured in ``benchmarks/test_ablation_coi.py``).
 """
 

@@ -9,7 +9,8 @@ Method: both assertions are encoded under the bounded trace semantics of
 :mod:`repro.formal.semantics` with every (signal, cycle) pair a free SAT
 variable; the miter ``P xor Q`` (resp. ``P and not Q``) is Tseitin-converted
 and dispatched to the CDCL solver.  Verdicts are computed at two horizons and
-must agree -- a horizon-sensitivity guard documented in DESIGN.md (ablation:
+must agree -- a horizon-sensitivity guard documented in
+docs/architecture.md decision 1 (ablation:
 ``benchmarks/test_ablation_horizon.py``).
 """
 

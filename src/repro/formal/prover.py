@@ -1,6 +1,18 @@
 """Model checking: prove or refute an assertion on an elaborated design.
 
 Replaces JasperGold's proof engines in the Design2SVA evaluation flow.
+The public entry point is :class:`Prover` (or the one-shot
+:func:`prove_assertion` wrapper)::
+
+    from repro.formal import Prover
+    from repro.rtl import elaborate
+    from repro.sva import parse_assertion
+
+    design = elaborate(source)
+    prover = Prover(design)                     # reuse across assertions
+    result = prover.prove(parse_assertion(text))
+    result.status                               # 'proven' | 'cex' | ...
+
 Pipeline:
 
 1. **COI reduction** -- prune the design to the assertion's cone
@@ -14,7 +26,7 @@ Pipeline:
    holds at all depths.
 
 Both bounded engines run on a **persistent incremental pipeline**
-(DESIGN.md, "Formal engine architecture & performance"): one AIG +
+(docs/engine.md, "Incremental sessions"): one AIG +
 unrolling + SAT solver per (design cone, init mode) is shared across every
 depth of a proof and across the assertions proved on one design.  Per-depth
 violation targets and per-step induction obligations are activated through
@@ -22,11 +34,18 @@ solver *assumptions*, so learned clauses about the transition relation are
 retained between queries instead of being recomputed.  The pre-refactor
 one-shot path is kept (``use_incremental=False``) as a differential oracle.
 
+How the bounded engines are *scheduled* is the ``strategy``
+configuration: ``auto`` (sequential, the reference), ``bmc`` / ``kind``
+(single engine), or ``portfolio`` -- race BMC depth probes against
+k-induction steps under a conflict-budget ladder
+(:mod:`repro.formal.portfolio`), record-identical to ``auto`` but
+cheaper whenever one engine decides early.
+
 Verdicts mirror a commercial tool: ``proven`` / ``cex`` / ``undetermined``
 (with the bound and engine recorded).  Properties containing *unbounded
 strong* operators (``strong(##[0:$] ...)``, ``s_eventually``, ``s_until``)
 are liveness obligations that bounded engines cannot prove; they are reported
-``undetermined`` unless falsified (documented substitution, DESIGN.md).
+``undetermined`` unless falsified (docs/architecture.md, decision 5).
 """
 
 from __future__ import annotations
@@ -172,7 +191,7 @@ class ProofSession:
     :class:`~.aig.Sweeper` before clausification: constant sweeping,
     two-level strash rewriting and constants implied by the other
     assumption literals shrink the Tseitin delta the writer streams
-    (DESIGN.md, "AIG simplification before CNF emission").
+    (docs/engine.md, "AIG sweeping").
     """
 
     def __init__(self, design: Design, free_init: bool,
@@ -231,7 +250,8 @@ class ProofSession:
         out.append(target if swept == TRUE else swept)
         return out
 
-    def solve(self, lits: list[int], max_conflicts: int | None = None):
+    def solve(self, lits: list[int], max_conflicts: int | None = None,
+              conflict_budget: int | None = None):
         """Solve the conjunction of AIG literals *lits* via assumptions.
 
         Encodes the not-yet-clausified part of each literal's cone, then
@@ -239,6 +259,12 @@ class ProofSession:
         is ever asserted permanently and learned clauses stay reusable.
         Returns a :class:`~.sat.SatResult`; constant-FALSE literals
         short-circuit to unsat.
+
+        ``conflict_budget`` bounds this call's conflicts like
+        ``max_conflicts`` does (the tighter of the two applies); the
+        portfolio scheduler re-issues the same query with a growing budget
+        (restart-and-deepen), which is cheap here because the solver keeps
+        its learned clauses between calls.
         """
         from .sat import SatResult
         live = [lit for lit in lits if lit != TRUE]
@@ -254,7 +280,8 @@ class ProofSession:
         self.writer.encode(live)
         t1 = time.perf_counter() if profile is not None else 0.0
         result = self.solver.solve([self.writer.lit(lit) for lit in live],
-                                   max_conflicts)
+                                   max_conflicts,
+                                   conflict_budget=conflict_budget)
         if profile is not None:
             t2 = time.perf_counter()
             profile["encode_s"] = profile.get("encode_s", 0.0) + (t1 - t0)
@@ -350,13 +377,24 @@ class Prover:
     cone of influence.
     """
 
+    #: recognized values of the ``strategy`` configuration
+    STRATEGIES = ("auto", "bmc", "kind", "portfolio")
+
     def __init__(self, design: Design, max_bmc: int = 12, max_k: int = 6,
                  max_conflicts: int = 300_000, sim_traces: int = 24,
                  sim_cycles: int = 40, use_coi: bool = True,
                  use_simulation: bool = True, use_incremental: bool = True,
                  use_packed_sim: bool = True, simplify: bool = True,
                  packed_max_nodes: int | None = None,
+                 strategy: str = "auto",
+                 portfolio_ladder: tuple[int, ...] | None = None,
                  profile: dict | None = None):
+        if strategy not in self.STRATEGIES:
+            raise ValueError(f"unknown strategy {strategy!r}; "
+                             f"expected one of {self.STRATEGIES}")
+        if strategy in ("kind", "portfolio") and not use_incremental:
+            raise ValueError(f"strategy {strategy!r} requires the "
+                             "incremental engine (use_incremental=True)")
         self.design = design
         self.max_bmc = max_bmc
         self.max_k = max_k
@@ -368,6 +406,15 @@ class Prover:
         self.use_incremental = use_incremental
         self.use_packed_sim = use_packed_sim
         self.simplify = simplify
+        #: engine scheduling policy: 'auto' (sequential sim -> BMC ->
+        #: k-induction, the reference behaviour), 'bmc' / 'kind' (single
+        #: bounded strategy), or 'portfolio' (race BMC depth probes against
+        #: k-induction steps under a conflict-budget ladder,
+        #: :mod:`repro.formal.portfolio`)
+        self.strategy = strategy
+        #: conflict-budget rungs for the portfolio scheduler (None: the
+        #: module default, 1k -> 8k -> 64k -> ``max_conflicts``)
+        self.portfolio_ladder = portfolio_ladder
         #: step-AIG node budget for packed simulation; above it the cone is
         #: datapath-dominated and the scalar compiled simulator is faster
         #: (the budget scales with the lane count the bit-parallel pass
@@ -404,32 +451,52 @@ class Prover:
             design, cone_key = self._reduced_design(roots)
         self._assumes = tuple(assumes)
         try:
-            if has_unbounded_strong(assertion.prop):
-                # a finite window can neither witness nor soundly refute an
-                # unbounded strong obligation; report undetermined as the
-                # documented substitution for liveness engines (DESIGN.md)
-                return ProofResult(
-                    "undetermined", engine="none",
-                    detail="liveness obligation; bounded engines only")
-            if self.use_simulation:
-                with self._stage("sim_s"):
-                    cex = self._simulate_falsify(design, cone_key, assertion)
-                if cex is not None:
-                    return ProofResult("cex", engine="simulation",
-                                       counterexample=cex)
-            with self._stage("bmc_s"):
-                if self.use_incremental:
-                    bmc = self._bmc(design, cone_key, assertion)
-                else:
-                    bmc = self._bmc_oneshot(design, assertion)
-            if bmc is not None:
-                return bmc
-            with self._stage("kind_s"):
-                if self.use_incremental:
-                    return self._k_induction(design, cone_key, assertion)
-                return self._k_induction_oneshot(design, assertion)
+            result = self._dispatch(design, cone_key, assertion)
         except (EncodingError, EvalError) as exc:
-            return ProofResult("error", detail=str(exc))
+            result = ProofResult("error", detail=str(exc))
+        # per-strategy win accounting: which engine produced the verdict
+        # (surfaced by reports.run_summary and bench_prover --profile)
+        win = f"win_{result.engine or result.status}"
+        self.profile[win] = self.profile.get(win, 0) + 1
+        return result
+
+    def _dispatch(self, design: Design, cone_key: frozenset,
+                  assertion: Assertion) -> ProofResult:
+        """Run the configured strategy after the shared cheap gates."""
+        if has_unbounded_strong(assertion.prop):
+            # a finite window can neither witness nor soundly refute an
+            # unbounded strong obligation; report undetermined as the
+            # documented substitution for liveness engines (docs/engine.md)
+            return ProofResult(
+                "undetermined", engine="none",
+                detail="liveness obligation; bounded engines only")
+        if self.use_simulation:
+            with self._stage("sim_s"):
+                cex = self._simulate_falsify(design, cone_key, assertion)
+            if cex is not None:
+                return ProofResult("cex", engine="simulation",
+                                   counterexample=cex)
+        if self.strategy == "portfolio":
+            from .portfolio import PortfolioScheduler
+            return PortfolioScheduler(self, design, cone_key,
+                                      assertion).run()
+        if self.strategy == "kind":
+            return self._kind_first(design, cone_key, assertion)
+        with self._stage("bmc_s"):
+            if self.use_incremental:
+                bmc = self._bmc(design, cone_key, assertion)
+            else:
+                bmc = self._bmc_oneshot(design, assertion)
+        if bmc is not None:
+            return bmc
+        if self.strategy == "bmc":
+            return ProofResult(
+                "undetermined", engine="bmc", depth=self.max_bmc,
+                detail=f"no counterexample within bound {self.max_bmc}")
+        with self._stage("kind_s"):
+            if self.use_incremental:
+                return self._k_induction(design, cone_key, assertion)
+            return self._k_induction_oneshot(design, assertion)
 
     def prove_all(self, assertions, assumes: tuple[Assertion, ...] = ()
                   ) -> list[ProofResult]:
@@ -612,33 +679,61 @@ class Prover:
 
     # -- BMC -------------------------------------------------------------
 
-    def _bmc(self, design: Design, cone_key: frozenset,
-             assertion: Assertion) -> ProofResult | None:
-        """Incremental BMC: one shared unrolling, one persistent solver,
-        one assumption-activated violation target per depth."""
+    def _bmc_obligations(self, design: Design, cone_key: frozenset,
+                         assertion: Assertion):
+        """The shared BMC encoding of *assertion* on its cone session.
+
+        Returns ``(session, env, violations, any_violation)``: the
+        reachable-init :class:`ProofSession`, the environment literal over
+        the full ``max_bmc`` window, one violation literal per depth
+        ``0..max_bmc``, and their structural disjunction.  Every strategy
+        (sequential BMC, kind-first base discharge, the portfolio
+        scheduler) builds its probes from this one encoding, so their
+        verdicts can only agree.
+        """
         window = max(1, horizon_of(assertion) + 1)
-        K = self.max_bmc + window
         session = self._session(design, cone_key, free_init=False)
-        encoder = session.encoder(K)
+        encoder = session.encoder(self.max_bmc + window)
         aig = session.aig
         env = self._environment(encoder, self.max_bmc)
         violations = [neg(encoder.encode_assertion(assertion, t))
                       for t in range(self.max_bmc + 1)]
-        any_violation = aig.and_(env, aig.or_many(violations))
+        return session, env, violations, aig.and_(env,
+                                                  aig.or_many(violations))
+
+    def _bmc(self, design: Design, cone_key: frozenset,
+             assertion: Assertion,
+             max_depth: int | None = None) -> ProofResult | None:
+        """Incremental BMC: one shared unrolling, one persistent solver,
+        one assumption-activated violation target per depth.
+
+        ``max_depth`` restricts the violation probes to depths ``0..d``
+        (the kind-first strategy discharges only the base cases its
+        inductive step actually needs); the unrolling and environment stay
+        at the full ``max_bmc`` horizon so the session is shared with
+        every other strategy on the same cone.
+        """
+        session, env, violations, any_violation = self._bmc_obligations(
+            design, cone_key, assertion)
         if any_violation == FALSE:
             return None  # structurally true at this bound; go prove
         if any_violation == TRUE:
             return ProofResult("cex", engine="bmc", depth=0,
                                detail="assertion constant-false")
+        aig = session.aig
+        depth = (self.max_bmc if max_depth is None
+                 else min(max_depth, self.max_bmc))
         conflicts = 0
-        for t, viol in enumerate(violations):
+        for t, viol in enumerate(violations[:depth + 1]):
             if aig.and_(env, viol) == FALSE:
                 continue
             result = session.solve([env, viol],
                                    max_conflicts=self.max_conflicts)
             conflicts += result.conflicts
             if result.is_sat:
-                cex = session.extract_cex(result.model, max_t=K - 1)
+                window = max(1, horizon_of(assertion) + 1)
+                cex = session.extract_cex(result.model,
+                                          max_t=self.max_bmc + window - 1)
                 return ProofResult("cex", engine="bmc", depth=self.max_bmc,
                                    counterexample=cex,
                                    stats={"conflicts": conflicts,
@@ -683,28 +778,41 @@ class Prover:
 
     # -- k-induction -------------------------------------------------------------
 
+    def _kind_step_obligation(self, design: Design, cone_key: frozenset,
+                              assertion: Assertion, k: int):
+        """The shared induction-step encoding at depth *k*.
+
+        Returns ``(session, lits, query)``: the free-init
+        :class:`ProofSession`, the assumption literals (environment, base
+        obligations ``holds(0..k-1)``, negated target at ``k``) and their
+        structural conjunction (``FALSE`` means the step case holds
+        structurally).  As with :meth:`_bmc_obligations`, every strategy
+        attempts induction steps through this one encoding.
+        """
+        window = max(1, horizon_of(assertion) + 1)
+        session = self._session(design, cone_key, free_init=True)
+        encoder = session.encoder(k + window + 1)
+        aig = session.aig
+        holds = [encoder.encode_assertion(assertion, t) for t in range(k)]
+        target = encoder.encode_assertion(assertion, k)
+        env = self._environment(encoder, k)
+        query = aig.and_(env, aig.and_(aig.and_many(holds), neg(target)))
+        return session, [env, *holds, neg(target)], query
+
     def _k_induction(self, design: Design, cone_key: frozenset,
                      assertion: Assertion) -> ProofResult:
         """Incremental k-induction: the free-init unrolling grows step by
         step in one shared session; base obligations and the negated target
         are passed as assumptions, never asserted, so every learned clause
         carries over to the next k (and the next assertion)."""
-        window = max(1, horizon_of(assertion) + 1)
-        session = self._session(design, cone_key, free_init=True)
-        aig = session.aig
         total_conflicts = 0
         for k in range(1, self.max_k + 1):
-            K = k + window + 1
-            encoder = session.encoder(K)
-            holds = [encoder.encode_assertion(assertion, t) for t in range(k)]
-            target = encoder.encode_assertion(assertion, k)
-            env = self._environment(encoder, k)
-            query = aig.and_(env, aig.and_(aig.and_many(holds), neg(target)))
+            session, lits, query = self._kind_step_obligation(
+                design, cone_key, assertion, k)
             if query == FALSE:
                 return ProofResult("proven", engine="k-induction", depth=k,
                                    stats={"conflicts": total_conflicts})
-            result = session.solve([env, *holds, neg(target)],
-                                   max_conflicts=self.max_conflicts)
+            result = session.solve(lits, max_conflicts=self.max_conflicts)
             total_conflicts += result.conflicts
             if result.is_unsat:
                 return ProofResult("proven", engine="k-induction", depth=k,
@@ -718,6 +826,55 @@ class Prover:
         return ProofResult("undetermined", engine="k-induction",
                            depth=self.max_k,
                            detail=f"not inductive up to k={self.max_k}",
+                           stats={"conflicts": total_conflicts})
+
+    def _kind_first(self, design: Design, cone_key: frozenset,
+                    assertion: Assertion) -> ProofResult:
+        """k-induction-first strategy: find an inductive step depth before
+        touching BMC, then discharge only the base cases that proof needs.
+
+        Sound because a ``proven`` verdict still requires both halves: the
+        step case (``_k_induction``'s free-init obligation, unsat at k) and
+        the base cases (no violation reachable at depths ``0..k-1``,
+        checked via :meth:`_bmc` with ``max_depth=k-1``).  Cheaper than
+        ``auto`` whenever the property is inductive at a small k, because
+        the remaining ``k..max_bmc`` BMC depths are never solved.
+        """
+        total_conflicts = 0
+        proven_k = None
+        structural = False
+        for k in range(1, self.max_k + 1):
+            session, lits, query = self._kind_step_obligation(
+                design, cone_key, assertion, k)
+            if query == FALSE:
+                proven_k, structural = k, True
+                break
+            with self._stage("kind_s"):
+                result = session.solve(lits,
+                                       max_conflicts=self.max_conflicts)
+            total_conflicts += result.conflicts
+            if result.is_unsat:
+                proven_k = k
+                break
+            if result.status == "unknown":
+                return ProofResult("undetermined", engine="k-induction",
+                                   detail="conflict budget exhausted",
+                                   stats={"conflicts": total_conflicts})
+        if proven_k is None:
+            return ProofResult("undetermined", engine="k-induction",
+                               depth=self.max_k,
+                               detail=f"not inductive up to k={self.max_k}",
+                               stats={"conflicts": total_conflicts})
+        with self._stage("bmc_s"):
+            base = self._bmc(design, cone_key, assertion,
+                             max_depth=proven_k - 1)
+        if base is not None:
+            return base  # base case refuted (cex) or budget-exhausted
+        with self._stage("kind_s"):
+            vacuous = (False if structural
+                       else self._is_vacuous(design, cone_key, assertion))
+        return ProofResult("proven", engine="k-induction", depth=proven_k,
+                           vacuous=vacuous,
                            stats={"conflicts": total_conflicts})
 
     def _k_induction_oneshot(self, design: Design,

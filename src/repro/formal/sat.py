@@ -11,8 +11,8 @@ The solver is *incremental*: clauses may be added at any time between
 ``solve(assumptions=...)`` calls retain learned clauses, variable
 activities and saved phases.  This is what lets the prover share one
 solver instance across every depth of a BMC / k-induction run and across
-the assertions proved on one design (DESIGN.md, "Formal engine
-architecture & performance").
+the assertions proved on one design (docs/engine.md, "Incremental
+sessions").
 
 Literals use DIMACS convention: variable ``v`` (1-based) appears as ``v`` or
 ``-v``.  Internally literals are mapped to ``2*v`` / ``2*v+1``.
@@ -55,6 +55,9 @@ class SatResult:
     propagations: int = 0
     learned_db: int = 0  # learned-clause database size after the call
     restarts: int = 0
+    #: why an 'unknown' call stopped: 'conflicts' (budget exhausted) or
+    #: 'interrupt' (cooperative Solver.interrupt()); empty when decided
+    limit: str = ""
 
     @property
     def is_sat(self) -> bool:
@@ -103,12 +106,31 @@ class Solver:
         self.total_propagations = 0
         self.propagations = 0  # running counter, snapshotted per solve call
         self._max_learned = _REDUCE_BASE
+        self._interrupt = False
         # indexed max-heap over variable activity
         self._heap: list[int] = []
         self._heap_pos: list[int] = [-1]
         self.new_vars(num_vars)
         for c in clauses or ():
             self.add_clause(c)
+
+    # -- cooperative interruption --------------------------------------------
+
+    def interrupt(self) -> None:
+        """Ask the current (or next) ``solve`` call to stop.
+
+        The flag is checked once per conflict and once per decision, so a
+        watchdog thread (or a future thread-level portfolio -- the
+        current ``formal.portfolio`` scheduler interleaves budgeted calls
+        instead) can reclaim the process without killing it.  The
+        interrupted call returns ``'unknown'`` with ``limit='interrupt'``
+        and the solver stays fully usable; the flag is sticky until
+        :meth:`clear_interrupt`.
+        """
+        self._interrupt = True
+
+    def clear_interrupt(self) -> None:
+        self._interrupt = False
 
     def stats(self) -> dict[str, int]:
         """Lifetime search statistics of this solver instance."""
@@ -447,15 +469,23 @@ class Solver:
     # -- main search -----------------------------------------------------------
 
     def solve(self, assumptions: list[int] | None = None,
-              max_conflicts: int | None = None) -> SatResult:
+              max_conflicts: int | None = None, *,
+              conflict_budget: int | None = None) -> SatResult:
         """Solve under optional assumptions (external literal convention).
 
         ``max_conflicts`` bounds this call's search; exceeding it yields
         'unknown' (the prover maps that to an *undetermined* verdict, as a
-        commercial tool does on timeout).  The solver always returns at
-        decision level 0, so further ``add_clause`` / ``solve`` calls may
-        follow; learned clauses, activities and phases are retained.
+        commercial tool does on timeout).  ``conflict_budget`` is the same
+        bound under the name the budgeted-restart callers use (the
+        portfolio ladder re-solves the same obligation with a growing
+        budget); when both are given the tighter one applies.  The solver
+        always returns at decision level 0, so further ``add_clause`` /
+        ``solve`` calls may follow; learned clauses, activities and phases
+        are retained -- which is exactly why restart-and-deepen is cheap.
         """
+        if conflict_budget is not None:
+            max_conflicts = (conflict_budget if max_conflicts is None
+                             else min(max_conflicts, conflict_budget))
         if not self.ok:
             return SatResult("unsat")
         self._backtrack(0)
@@ -469,7 +499,7 @@ class Solver:
             self._ensure_vars(a >> 1)
         assume_pos = 0
 
-        def finish(status: str, model=None) -> SatResult:
+        def finish(status: str, model=None, limit: str = "") -> SatResult:
             self._backtrack(0)
             propagations = self.propagations - props_start
             self.total_conflicts += conflicts
@@ -478,8 +508,10 @@ class Solver:
             return SatResult(status, model=model, conflicts=conflicts,
                              decisions=decisions, propagations=propagations,
                              learned_db=len(self.learned),
-                             restarts=restart_idx)
+                             restarts=restart_idx, limit=limit)
 
+        if self._interrupt:
+            return finish("unknown", limit="interrupt")
         while True:
             confl = self._propagate()
             if confl is not None:
@@ -508,7 +540,9 @@ class Solver:
                 self.var_inc *= self.var_decay
                 self.cla_inc *= self.cla_decay
                 if max_conflicts is not None and conflicts >= max_conflicts:
-                    return finish("unknown")
+                    return finish("unknown", limit="conflicts")
+                if self._interrupt:
+                    return finish("unknown", limit="interrupt")
                 if conflicts >= restart_budget:
                     restart_idx += 1
                     restart_budget = conflicts + 32 * _luby(restart_idx)
@@ -544,6 +578,8 @@ class Solver:
                 model = {v: bool(self.assign[v])
                          for v in range(1, self.nv + 1)}
                 return finish("sat", model=model)
+            if self._interrupt:
+                return finish("unknown", limit="interrupt")
             decisions += 1
             self.trail_lim.append(len(self.trail))
             # phase saving: re-try the variable's previous polarity

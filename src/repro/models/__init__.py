@@ -1,5 +1,5 @@
 """Simulated language models: calibrated behavioural stand-ins for the
-paper's LLM suite (see DESIGN.md "Substitutions")."""
+paper's LLM suite (see docs/architecture.md "Substitutions")."""
 
 from .agentic import AgenticLoop, AgenticResult, run_agentic_suite
 from .base import GenerationRequest, SimulatedModel

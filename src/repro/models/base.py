@@ -3,7 +3,7 @@
 A :class:`SimulatedModel` exposes the same surface as an LLM endpoint in the
 paper's harness -- ``generate(request) -> list[str]`` returning fenced
 SystemVerilog responses -- but its behaviour is a calibrated error process
-(see :mod:`repro.models.profiles` and DESIGN.md "Substitutions"):
+(see :mod:`repro.models.profiles` and docs/architecture.md "Substitutions"):
 
 1. an *oracle* derives the intended assertion (the reference solution for
    NL2SVA-Human, the semantic parse of the NL description for
@@ -53,7 +53,7 @@ class GenerationRequest:
     params: dict[str, int] = field(default_factory=dict)
     widths: dict[str, int] = field(default_factory=dict)
     #: problem's rank fraction within the run, for stratified difficulty
-    #: assignment (variance reduction; see EXPERIMENTS.md "Calibration")
+    #: assignment (variance reduction; see :mod:`repro.models.profiles`)
     quantile: float | None = None
 
 
@@ -106,7 +106,7 @@ class SimulatedModel:
                                          request.shots))
         if request.task == "design2sva":
             # per-sample independence: the paper's pass@k for Design2SVA is
-            # consistent with independent Bernoulli trials (EXPERIMENTS.md)
+            # consistent with independent Bernoulli trials
             return [self._partition_design(rates, self._difficulty(
                         request, rng, jitter=i))
                     for i in range(request.n_samples)]

@@ -12,7 +12,7 @@ Table 2/5 reaches syntax pass@5 ~= 1.0) while semantic errors are *sticky*
 independent on Design2SVA).
 
 These are behavioural models of the paper's subjects, not reimplementations
-of them; see DESIGN.md ("Substitutions").
+of them; see docs/architecture.md ("Substitutions").
 """
 
 from __future__ import annotations

@@ -3,7 +3,7 @@
 Drives a :class:`~repro.rtl.elaborate.Design` with concrete input values,
 evaluating combinational expressions in topological order and registering
 state updates at each clock edge.  Used by the examples, as a fast falsifier
-inside the prover (simulation-first, see DESIGN.md decision 3), and as an
+inside the prover (simulation-first, see docs/architecture.md decision 3), and as an
 oracle in the test suite.
 """
 

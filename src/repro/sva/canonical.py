@@ -4,7 +4,7 @@ Two model samples frequently differ only in formatting, label, operand
 order or operator spelling while being *provably identical* properties.
 :func:`canonical_key` maps an assertion to a string key such that equal
 keys imply semantic equivalence under this repo's 2-state evaluation
-(DESIGN.md decision 4); the cross-sample verdict cache
+(docs/architecture.md decision 4); the cross-sample verdict cache
 (:mod:`repro.core.cache`) then lets duplicate samples within a pass@k
 problem share one formal verdict.
 

@@ -148,3 +148,134 @@ class TestDiskPersistence:
             [asdict(r) for r in parallel.records]
         assert fresh.cache_stats()["disk_hits"] > 0
         assert serial.stats["cache"]["disk_hits"] > 0
+
+
+class TestCacheGc:
+    """Age/LRU compaction of the on-disk layer (python -m repro cache-gc)."""
+
+    @staticmethod
+    def _populate(root, n, namespace="ns", age_step=100.0, now=1_000_000.0):
+        """n entries whose mtimes ascend with the key index (0 = oldest)."""
+        import os
+        cache = VerdictCache(namespace, disk_dir=str(root))
+        keys = []
+        for i in range(n):
+            key = cache.key("entry", i)
+            cache.put(key, {"verdict": "proven", "i": i})
+            path = root / namespace / key[:2] / f"{key}.json"
+            os.utime(path, (now - (n - i) * age_step,) * 2)
+            keys.append(key)
+        return cache, keys
+
+    def test_age_eviction(self, tmp_path):
+        from repro.core.cache import gc_cache_dir
+        now = 1_000_000.0
+        _cache, _keys = self._populate(tmp_path, 6, now=now)
+        # entries are 100..600s old: a 350s horizon keeps the newest 3
+        stats = gc_cache_dir(tmp_path, max_age_s=350, now=now)
+        assert stats["scanned"] == 6
+        assert stats["removed"] == 3 and stats["kept"] == 3
+        assert len(list(tmp_path.rglob("*.json"))) == 3
+
+    def test_lru_entry_cap_keeps_most_recently_used(self, tmp_path):
+        from repro.core.cache import gc_cache_dir
+        now = 1_000_000.0
+        _cache, keys = self._populate(tmp_path, 5, now=now)
+        stats = gc_cache_dir(tmp_path, max_entries=2, now=now)
+        assert stats["removed"] == 3 and stats["kept"] == 2
+        survivors = {p.stem for p in tmp_path.rglob("*.json")}
+        assert survivors == set(keys[-2:])  # newest two survive
+
+    def test_byte_cap(self, tmp_path):
+        from repro.core.cache import gc_cache_dir
+        _cache, _keys = self._populate(tmp_path, 4)
+        sizes = [p.stat().st_size for p in tmp_path.rglob("*.json")]
+        budget = sum(sizes) - 1  # force exactly one eviction
+        stats = gc_cache_dir(tmp_path, max_bytes=budget)
+        assert stats["removed"] == 1 and stats["kept"] == 3
+        assert stats["bytes_kept"] <= budget
+
+    def test_read_refreshes_recency(self, tmp_path):
+        """A disk hit must protect the entry from LRU eviction."""
+        from repro.core.cache import gc_cache_dir
+        cache, keys = self._populate(tmp_path, 4)
+        reader = VerdictCache("ns", disk_dir=str(tmp_path))
+        assert reader.get(keys[0]) is not None  # touch the oldest entry
+        stats = gc_cache_dir(tmp_path, max_entries=2)
+        assert stats["kept"] == 2
+        survivors = {p.stem for p in tmp_path.rglob("*.json")}
+        assert keys[0] in survivors  # just-read entry survived
+        assert keys[-1] in survivors
+
+    def test_dry_run_deletes_nothing(self, tmp_path):
+        from repro.core.cache import gc_cache_dir
+        self._populate(tmp_path, 4)
+        stats = gc_cache_dir(tmp_path, max_entries=1, dry_run=True)
+        assert stats["removed"] == 3
+        assert len(list(tmp_path.rglob("*.json"))) == 4
+
+    def test_empty_buckets_pruned_and_cache_still_works(self, tmp_path):
+        from repro.core.cache import gc_cache_dir
+        cache, keys = self._populate(tmp_path, 3)
+        gc_cache_dir(tmp_path, max_age_s=0)  # evict everything
+        assert not list(tmp_path.rglob("*.json"))
+        assert not any(p.is_dir() for p in tmp_path.iterdir())
+        # the evicted cache keeps serving: next get recomputes via put
+        fresh = VerdictCache("ns", disk_dir=str(tmp_path))
+        assert fresh.get(keys[0]) is None
+        fresh.put(keys[0], {"verdict": "cex"})
+        assert fresh.get(keys[0]) == {"verdict": "cex"}
+
+    def test_orphaned_tmp_files_reaped(self, tmp_path):
+        """A writer killed between mkstemp and os.replace must not leak
+        bytes or pin its bucket directory forever."""
+        import os
+        from repro.core.cache import gc_cache_dir
+        now = 1_000_000.0
+        self._populate(tmp_path, 1, now=now)
+        bucket = next(p.parent for p in tmp_path.rglob("*.json"))
+        stale = bucket / "crashed.tmp"
+        stale.write_text("{partial")
+        os.utime(stale, (now - 7200,) * 2)   # crashed an hour+ ago
+        fresh = bucket / "inflight.tmp"
+        fresh.write_text("{partial")
+        os.utime(fresh, (now - 5,) * 2)      # a live writer: grace period
+        stats = gc_cache_dir(tmp_path, max_age_s=10_000, now=now)
+        assert not stale.exists() and fresh.exists()
+        assert stats["removed"] == 1  # only the stale tmp; entry survived
+        # age-evict everything else: the reaped tmp no longer pins buckets
+        os.unlink(fresh)
+        gc_cache_dir(tmp_path, max_age_s=0, now=now + 10)
+        assert not any(p.is_dir() for p in tmp_path.iterdir())
+
+    def test_missing_root_is_a_noop(self, tmp_path):
+        from repro.core.cache import gc_cache_dir
+        stats = gc_cache_dir(tmp_path / "never_created", max_age_s=1)
+        assert stats == {"scanned": 0, "removed": 0, "kept": 0,
+                         "bytes_freed": 0, "bytes_kept": 0}
+
+    def test_cli_subcommand(self, tmp_path, capsys):
+        from repro.__main__ import main
+        self._populate(tmp_path, 5)
+        assert main(["cache-gc", str(tmp_path), "--max-entries", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "removed 3" in out and "kept 2" in out
+        assert len(list(tmp_path.rglob("*.json"))) == 2
+
+    def test_cli_requires_a_directory(self, monkeypatch, capsys):
+        from repro.__main__ import main
+        monkeypatch.delenv("FVEVAL_CACHE", raising=False)
+        assert main(["cache-gc", "--max-entries", "1"]) == 2
+
+    def test_cli_requires_a_policy(self, tmp_path, capsys):
+        from repro.__main__ import main
+        assert main(["cache-gc", str(tmp_path)]) == 2
+
+    def test_cli_env_default_and_dry_run(self, monkeypatch, tmp_path,
+                                         capsys):
+        from repro.__main__ import main
+        self._populate(tmp_path, 3)
+        monkeypatch.setenv("FVEVAL_CACHE", str(tmp_path))
+        assert main(["cache-gc", "--max-entries", "1", "--dry-run"]) == 0
+        assert "would remove 2" in capsys.readouterr().out
+        assert len(list(tmp_path.rglob("*.json"))) == 3
