@@ -20,7 +20,11 @@ property/CNF encoding, sat) plus solver statistics and per-strategy win
 counts (which engine produced each verdict).  ``--scalar-sim``,
 ``--no-simplify`` and ``--no-cache`` disable the bit-parallel simulator,
 the pre-CNF AIG sweep and the verdict memoization respectively -- together
-they reproduce the pre-PR-2 engine for A/B rows.  ``--strategy
+they reproduce the pre-PR-2 engine for A/B rows.  ``--no-batch``
+disables the verification service's cross-sample batch scheduler (one
+falsification pass per sample instead of per cone); pair a default row
+with a ``--no-batch`` row to read the packed-lane savings and dedup rate
+off the ``scheduling`` block.  ``--strategy
 {auto,bmc,kind,portfolio}`` selects the proof-engine scheduling policy
 (``portfolio`` races BMC depth probes against k-induction steps under a
 conflict-budget ladder; pair an ``auto`` row with a ``portfolio`` row for
@@ -66,19 +70,22 @@ def _responses_for(design, rng: random.Random) -> list[str]:
 
 
 def bench_category(category: str, count: int, prover_kwargs: dict,
-                   use_cache: bool, with_profile: bool) -> dict:
+                   use_cache: bool, with_profile: bool,
+                   batching: bool = True) -> dict:
     from repro.core.tasks import Design2SvaTask
     task = Design2SvaTask(category, count=count,
                           prover_kwargs=dict(prover_kwargs),
-                          use_cache=use_cache)
+                          use_cache=use_cache, batching=batching)
     problems = task.problems()  # generation excluded from the timing
     verdicts: dict[str, int] = {}
     proofs = 0
     t0 = time.perf_counter()
     for i, design in enumerate(problems):
         rng = random.Random(i)
-        for response in _responses_for(design, rng):
-            record = task.evaluate(design, response)
+        # both template candidates of a design go in as one service
+        # batch -- the unit the cross-sample scheduler packs per cone
+        for record in task.evaluate_batch(design,
+                                          _responses_for(design, rng)):
             verdicts[record.verdict] = verdicts.get(record.verdict, 0) + 1
             proofs += 1
     elapsed = time.perf_counter() - t0
@@ -97,6 +104,7 @@ def bench_category(category: str, count: int, prover_kwargs: dict,
         result["profile"] = stages
         result["solver"] = {k: prof[k] for k in SOLVER_KEYS if k in prof}
         result["cache"] = task.cache_stats()
+        result["scheduling"] = scheduling_stats(task)
         from repro.core.reports import strategy_stats
         wins, rates, portfolio = strategy_stats(prof)
         if wins:
@@ -105,6 +113,35 @@ def bench_category(category: str, count: int, prover_kwargs: dict,
         if portfolio:
             result["portfolio"] = portfolio
     return result
+
+
+def scheduling_stats(task) -> dict:
+    """Batch-scheduler A/B metrics of one category run.
+
+    ``sim_candidates`` counts assertions that reached the falsifier;
+    ``sim_passes``/``sim_batch_passes`` count per-sample and packed
+    cross-sample falsification passes.  ``pass_reduction`` is the
+    fraction of per-candidate passes the batch scheduler saved (0 with
+    ``--no-batch``); ``dedup_rate`` is the fraction of prove requests
+    answered by in-flight dedup.
+    """
+    prof = task.profile
+    service = task.service.stats()
+    candidates = prof.get("sim_candidates", 0)
+    passes = prof.get("sim_passes", 0) + prof.get("sim_batch_passes", 0)
+    requests = service.get("requests", 0)
+    return {
+        "sim_candidates": candidates,
+        "sim_passes": prof.get("sim_passes", 0),
+        "sim_batch_passes": prof.get("sim_batch_passes", 0),
+        "pass_reduction": round(1.0 - passes / candidates, 4)
+        if candidates else 0.0,
+        "batch_groups": service.get("batch_groups", 0),
+        "batch_members": service.get("batch_members", 0),
+        "dedup_hits": service.get("dedup_hits", 0),
+        "dedup_rate": round(service.get("dedup_hits", 0) / requests, 4)
+        if requests else 0.0,
+    }
 
 
 def print_profile(category: str, entry: dict) -> None:
@@ -134,6 +171,15 @@ def print_profile(category: str, entry: dict) -> None:
     if portfolio:
         print(f"{category:>9}  sched : " + "  ".join(
             f"{k.split('_', 1)[1]}={v}" for k, v in portfolio.items()))
+    scheduling = entry.get("scheduling")
+    if scheduling:
+        print(f"{category:>9}  batch : "
+              f"candidates={scheduling['sim_candidates']} "
+              f"passes={scheduling['sim_passes']}"
+              f"+{scheduling['sim_batch_passes']}packed "
+              f"(saved {scheduling['pass_reduction']:.0%})  "
+              f"dedup={scheduling['dedup_hits']} "
+              f"({scheduling['dedup_rate']:.0%})")
 
 
 def git_state() -> tuple[str, bool]:
@@ -173,7 +219,9 @@ def check_mix(entry: dict) -> list[str]:
     return problems
 
 
-def main() -> int:
+def build_parser() -> argparse.ArgumentParser:
+    """The bench's argparse definition (introspected by
+    ``scripts/check_docs.py`` to keep documented flag lists honest)."""
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--count", type=int, default=8,
                     help="designs per category (default 8)")
@@ -187,6 +235,9 @@ def main() -> int:
                     help="disable the pre-CNF AIG sweep")
     ap.add_argument("--no-cache", action="store_true",
                     help="disable cross-sample verdict memoization")
+    ap.add_argument("--no-batch", action="store_true",
+                    help="disable cross-sample batch scheduling "
+                         "(per-sample falsification passes)")
     ap.add_argument("--strategy", default="auto",
                     choices=["auto", "bmc", "kind", "portfolio"],
                     help="proof-engine scheduling policy (default auto)")
@@ -194,7 +245,11 @@ def main() -> int:
                     help="fail unless every category has proven+cex verdicts")
     ap.add_argument("--output", default=str(
         Path(__file__).resolve().parent.parent / "BENCH_prover.json"))
-    args = ap.parse_args()
+    return ap
+
+
+def main() -> int:
+    args = build_parser().parse_args()
 
     prover_kwargs = dict(PROVER_KWARGS)
     if args.scalar_sim:
@@ -217,12 +272,14 @@ def main() -> int:
         "strategy": args.strategy,
         "prover_kwargs": dict(prover_kwargs),
         "use_cache": not args.no_cache,
+        "batch": not args.no_batch,
         "categories": {},
     }
     for category in CATEGORIES:
         entry["categories"][category] = bench_category(
             category, args.count, prover_kwargs,
-            use_cache=not args.no_cache, with_profile=args.profile)
+            use_cache=not args.no_cache, with_profile=args.profile,
+            batching=not args.no_batch)
         data = entry["categories"][category]
         print(f"{category:>9}: designs={data['designs']} "
               f"proofs={data['proofs']} wall={data['wall_s']}s "

@@ -18,7 +18,14 @@ Checks, over README.md, DESIGN.md and docs/*.md:
 * **smoke execution** -- a fenced block immediately preceded by an
   ``<!-- check-docs: run -->`` comment is executed for real, line by
   line, with ``PYTHONPATH=src`` from the repo root (the README
-  quickstart carries this marker).
+  quickstart carries this marker);
+* **CLI flag drift** -- the long options of every ``python -m repro``
+  subcommand and of the repo's argparse-based scripts are diffed
+  against the documentation corpus: a live flag that no doc file
+  mentions fails (new flags cannot ship undocumented -- the ROADMAP
+  docs-drift gate), and a ``--flag`` token documented on a line that
+  names one of our commands must exist on some live parser (stale docs
+  fail).
 
 Exit status is nonzero iff any check failed; every failure is reported
 with ``file:line``.
@@ -229,19 +236,105 @@ class Checker:
                     self.fail(rel, start, f"python block: {exc}")
 
 
-def main(argv: list[str] | None = None) -> int:
+# ---------------------------------------------------------------------------
+# CLI flag drift: documented flag lists vs live argparse definitions
+# ---------------------------------------------------------------------------
+
+#: substrings identifying a doc line that talks about one of our CLIs
+_CLI_MARKERS = ("repro", "bench_prover", "check_docs")
+_FLAG_RE = re.compile(r"(?<![\w-])--[a-z][a-z0-9-]*")
+
+
+def _parser_flags(parser) -> set[str]:
+    import argparse
+    flags = set()
+    for action in parser._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            continue
+        for opt in action.option_strings:
+            if opt.startswith("--") and opt != "--help":
+                flags.add(opt)
+    return flags
+
+
+def _script_parser(path: Path):
+    """Load an argparse-based script's ``build_parser`` without running
+    its workload."""
+    import importlib.util
+    spec = importlib.util.spec_from_file_location(path.stem, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module.build_parser()
+
+
+def live_cli_flags() -> dict[str, set[str]]:
+    """Command label -> the long options its live parser accepts."""
+    import argparse
+    sys.path.insert(0, str(ROOT / "src"))
+    from repro.__main__ import build_parser as repro_parser
+    commands: dict[str, set[str]] = {}
+    parser = repro_parser()
+    commands["python -m repro"] = _parser_flags(parser)
+    for action in parser._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            for name, sub in action.choices.items():
+                commands[f"python -m repro {name}"] = _parser_flags(sub)
+    for script in ("bench_prover.py", "check_docs.py"):
+        commands[f"scripts/{script}"] = _parser_flags(
+            _script_parser(ROOT / "scripts" / script))
+    return commands
+
+
+def check_cli_flags(checker: Checker, doc_files: list[str]) -> int:
+    """Diff live CLI flags against the documentation corpus.
+
+    Returns the number of live flags checked.  Forward direction: every
+    live long flag must appear in at least one doc file.  Reverse
+    direction: a ``--flag`` token on a doc line that names one of our
+    commands must be a live flag somewhere.
+    """
+    commands = live_cli_flags()
+    live = set().union(*commands.values())
+    corpus = {rel: (ROOT / rel).read_text() for rel in doc_files
+              if (ROOT / rel).exists()}
+    # exact token set, not substring containment: '--out' must not pass
+    # because some doc mentions '--output'
+    documented = set(_FLAG_RE.findall("\n".join(corpus.values())))
+    for label, flags in sorted(commands.items()):
+        for flag in sorted(flags):
+            if flag not in documented:
+                checker.problems.append(
+                    f"docs: undocumented flag: {label} {flag}")
+    for rel, text in corpus.items():
+        for lineno, line in enumerate(text.splitlines(), 1):
+            if not any(marker in line for marker in _CLI_MARKERS):
+                continue
+            for token in _FLAG_RE.findall(line):
+                if token not in live and token != "--help":
+                    checker.fail(rel, lineno,
+                                 f"documented flag does not exist on any "
+                                 f"live parser: {token}")
+    return len(live)
+
+
+def build_parser():
     import argparse
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--no-execute", action="store_true",
                         help="static checks only (links, paths, syntax)")
-    args = parser.parse_args(argv)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
     checker = Checker(execute=not args.no_execute)
     for rel in DOC_FILES:
         if (ROOT / rel).exists():
             checker.check_file(rel)
+    flags_checked = check_cli_flags(checker, DOC_FILES)
     print(f"checked {len(DOC_FILES)} files: {checker.checked_links} links, "
           f"{checker.checked_commands} python commands, "
-          f"{checker.executed} executed")
+          f"{checker.executed} executed, {flags_checked} CLI flags")
     if checker.problems:
         print(f"{len(checker.problems)} problem(s):")
         for problem in checker.problems:

@@ -2,9 +2,13 @@
 
 Commands:
     tables [--full] [--out DIR]     regenerate the paper's tables
-    verify FILE [--assume SVA ...]  prove a file's assertions on itself
-    equiv REF CAND [--width N=W]    assertion-to-assertion equivalence
+    verify FILE [--assume SVA ...] [--strategy S]
+                                    prove a file's assertions on itself
+    equiv REF CAND [--width N=W] [--strategy S]
+                                    assertion-to-assertion equivalence
     generate {fsm,pipeline} [--seed N]   emit a synthetic design to stdout
+    serve [--no-batch]              JSON-lines verification service on
+                                    stdin/stdout (docs/service.md)
     cache-gc [DIR] [--max-age-days N] [--max-entries N] [--max-bytes N]
                                     compact an FVEVAL_CACHE directory
 """
@@ -29,41 +33,50 @@ def _cmd_tables(args) -> int:
 
 
 def _cmd_verify(args) -> int:
-    from .formal import Prover
     from .rtl import elaborate
-    from .sva import parse_assertion
-    source = open(args.file).read()
+    from .service import VerificationService, VerifyRequest
+    with open(args.file) as fh:
+        source = fh.read()
     design = elaborate(source)
-    assumes = tuple(parse_assertion(a, params=design.params)
-                    for a in args.assume or ())
-    prover = Prover(design)
     targets = design.assertions or []
     if not targets:
         print("no concurrent assertions found in the design", file=sys.stderr)
         return 1
+    engine = {} if args.strategy == "auto" else {"strategy": args.strategy}
+    service = VerificationService()
+    responses = service.run([
+        VerifyRequest(kind="prove", design=design, assertion=assertion,
+                      assumes=tuple(args.assume or ()), engine=engine,
+                      use_cache=False)
+        for assertion in targets])
     failed = 0
-    for assertion in targets:
-        result = prover.prove(assertion, assumes=assumes)
+    for assertion, response in zip(targets, responses):
         label = assertion.label or "<unnamed>"
-        print(f"{label:24s} {result.status:14s} {result.engine}")
-        failed += result.status == "cex"
+        print(f"{label:24s} {response.verdict:14s} "
+              f"{response.meta.get('engine', '')}")
+        failed += response.verdict == "cex"
     return 1 if failed else 0
 
 
 def _cmd_equiv(args) -> int:
-    from .formal import check_equivalence
+    from .service import VerificationService, VerifyRequest
     widths = {}
     for spec in args.width or ():
         name, _, w = spec.partition("=")
         widths[name] = int(w)
-    result = check_equivalence(args.reference, args.candidate,
-                               signal_widths=widths)
-    print(result.verdict.value)
-    if result.counterexample:
+    engine = {} if args.strategy == "auto" else {"strategy": args.strategy}
+    service = VerificationService()
+    [response] = service.run([
+        VerifyRequest(kind="equivalence", reference=args.reference,
+                      candidate=args.candidate, widths=widths,
+                      engine=engine, use_cache=False)])
+    print(response.verdict)
+    cex = response.meta.get("counterexample")
+    if cex:
         print("counterexample:")
-        for name, values in sorted(result.counterexample.items()):
+        for name, values in sorted(cex.items()):
             print(f"  {name}: {values}")
-    return 0 if result.is_full else 2
+    return 0 if response.func else 2
 
 
 def _cmd_generate(args) -> int:
@@ -77,6 +90,17 @@ def _cmd_generate(args) -> int:
         design = generate_pipeline(PipelineConfig(seed=args.seed))
     print(design.source)
     return 0
+
+
+def _cmd_serve(args) -> int:
+    from .service import VerificationService, serve_stream
+    # the in-memory verdict layer is capped: serve is a long-running
+    # process and must not grow per distinct request forever (the disk
+    # layer, when FVEVAL_CACHE is set, still holds everything and is
+    # compacted by cache-gc)
+    service = VerificationService(batching=False if args.no_batch else None,
+                                  max_cache_entries=65536)
+    return serve_stream(sys.stdin, sys.stdout, service)
 
 
 def _cmd_cache_gc(args) -> int:
@@ -106,7 +130,14 @@ def _cmd_cache_gc(args) -> int:
     return 0
 
 
-def main(argv: list[str] | None = None) -> int:
+#: proof-engine scheduling policies (mirrors Prover.STRATEGIES; kept as a
+#: literal so building the parser needs no engine imports)
+_STRATEGIES = ["auto", "bmc", "kind", "portfolio"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argparse definition (introspected by
+    ``scripts/check_docs.py`` to keep documented flag lists honest)."""
     parser = argparse.ArgumentParser(prog="python -m repro",
                                      description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -118,6 +149,8 @@ def main(argv: list[str] | None = None) -> int:
     p = sub.add_parser("verify", help="prove a design's own assertions")
     p.add_argument("file")
     p.add_argument("--assume", action="append")
+    p.add_argument("--strategy", default="auto", choices=_STRATEGIES,
+                   help="proof-engine scheduling policy (default auto)")
     p.set_defaults(fn=_cmd_verify)
 
     p = sub.add_parser("equiv", help="check two assertions for equivalence")
@@ -125,12 +158,22 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("candidate")
     p.add_argument("--width", action="append",
                    help="signal width, e.g. --width data=8")
+    p.add_argument("--strategy", default="auto", choices=_STRATEGIES,
+                   help="accepted for symmetry with verify; the bounded "
+                        "equivalence engine is strategy-neutral")
     p.set_defaults(fn=_cmd_equiv)
 
     p = sub.add_parser("generate", help="emit a synthetic design")
     p.add_argument("category", choices=["fsm", "pipeline"])
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(fn=_cmd_generate)
+
+    p = sub.add_parser("serve",
+                       help="JSON-lines verification service on "
+                            "stdin/stdout")
+    p.add_argument("--no-batch", action="store_true",
+                   help="disable cross-sample batch scheduling")
+    p.set_defaults(fn=_cmd_serve)
 
     p = sub.add_parser("cache-gc",
                        help="compact a verdict-cache directory (age/LRU)")
@@ -145,8 +188,11 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--dry-run", action="store_true",
                    help="report what would be evicted without deleting")
     p.set_defaults(fn=_cmd_cache_gc)
+    return parser
 
-    args = parser.parse_args(argv)
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
     return args.fn(args)
 
 

@@ -68,14 +68,27 @@ class VerdictCache:
     operation so a worker process inherits ``FVEVAL_CACHE`` naturally.
     """
 
-    def __init__(self, namespace: str, disk_dir: str | None | object = None):
+    def __init__(self, namespace: str, disk_dir: str | None | object = None,
+                 max_mem_entries: int | None = None):
         self.namespace = namespace
         self._explicit_dir = disk_dir
+        #: cap on the in-memory layer (None = unbounded).  Benchmark runs
+        #: terminate, so they default unbounded; long-running services
+        #: (``python -m repro serve``) pass a cap -- eviction is
+        #: oldest-inserted first, and a capped entry that was also
+        #: persisted simply costs a disk re-read later.
+        self.max_mem_entries = max_mem_entries
         self.mem: dict[str, dict] = {}
         self.hits = 0
         self.misses = 0
         self.disk_hits = 0
         self.puts = 0
+
+    def _bound_mem(self) -> None:
+        if self.max_mem_entries is None:
+            return
+        while len(self.mem) > self.max_mem_entries:
+            self.mem.pop(next(iter(self.mem)))  # FIFO: oldest inserted
 
     # -- keys ----------------------------------------------------------------
 
@@ -114,6 +127,7 @@ class VerdictCache:
                 value = None
             if isinstance(value, dict):
                 self.mem[key] = value
+                self._bound_mem()
                 self.hits += 1
                 self.disk_hits += 1
                 try:
@@ -126,6 +140,7 @@ class VerdictCache:
 
     def put(self, key: str, value: dict) -> None:
         self.mem[key] = value
+        self._bound_mem()
         self.puts += 1
         path = self._path(key)
         if path is None:

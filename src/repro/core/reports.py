@@ -211,6 +211,12 @@ def run_summary(result: RunResult, task=None) -> str:
                      f"{total} lookups ({rate:.1%}), "
                      f"{cache.get('disk_hits', 0)} from disk, "
                      f"{cache.get('entries', 0)} entries")
+    service = stats.get("service")
+    if service:
+        lines.append(f"  service: {service.get('requests', 0)} requests, "
+                     f"{service.get('dedup_hits', 0)} dedup'd in flight, "
+                     f"{service.get('batch_members', 0)} batch-scheduled "
+                     f"in {service.get('batch_groups', 0)} packed groups")
     prover = stats.get("prover")
     if prover:
         stages = [(label, prover.get(key)) for label, key in

@@ -10,23 +10,30 @@ several models)::
                                RunConfig(n_samples=5, temperature=0.8))
     result.func_at(5)       # unbiased pass@5 over the run's records
 
-It generates ``n_samples`` responses per problem, scores each through
-``task.evaluate`` and returns a :class:`RunResult` carrying the raw
+It generates ``n_samples`` responses per problem and scores them through
+``task.evaluate_batch`` -- one verification-service batch per problem,
+so the service can deduplicate and batch-schedule the samples together
+(docs/service.md) -- returning a :class:`RunResult` carrying the raw
 :class:`~repro.core.tasks.EvalRecord` rows plus the aggregate metrics
 (greedy rates, unbiased pass@k) and engine observability
 (``result.stats``; rendered by :func:`repro.core.reports.run_summary`).
+:func:`iter_run_model_on_task` is the incremental form: it yields each
+record as its problem completes, for callers that stream results.
 
 Independent problems evaluate in parallel when the ``FVEVAL_JOBS``
 environment variable asks for more than one worker (``FVEVAL_JOBS=0`` or
 ``auto`` uses every core).  Each worker process receives the (model, task,
 config) triple once at pool start-up and evaluates whole problems, so
 records stay deterministic and identical to a serial run -- the pool only
-changes wall-clock, never results.  The default is serial, which keeps CI
-runs reproducible under tools that dislike forks.  Workers share formal
-verdicts through the on-disk verdict cache when ``FVEVAL_CACHE`` is set
-(docs/engine.md, "Environment variables") -- with an engine strategy like
-``portfolio`` this is the fleet-level layer of the portfolio: problems
-race across processes while strategies race within each prover.
+changes wall-clock, never results.  Workers report their cache/profile
+counters back with each result; the merged totals land in
+``RunResult.stats`` just as a serial run's do.  The default is serial,
+which keeps CI runs reproducible under tools that dislike forks.  Workers
+share formal verdicts through the on-disk verdict cache when
+``FVEVAL_CACHE`` is set (docs/engine.md, "Environment variables") -- with
+an engine strategy like ``portfolio`` this is the fleet-level layer of
+the portfolio: problems race across processes while strategies race
+within each prover.
 """
 
 from __future__ import annotations
@@ -56,8 +63,10 @@ class RunResult:
     model: str
     task: str
     records: list[EvalRecord] = field(default_factory=list)
-    #: run observability: verdict-cache hit rates and prover stage/solver
-    #: totals (serial runs only -- workers keep their own counters)
+    #: run observability: verdict-cache hit rates, prover stage/solver
+    #: totals and service scheduling counters (parallel runs merge the
+    #: per-worker counters; cache "entries" then counts per-worker
+    #: memory entries, which may overlap across workers)
     stats: dict = field(default_factory=dict)
 
     # -- aggregates ------------------------------------------------------------
@@ -135,7 +144,13 @@ def _problem_list(task, config: RunConfig) -> list:
 
 def _evaluate_problem(model: SimulatedModel, task, config: RunConfig,
                       problem, index: int, total: int) -> list[EvalRecord]:
-    """Generate and score every sample of one problem (the unit of work)."""
+    """Generate and score every sample of one problem (the unit of work).
+
+    Samples are scored through ``task.evaluate_batch`` when the task has
+    one -- a whole problem is one verification-service batch -- with the
+    per-sample ``evaluate`` loop as the fallback protocol.  Both paths
+    produce field-identical records (``tests/test_service_parity.py``).
+    """
     context = (task.context(problem)
                if hasattr(task, "context") else {})
     request = GenerationRequest(
@@ -145,13 +160,16 @@ def _evaluate_problem(model: SimulatedModel, task, config: RunConfig,
         widths=dict(context.get("widths", {})),
         quantile=(index + 0.5) / total)
     responses = model.generate(request)
-    records = []
-    for i, response in enumerate(responses):
-        record = task.evaluate(problem, response, model=model.name,
-                               sample_idx=i)
+    evaluate_batch = getattr(task, "evaluate_batch", None)
+    if callable(evaluate_batch):
+        records = evaluate_batch(problem, responses, model=model.name)
+    else:
+        records = [task.evaluate(problem, response, model=model.name,
+                                 sample_idx=i)
+                   for i, response in enumerate(responses)]
+    for record in records:
         record.meta.setdefault("reference", _reference_of(problem))
         record.meta["shots"] = config.shots
-        records.append(record)
     return records
 
 
@@ -163,42 +181,35 @@ def _pool_init(model: SimulatedModel, task, config: RunConfig) -> None:
     _POOL_CTX["model"] = model
     _POOL_CTX["task"] = task
     _POOL_CTX["config"] = config
+    # the unpickled task may arrive with counters the parent already
+    # accumulated before the pool started; remember them so snapshots
+    # report only this worker's own work (no per-worker re-count of the
+    # parent baseline)
+    _POOL_CTX["baseline"] = _collect_stats(task)
 
 
-def _pool_eval(index: int) -> list[EvalRecord]:
+def _pool_eval(index: int) -> tuple[list[EvalRecord], int, dict]:
+    """One problem's records plus the worker's cumulative stats snapshot.
+
+    The snapshot travels with every result because workers cannot be
+    interrogated after the pool drains; counters only ever grow, so the
+    parent keeps the latest snapshot per worker pid and sums across
+    workers (fixing the ``FVEVAL_JOBS`` observability hole where pooled
+    runs attached no stats at all).
+    """
     model = _POOL_CTX["model"]
     task = _POOL_CTX["task"]
     config = _POOL_CTX["config"]
     problems = _problem_list(task, config)
-    return _evaluate_problem(model, task, config, problems[index], index,
-                             len(problems))
-
-
-def _run_parallel(model: SimulatedModel, task, config: RunConfig,
-                  total: int, jobs: int) -> list[EvalRecord] | None:
-    """Fan problems out over a process pool; None means 'run serially'.
-
-    Only pool-infrastructure failures (unpicklable payload, broken or
-    unavailable process pool) degrade to serial; a genuine evaluation
-    error in a worker propagates to the caller like a serial run's would.
-    """
-    import pickle
-    from concurrent.futures import ProcessPoolExecutor
-    from concurrent.futures.process import BrokenProcessPool
-    try:
-        with ProcessPoolExecutor(
-                max_workers=min(jobs, total),
-                initializer=_pool_init,
-                initargs=(model, task, config)) as pool:
-            per_problem = list(pool.map(_pool_eval, range(total),
-                                        chunksize=max(1, total // (4 * jobs))))
-    except (pickle.PicklingError, BrokenProcessPool, OSError, ImportError):
-        return None
-    return [record for records in per_problem for record in records]
+    records = _evaluate_problem(model, task, config, problems[index], index,
+                                len(problems))
+    snapshot = _diff_stats(_collect_stats(task), _POOL_CTX["baseline"])
+    return records, os.getpid(), snapshot
 
 
 def _collect_stats(task) -> dict:
-    """Observability payload from a task: cache hit rates, prover profile."""
+    """Observability payload from a task: cache hit rates, prover profile,
+    service scheduling counters."""
     stats: dict = {}
     cache_stats = getattr(task, "cache_stats", None)
     if callable(cache_stats):
@@ -207,25 +218,166 @@ def _collect_stats(task) -> dict:
     if isinstance(profile, dict) and profile:
         stats["prover"] = {k: (round(v, 6) if isinstance(v, float) else v)
                            for k, v in profile.items()}
+    service = getattr(task, "service", None)
+    if service is not None and getattr(service, "requests", 0):
+        counters = service.stats()
+        counters.pop("cache", None)  # already reported above
+        stats["service"] = counters
     return stats
 
 
-def run_model_on_task(model: SimulatedModel | str, task,
-                      config: RunConfig | None = None) -> RunResult:
-    """Evaluate one model on one task under the given decoding config."""
+#: profile keys that are high-water marks, not accumulating counters --
+#: merged across workers with max, never summed (and never baselined)
+_HIGH_WATER_KEYS = {"learned_db"}
+
+
+def _diff_stats(current: dict, baseline: dict) -> dict:
+    """Counters accumulated since *baseline* (high-water marks pass
+    through unchanged -- a peak cannot be meaningfully subtracted)."""
+    out: dict = {}
+    for section, counters in current.items():
+        base = baseline.get(section, {})
+        dst = out.setdefault(section, {})
+        for key, value in counters.items():
+            if isinstance(value, (int, float)) \
+                    and key not in _HIGH_WATER_KEYS:
+                dst[key] = value - base.get(key, 0)
+            else:
+                dst[key] = value
+    return out
+
+
+def _sum_stats(snapshots) -> dict:
+    """Merge per-worker stats snapshots: sum counters, max the peaks."""
+    merged: dict = {}
+    for snapshot in snapshots:
+        for section, counters in snapshot.items():
+            dst = merged.setdefault(section, {})
+            for key, value in counters.items():
+                if not isinstance(value, (int, float)):
+                    continue
+                if key in _HIGH_WATER_KEYS:
+                    dst[key] = max(dst.get(key, 0), value)
+                else:
+                    dst[key] = dst.get(key, 0) + value
+    return merged
+
+
+class _PoolUnavailable(Exception):
+    """Pool infrastructure failed; carries whether records already left."""
+
+    def __init__(self, cause: BaseException, partial: bool):
+        super().__init__(str(cause))
+        self.cause = cause
+        self.partial = partial
+
+
+def _iter_parallel(model: SimulatedModel, task, config: RunConfig,
+                   total: int, jobs: int, stats: dict | None):
+    """Yield per-problem record lists from a process pool, in order.
+
+    Only pool-infrastructure failures (unpicklable payload, broken or
+    unavailable process pool) raise :class:`_PoolUnavailable` (the caller
+    degrades to serial); a genuine evaluation error in a worker
+    propagates like a serial run's would.
+    """
+    import pickle
+    from concurrent.futures import ProcessPoolExecutor
+    from concurrent.futures.process import BrokenProcessPool
+    infra = (pickle.PicklingError, BrokenProcessPool, OSError, ImportError)
+    worker_stats: dict[int, dict] = {}
+    yielded = False
+    try:
+        with ProcessPoolExecutor(
+                max_workers=min(jobs, total),
+                initializer=_pool_init,
+                initargs=(model, task, config)) as pool:
+            results = pool.map(_pool_eval, range(total),
+                               chunksize=max(1, total // (4 * jobs)))
+            while True:
+                try:
+                    records, pid, snapshot = next(results)
+                except StopIteration:
+                    break
+                except infra as exc:
+                    raise _PoolUnavailable(exc, yielded) from exc
+                # a worker's chunks arrive in the order it processed
+                # them, so the last snapshot per pid is its final state
+                worker_stats[pid] = snapshot
+                yielded = True
+                yield records
+    except _PoolUnavailable:
+        raise
+    except infra as exc:
+        raise _PoolUnavailable(exc, yielded) from exc
+    if stats is not None:
+        stats.update(_sum_stats(worker_stats.values()))
+
+
+def iter_run_model_on_task(model: SimulatedModel | str, task,
+                           config: RunConfig | None = None,
+                           stats: dict | None = None):
+    """Incremental form of :func:`run_model_on_task`: yield each
+    :class:`EvalRecord` as its problem completes.
+
+    Records arrive in problem order (identical to the eventual
+    ``RunResult.records``), serial or pooled alike.  Pass a dict as
+    *stats* to receive the run's merged observability counters once the
+    iterator is exhausted.
+    """
     if isinstance(model, str):
         model = SimulatedModel(model)
     config = config or RunConfig()
     problems = _problem_list(task, config)
-    result = RunResult(model=model.name, task=task.name)
     total = len(problems)
     jobs = parallel_jobs()
     if jobs > 1 and total > 1:
-        records = _run_parallel(model, task, config, total, jobs)
-        if records is not None:
-            result.records.extend(records)
-            # the parent task's counters never ticked -- the pool workers
-            # hold the real ones -- so attach nothing rather than zeros
+        try:
+            for records in _iter_parallel(model, task, config, total, jobs,
+                                          stats):
+                yield from records
+            return
+        except _PoolUnavailable as exc:
+            if exc.partial:
+                # records already streamed; restarting would duplicate them
+                raise exc.cause
+            # nothing left the pool: degrade to the serial path below
+    for index, problem in enumerate(problems):
+        yield from _evaluate_problem(model, task, config, problem, index,
+                                     total)
+    if stats is not None:
+        stats.update(_collect_stats(task))
+
+
+def run_model_on_task(model: SimulatedModel | str, task,
+                      config: RunConfig | None = None) -> RunResult:
+    """Evaluate one model on one task under the given decoding config.
+
+    Unlike the streaming iterator, this buffers internally, so a pool
+    that breaks mid-run (worker OOM-killed, executor torn down) costs
+    nothing: the partial pool output is discarded and the whole run
+    degrades to the serial path, exactly as it did before the service
+    redesign.
+    """
+    if isinstance(model, str):
+        model = SimulatedModel(model)
+    config = config or RunConfig()
+    result = RunResult(model=model.name, task=task.name)
+    problems = _problem_list(task, config)
+    total = len(problems)
+    jobs = parallel_jobs()
+    if jobs > 1 and total > 1:
+        stats: dict = {}
+        try:
+            buffered = [records for records in
+                        _iter_parallel(model, task, config, total, jobs,
+                                       stats)]
+        except _PoolUnavailable:
+            pass  # nothing escaped the buffer; degrade to serial below
+        else:
+            result.records.extend(r for records in buffered
+                                  for r in records)
+            result.stats = stats
             return result
     for index, problem in enumerate(problems):
         result.records.extend(

@@ -3,9 +3,9 @@
 Public entry points: :class:`Nl2SvaHumanTask`, :class:`Nl2SvaMachineTask`
 and :class:`Design2SvaTask` (or :func:`default_tasks` for the standard
 instances).  Each task exposes the protocol the runner consumes --
-``problems()``, ``prompt(problem)``, ``evaluate(problem, response)`` --
-and is usually driven through
-:func:`repro.core.runner.run_model_on_task`::
+``problems()``, ``prompt(problem)``, ``evaluate(problem, response)`` and
+the batched ``evaluate_batch(problem, responses)`` -- and is usually
+driven through :func:`repro.core.runner.run_model_on_task`::
 
     from repro.core import Design2SvaTask, RunConfig, run_model_on_task
 
@@ -13,17 +13,21 @@ and is usually driven through
     result = run_model_on_task("gpt-4o", task, RunConfig(n_samples=5,
                                                          temperature=0.8))
 
-``evaluate`` issues the *measured* verdicts through the formal engine
-(syntax via :mod:`repro.sva.syntax`, equivalence via
-:mod:`repro.formal.equivalence`, proofs via :mod:`repro.formal.prover`),
-exactly mirroring the JasperGold-backed flow of the paper; each call
-returns one :class:`EvalRecord`.  Deterministic verdict fields are
-memoized across semantically identical samples
-(:mod:`repro.core.cache`; disable per task with ``use_cache=False``).
-``Design2SvaTask`` forwards ``prover_kwargs`` / ``strategy`` to every
-:class:`~repro.formal.prover.Prover` it builds; engine settings are part
-of the cache key, so reconfiguring invalidates instead of serving stale
-verdicts (docs/engine.md).
+Tasks are thin adapters over the verification service
+(:mod:`repro.service`): ``evaluate`` emits typed
+:class:`~repro.service.api.VerifyRequest`\\ s (syntax gates, equivalence
+checks, proofs -- mirroring the JasperGold-backed flow of the paper) and
+folds the responses' verdict fields into :class:`EvalRecord`\\ s.  All
+memoization, in-flight deduplication and cross-sample batch scheduling
+live in the service; disable memoization per task with
+``use_cache=False``.  ``Design2SvaTask`` forwards ``prover_kwargs`` /
+``strategy`` as the request engine configuration, which is part of the
+verdict-cache key, so reconfiguring invalidates instead of serving stale
+verdicts (docs/engine.md).  ``evaluate_batch`` submits a whole problem's
+samples as one batch -- that is what lets the service pack the
+candidates of one design cone into a single bit-parallel falsification
+pass (docs/service.md); per-sample ``evaluate`` is the degenerate batch
+of one and produces field-identical records.
 """
 
 from __future__ import annotations
@@ -41,15 +45,27 @@ from ..datasets.nl2sva_machine.generator import (
     SIGNAL_WIDTHS,
     MachineProblem,
 )
-from ..formal.equivalence import Verdict, check_equivalence
-from ..formal.prover import Prover
-from ..rtl.elaborate import Design, ElaborationError, elaborate
-from ..sva.canonical import CanonicalizationError, canonical_key
+from ..rtl.elaborate import Design, elaborate
+from ..service import RequestError, VerificationService, VerifyRequest
 from ..sva.lexer import strip_code_fences
-from ..sva.syntax import check_assertion_syntax
 from ..eval.metrics import sentence_bleu
 from . import prompts
-from .cache import VerdictCache, caching_disabled
+
+
+def _checked(responses):
+    """Fail fast on request-level service failures.
+
+    ``ok=False`` means the *request* was broken (misconfigured engine
+    options, malformed input) -- a task programming error, not a
+    measured verdict -- and must abort the run loudly, exactly as the
+    pre-service ``Prover(**kwargs)`` TypeError did, instead of folding
+    into records as ``verdict="error"`` and silently zeroing pass@k.
+    """
+    for response in responses:
+        if not response.ok:
+            raise RequestError(
+                f"verification request failed: {response.detail}")
+    return responses
 
 
 @dataclass
@@ -70,94 +86,87 @@ class EvalRecord:
     meta: dict = field(default_factory=dict)
 
 
-def _memoized_fields(cache: VerdictCache, enabled: bool, key_parts,
-                     record: EvalRecord, fields: tuple[str, ...],
-                     compute) -> None:
-    """Get-or-compute the deterministic verdict fields of *record*.
+class _EquivalenceTask:
+    """Shared adapter plumbing for the two NL2SVA tasks.
 
-    ``key_parts`` is a zero-arg callable returning the semantic key parts
-    (it may raise :class:`CanonicalizationError`, which skips memoization
-    for the sample); ``compute`` fills the record by running the formal
-    check.  One shared protocol keeps the equivalence and proof caches
-    field-for-field consistent -- the record-identical-to-uncached
-    invariant depends on both sites caching exactly the same way.
-    """
-    key = None
-    if enabled and not caching_disabled():
-        try:
-            key = cache.key(*key_parts())
-        except CanonicalizationError:
-            key = None  # unparseable despite syntax pass: just compute
-        if key is not None:
-            hit = cache.get(key)
-            if hit is not None:
-                for name in fields:
-                    value = hit[name]
-                    setattr(record, name,
-                            dict(value) if isinstance(value, dict) else value)
-                return
-    compute()
-    if key is not None:
-        entry = {}
-        for name in fields:
-            value = getattr(record, name)
-            entry[name] = dict(value) if isinstance(value, dict) else value
-        cache.put(key, entry)
-
-
-class _EquivalenceMemo:
-    """Shared verdict memoization for the two NL2SVA tasks.
-
-    Candidate responses are canonicalized (:mod:`repro.sva.canonical`);
-    samples whose canonical key, reference and signal context match share
-    one equivalence verdict instead of re-running the miter checks.  Only
-    deterministic verdict fields are cached, so cached and uncached runs
-    produce identical records (``tests/test_core_cache.py``).
+    One evaluation is a syntax request followed (on pass) by an
+    equivalence request against the reference; both go through the
+    task's :class:`~repro.service.VerificationService`, which memoizes
+    semantically duplicate samples so only the deterministic verdict
+    fields ever reach the record (``tests/test_core_cache.py``).
     """
 
-    def __init__(self, namespace: str, use_cache: bool):
-        from ..formal.equivalence import DEFAULT_MAX_CONFLICTS, MAX_HORIZON
+    def __init__(self, namespace: str, use_cache: bool,
+                 service: VerificationService | None = None,
+                 batching: bool | None = None):
         self.use_cache = use_cache
-        self.cache = VerdictCache(namespace)
-        # engine settings the verdict depends on: changing the checker's
-        # horizon/budget defaults invalidates instead of serving stale
-        # verdicts (mirrors Design2SvaTask._engine_key)
-        self._engine_key = ("equiv-defaults", MAX_HORIZON,
-                            DEFAULT_MAX_CONFLICTS)
+        self.service = (service if service is not None
+                        else VerificationService(batching=batching))
+        self._namespace = namespace
 
     def cache_stats(self) -> dict[str, int]:
-        return self.cache.stats()
+        return self.service.cache_stats()
 
-    def _cached_equivalence(self, reference, response: str,
-                            widths: dict[str, int],
-                            params: dict[str, int] | None,
-                            record: EvalRecord) -> None:
-        """Fill *record*'s verdict fields, via the cache when possible."""
-        def key_parts():
-            return ("equiv", canonical_key(reference, params),
-                    canonical_key(response, params),
-                    sorted(widths.items()), sorted((params or {}).items()),
-                    self._engine_key)
+    # -- per-kind request builders (subclasses supply the context) ----------
 
-        def compute():
-            result = check_equivalence(reference, response,
-                                       signal_widths=widths, params=params)
-            record.verdict = result.verdict.value
-            record.func = result.is_full
-            record.partial = result.is_partial
-            record.detail = result.detail
+    def _syntax_request(self, problem, response: str) -> VerifyRequest:
+        raise NotImplementedError
 
-        _memoized_fields(self.cache, self.use_cache, key_parts, record,
-                         ("verdict", "func", "partial", "detail"), compute)
+    def _equiv_request(self, problem, response: str) -> VerifyRequest:
+        raise NotImplementedError
+
+    def _reference_text(self, problem) -> str:
+        raise NotImplementedError
+
+    def evaluate(self, problem, response: str, model: str = "",
+                 sample_idx: int = 0) -> EvalRecord:
+        return self.evaluate_batch(problem, [response], model=model,
+                                   start_idx=sample_idx)[0]
+
+    def evaluate_batch(self, problem, responses, model: str = "",
+                       start_idx: int = 0) -> list[EvalRecord]:
+        """Evaluate all samples of one problem as one service batch."""
+        records = []
+        syntax = _checked(self.service.run(
+            [self._syntax_request(problem, response)
+             for response in responses]))
+        pending: list[EvalRecord] = []
+        equiv_requests: list[VerifyRequest] = []
+        for offset, (response, gate) in enumerate(zip(responses, syntax)):
+            record = EvalRecord(task=self.name, model=model,
+                                problem_id=problem.problem_id,
+                                sample_idx=start_idx + offset,
+                                response=response)
+            record.syntax_ok = gate.verdict == "ok"
+            record.bleu = sentence_bleu(response,
+                                        self._reference_text(problem))
+            if not record.syntax_ok:
+                record.verdict = "syntax_error"
+                record.detail = gate.detail
+            else:
+                pending.append(record)
+                equiv_requests.append(self._equiv_request(problem, response))
+            records.append(record)
+        for record, response in zip(
+                pending, _checked(self.service.run(equiv_requests))):
+            record.verdict = response.verdict
+            record.func = response.func
+            record.partial = response.partial
+            record.detail = response.detail
+            # response.meta may carry counterexample diagnostics; records
+            # never did, so it is deliberately not folded
+        return records
 
 
-class Nl2SvaHumanTask(_EquivalenceMemo):
+class Nl2SvaHumanTask(_EquivalenceTask):
     """NL2SVA-Human: assertion generation against real-world testbenches."""
 
     name = "nl2sva_human"
 
-    def __init__(self, use_cache: bool = True):
-        super().__init__("nl2sva_human", use_cache)
+    def __init__(self, use_cache: bool = True,
+                 service: VerificationService | None = None,
+                 batching: bool | None = None):
+        super().__init__("nl2sva_human", use_cache, service, batching)
         self._design_cache: dict[str, Design] = {}
 
     def problems(self) -> list[HumanProblem]:
@@ -179,35 +188,36 @@ class Nl2SvaHumanTask(_EquivalenceMemo):
             corpus.testbench_source(problem.testbench),
             problem.question_text)
 
-    def evaluate(self, problem: HumanProblem, response: str,
-                 model: str = "", sample_idx: int = 0) -> EvalRecord:
+    def _reference_text(self, problem: HumanProblem) -> str:
+        return problem.reference
+
+    def _syntax_request(self, problem: HumanProblem,
+                        response: str) -> VerifyRequest:
         design = self.testbench_design(problem)
-        record = EvalRecord(task=self.name, model=model,
-                            problem_id=problem.problem_id,
-                            sample_idx=sample_idx, response=response)
-        report = check_assertion_syntax(response,
-                                        signal_widths=design.widths,
-                                        params=design.params)
-        record.syntax_ok = report.ok
-        record.bleu = sentence_bleu(response, problem.reference)
-        if not report.ok:
-            record.verdict = "syntax_error"
-            record.detail = "; ".join(report.errors[:2])
-            return record
-        self._cached_equivalence(problem.reference,
-                                 strip_code_fences(response),
-                                 design.widths, design.params, record)
-        return record
+        return VerifyRequest(kind="syntax", candidate=response,
+                             widths=design.widths, params=design.params)
+
+    def _equiv_request(self, problem: HumanProblem,
+                       response: str) -> VerifyRequest:
+        design = self.testbench_design(problem)
+        return VerifyRequest(kind="equivalence",
+                             reference=problem.reference,
+                             candidate=strip_code_fences(response),
+                             widths=design.widths, params=design.params,
+                             cache_ns=self._namespace,
+                             use_cache=self.use_cache)
 
 
-class Nl2SvaMachineTask(_EquivalenceMemo):
+class Nl2SvaMachineTask(_EquivalenceTask):
     """NL2SVA-Machine: synthetic NL-to-SVA translation stress test."""
 
     name = "nl2sva_machine"
 
     def __init__(self, count: int = 300, seed: int = 0,
-                 use_cache: bool = True):
-        super().__init__("nl2sva_machine", use_cache)
+                 use_cache: bool = True,
+                 service: VerificationService | None = None,
+                 batching: bool | None = None):
+        super().__init__("nl2sva_machine", use_cache, service, batching)
         self.count = count
         self.seed = seed
         self._problems: list[MachineProblem] | None = None
@@ -223,24 +233,24 @@ class Nl2SvaMachineTask(_EquivalenceMemo):
     def prompt(self, problem: MachineProblem, shots: int = 0) -> str:
         return prompts.nl2sva_machine_prompt(problem.question_text, shots)
 
-    def evaluate(self, problem: MachineProblem, response: str,
-                 model: str = "", sample_idx: int = 0) -> EvalRecord:
-        record = EvalRecord(task=self.name, model=model,
-                            problem_id=problem.problem_id,
-                            sample_idx=sample_idx, response=response)
-        report = check_assertion_syntax(response,
-                                        signal_widths=dict(SIGNAL_WIDTHS),
-                                        extra_signals={"clk"})
-        record.syntax_ok = report.ok
-        record.bleu = sentence_bleu(response, problem.sva)
-        if not report.ok:
-            record.verdict = "syntax_error"
-            record.detail = "; ".join(report.errors[:2])
-            return record
-        self._cached_equivalence(problem.assertion,
-                                 strip_code_fences(response),
-                                 dict(SIGNAL_WIDTHS), None, record)
-        return record
+    def _reference_text(self, problem: MachineProblem) -> str:
+        return problem.sva
+
+    def _syntax_request(self, problem: MachineProblem,
+                        response: str) -> VerifyRequest:
+        return VerifyRequest(kind="syntax", candidate=response,
+                             widths=dict(SIGNAL_WIDTHS),
+                             extra_signals=("clk",))
+
+    def _equiv_request(self, problem: MachineProblem,
+                       response: str) -> VerifyRequest:
+        return VerifyRequest(kind="equivalence",
+                             reference_ast=problem.assertion,
+                             reference=problem.sva,
+                             candidate=strip_code_fences(response),
+                             widths=dict(SIGNAL_WIDTHS),
+                             cache_ns=self._namespace,
+                             use_cache=self.use_cache)
 
 
 class Design2SvaTask:
@@ -250,7 +260,9 @@ class Design2SvaTask:
 
     def __init__(self, category: str = "fsm", count: int = 96, seed: int = 0,
                  prover_kwargs: dict | None = None, use_cache: bool = True,
-                 strategy: str | None = None):
+                 strategy: str | None = None,
+                 service: VerificationService | None = None,
+                 batching: bool | None = None):
         self.category = category
         self.count = count
         self.seed = seed
@@ -258,69 +270,31 @@ class Design2SvaTask:
         self.prover_kwargs = dict(prover_kwargs or {})
         if strategy is not None and strategy != "auto":
             # engine scheduling policy (bmc | kind | portfolio), forwarded
-            # to every Prover and hence part of the verdict-cache engine
-            # key below; the default "auto" is omitted so explicit-default
-            # tasks share cache entries with unconfigured ones
+            # as the request engine configuration and hence part of the
+            # verdict-cache key; the default "auto" is omitted so
+            # explicit-default tasks share cache entries with unconfigured
+            # ones
             self.prover_kwargs["strategy"] = strategy
         self.prover_kwargs.setdefault("max_bmc", 8)
         self.prover_kwargs.setdefault("max_k", 5)
         self.prover_kwargs.setdefault("sim_traces", 8)
         self.prover_kwargs.setdefault("sim_cycles", 24)
         #: per-stage wall-clock + solver totals aggregated over all provers
-        #: this task creates (callers may inject a shared dict)
+        #: the service creates for this task (callers may inject a shared
+        #: dict)
         self.profile: dict = self.prover_kwargs.setdefault("profile", {})
-        #: engine settings that determine verdicts -- the cache key part;
-        #: the profile dict is observability, not semantics
-        self._engine_key = sorted(
-            (k, v) for k, v in self.prover_kwargs.items() if k != "profile")
-        self.cache = VerdictCache(f"design2sva_{category}")
+        #: engine settings that determine verdicts -- the request engine
+        #: configuration; the profile dict is observability, not semantics
+        self._engine = {k: v for k, v in self.prover_kwargs.items()
+                        if k != "profile"}
+        self._namespace = f"design2sva_{category}"
+        self.service = (service if service is not None
+                        else VerificationService(batching=batching,
+                                                 profile=self.profile))
         self._problems: list[GeneratedDesign] | None = None
-        # Provers cached by transition-system signature: the n samples of
-        # one problem usually splice different assertions into the *same*
-        # support logic, and a reused Prover shares its COI cones, unrolled
-        # AIGs, incremental solvers and simulation traces across them
-        self._prover_cache: dict[tuple, Prover] = {}
 
     def cache_stats(self) -> dict[str, int]:
-        return self.cache.stats()
-
-    @staticmethod
-    def _design_signature(design: Design) -> tuple:
-        """Assertion-independent fingerprint of the elaborated design."""
-        from ..sva.unparse import unparse
-        return (
-            design.name,
-            tuple(sorted(design.widths.items())),
-            tuple(sorted(design.inputs)),
-            tuple(sorted(design.state)),
-            tuple(sorted(design.init.items())),
-            tuple(sorted(design.params.items())),
-            design.clock,
-            tuple(design.resets),
-            tuple(sorted((n, unparse(e))
-                         for n, e in design.next_exprs.items())),
-            tuple(sorted((n, unparse(e))
-                         for n, e in design.comb_exprs.items())),
-        )
-
-    def __getstate__(self):
-        # keep worker start-up payloads small: proof sessions (AIGs, CNF,
-        # learned clauses) are rebuilt per process, not shipped
-        state = dict(self.__dict__)
-        state["_prover_cache"] = {}
-        return state
-
-    def _prover_for(self, design: Design) -> Prover:
-        key = self._design_signature(design)
-        prover = self._prover_cache.get(key)
-        if prover is None:
-            if len(self._prover_cache) >= 8:
-                # samples of one problem arrive consecutively; a tiny cache
-                # is enough and bounds session memory
-                self._prover_cache.clear()
-            prover = Prover(design, **self.prover_kwargs)
-            self._prover_cache[key] = prover
-        return prover
+        return self.service.cache_stats()
 
     def problems(self) -> list[GeneratedDesign]:
         if self._problems is None:
@@ -331,44 +305,57 @@ class Design2SvaTask:
     def prompt(self, problem: GeneratedDesign) -> str:
         return prompts.design2sva_prompt(problem.source, problem.tb_source)
 
+    def _prove_request(self, merged) -> VerifyRequest:
+        return VerifyRequest(kind="prove", source=merged.source_file,
+                             top=merged.top, engine=dict(self._engine),
+                             cache_ns=self._namespace,
+                             use_cache=self.use_cache)
+
     def evaluate(self, problem: GeneratedDesign, response: str,
                  model: str = "", sample_idx: int = 0) -> EvalRecord:
-        record = EvalRecord(task=self.name, model=model,
-                            problem_id=problem.instance_id,
-                            sample_idx=sample_idx, response=response)
-        code = strip_code_fences(response)
-        try:
-            merged = merge_for_eval(problem, problem.tb_source, code)
-            design = elaborate(merged.source_file, top=merged.top)
-        except (SpliceError, ElaborationError, ValueError) as exc:
-            record.verdict = "syntax_error"
-            record.detail = str(exc)[:160]
-            return record
-        if not design.assertions:
-            record.verdict = "syntax_error"
-            record.detail = "response contains no concurrent assertion"
-            return record
-        record.syntax_ok = True
-        assertion = design.assertions[-1]
+        return self.evaluate_batch(problem, [response], model=model,
+                                   start_idx=sample_idx)[0]
 
-        def key_parts():
-            return ("prove", self._design_signature(design),
-                    canonical_key(assertion, design.params),
-                    self._engine_key)
+    def evaluate_batch(self, problem: GeneratedDesign, responses,
+                       model: str = "", start_idx: int = 0
+                       ) -> list[EvalRecord]:
+        """Evaluate all samples of one problem as one service batch.
 
-        def compute():
-            result = self._prover_for(design).prove(assertion)
-            record.verdict = result.status
-            record.func = result.is_proven
-            record.partial = result.is_proven
-            record.detail = result.detail
-            record.meta = {"engine": result.engine, "depth": result.depth,
-                           "vacuous": result.vacuous}
-
-        _memoized_fields(self.cache, self.use_cache, key_parts, record,
-                         ("verdict", "func", "partial", "detail", "meta"),
-                         compute)
-        return record
+        The service groups the spliced designs by their (shared) design
+        signature, so the batch's candidate assertions are proved on one
+        prover and falsified by one packed simulation pass per cone.
+        """
+        records = []
+        pending: list[EvalRecord] = []
+        requests: list[VerifyRequest] = []
+        for offset, response in enumerate(responses):
+            record = EvalRecord(task=self.name, model=model,
+                                problem_id=problem.instance_id,
+                                sample_idx=start_idx + offset,
+                                response=response)
+            records.append(record)
+            code = strip_code_fences(response)
+            try:
+                merged = merge_for_eval(problem, problem.tb_source, code)
+            except (SpliceError, ValueError) as exc:
+                record.verdict = "syntax_error"
+                record.detail = str(exc)[:160]
+                continue
+            pending.append(record)
+            requests.append(self._prove_request(merged))
+        for record, response in zip(
+                pending, _checked(self.service.run(requests))):
+            if response.verdict == "syntax_error":
+                record.verdict = "syntax_error"
+                record.detail = response.detail
+                continue
+            record.syntax_ok = True
+            record.verdict = response.verdict
+            record.func = response.func
+            record.partial = response.partial
+            record.detail = response.detail
+            record.meta = dict(response.meta)
+        return records
 
 
 @lru_cache(maxsize=None)

@@ -310,10 +310,14 @@ def pack_traces(traces: list[dict[str, list[int]]],
 # ---------------------------------------------------------------------------
 
 
-def packed_violation_lanes(checker, packed: PackedTraces) -> int:
-    """Bitmask of lanes on which *checker*'s assertion has >= 1 violated
-    attempt.  One interpretive pass over the property cone replaces the
-    per-trace replay loop of ``TraceChecker.first_violation``."""
+def _packed_cone_values(checker, packed: PackedTraces) -> dict[int, int]:
+    """Lane-int value of every AIG node in *checker*'s precomputed cone.
+
+    *checker* is anything with the :class:`~repro.formal.prover.
+    TraceChecker` evaluation surface: ``aig``, ``source`` (a
+    ``FreeSignalSource`` whose ``_cache`` maps ``(name, t)`` to bit
+    literals), ``_order`` (the topo-sorted cone) and ``prehistory``.
+    """
     mask = packed.mask
     fanins = checker.aig._fanins
     values: dict[int, int] = {0: mask}
@@ -339,10 +343,37 @@ def packed_violation_lanes(checker, packed: PackedTraces) -> int:
         if b & 1:
             vb ^= mask
         values[n] = va & vb
+    return values
+
+
+def _violation_mask(values: dict[int, int], attempt_lits, mask: int) -> int:
     viol = 0
-    for lit in checker.attempts.values():
+    for lit in attempt_lits:
         sat = values[lit >> 1]
         if lit & 1:
             sat ^= mask
         viol |= sat ^ mask
     return viol
+
+
+def packed_violation_lanes(checker, packed: PackedTraces) -> int:
+    """Bitmask of lanes on which *checker*'s assertion has >= 1 violated
+    attempt.  One interpretive pass over the property cone replaces the
+    per-trace replay loop of ``TraceChecker.first_violation``."""
+    values = _packed_cone_values(checker, packed)
+    return _violation_mask(values, checker.attempts.values(), packed.mask)
+
+
+def packed_violation_masks(checker, packed: PackedTraces) -> list[int]:
+    """Per-assertion violation bitmasks for a multi-assertion checker.
+
+    *checker* carries ``groups`` -- one list of attempt literals per
+    assertion, all encoded into one shared AIG -- so a *single*
+    interpretive pass over the merged cone scores every candidate
+    assertion of a batch at once (the service's cross-sample packed-lane
+    scheduling; :mod:`repro.service.batch`).  Structural hashing makes
+    the shared subterms of near-duplicate candidates free.
+    """
+    values = _packed_cone_values(checker, packed)
+    return [_violation_mask(values, lits, packed.mask)
+            for lits in checker.groups]

@@ -431,6 +431,12 @@ class Prover:
         #: cone -> PackedTraces, or None where the design is outside the
         #: packed subset (those cones fall back to the scalar replay)
         self._packed_cache: dict[frozenset, object] = {}
+        #: (cone key, unparsed assertion) -> (violation lane mask, packed
+        #: traces), seeded by the service's cross-sample batch pass
+        #: (:func:`repro.service.batch.presimulate`); entries are
+        #: deterministic, so serving them is verdict-identical to running
+        #: the per-sample falsification pass below
+        self._batch_sim: dict[tuple, tuple] = {}
         if not design.init and design.state:
             from ..rtl.simulator import derive_init
             derive_init(design)
@@ -615,6 +621,20 @@ class Prover:
 
     def _simulate_falsify(self, design: Design, cone_key: frozenset,
                           assertion: Assertion) -> dict | None:
+        self.profile["sim_candidates"] = (
+            self.profile.get("sim_candidates", 0) + 1)
+        if not self._assumes:
+            # batch-scheduled verdict: one packed pass per cone already
+            # scored this candidate across the whole request batch
+            from ..sva.unparse import unparse
+            hit = self._batch_sim.get((cone_key, unparse(assertion)))
+            if hit is not None:
+                viol, packed = hit
+                if not viol:
+                    return None
+                # lowest violating lane == the scalar loop's first trial
+                return packed.lane_trace((viol & -viol).bit_length() - 1)
+        self.profile["sim_passes"] = self.profile.get("sim_passes", 0) + 1
         window = max(1, horizon_of(assertion) + 1)
         start = 2  # skip the reset phase
         length = self.sim_cycles + 2  # reset() contributes two frames

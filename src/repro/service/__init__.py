@@ -1,0 +1,50 @@
+"""Unified verification service: typed requests in, verdicts out.
+
+The single choke point through which every formal verdict of the
+benchmark is produced (docs/service.md).  The three FVEval tasks are
+thin adapters over this API (:mod:`repro.core.tasks`), and external
+harnesses reach it over JSON lines via ``python -m repro serve``
+(:mod:`repro.service.frontend`).
+
+::
+
+    from repro.service import VerificationService, VerifyRequest
+
+    service = VerificationService()
+    [response] = service.run([VerifyRequest(
+        kind="equivalence",
+        reference="assert property (@(posedge clk) a |-> b);",
+        candidate="assert property (@(posedge clk) a |-> ##0 b);",
+        widths={"a": 1, "b": 1, "clk": 1})])
+    response.verdict        # 'equivalent'
+
+Inside: canonical-key deduplication of identical in-flight requests,
+two-layer verdict caching (:mod:`repro.core.cache`), and a batch
+scheduler that groups ``prove`` requests by design signature so one
+shared prover serves each group and the group's candidate assertions
+are scored by a single bit-parallel falsification pass per design cone
+(:mod:`repro.service.batch`).
+"""
+
+from .api import (
+    KINDS,
+    RequestError,
+    VerifyRequest,
+    VerifyResponse,
+    request_from_json,
+    response_to_json,
+)
+from .frontend import serve_stream
+from .service import (
+    Handle,
+    VerificationService,
+    batching_disabled,
+    design_signature,
+)
+
+__all__ = [
+    "KINDS", "Handle", "RequestError", "VerificationService",
+    "VerifyRequest", "VerifyResponse", "batching_disabled",
+    "design_signature", "request_from_json", "response_to_json",
+    "serve_stream",
+]

@@ -1,0 +1,96 @@
+"""JSON-lines frontend of the verification service (``python -m repro
+serve``).
+
+External harnesses drive the engine without importing Python APIs::
+
+    printf '%s\n' \
+      '{"kind": "syntax", "candidate": "assert property (@(posedge clk) a);", "widths": {"a": 1}}' \
+      | PYTHONPATH=src python -m repro serve
+
+Wire protocol (documented in docs/service.md):
+
+* one :class:`~repro.service.api.VerifyRequest` JSON object per input
+  line (the in-process object fields are not accepted);
+* requests accumulate into a batch -- so the dedup and cross-sample
+  batch scheduler see them together -- and a **blank line or end of
+  input flushes** the batch, emitting one response JSON object per
+  request in request order;
+* a line that fails to decode or validate produces an immediate
+  ``{"ok": false, "verdict": "error", ...}`` response for that line
+  only; the batch keeps accumulating.
+
+Responses echo ``request_id`` (assigned ``req<n>`` when the caller sent
+none), so callers may correlate out-of-band.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .api import RequestError, request_from_json, response_to_json
+from .service import VerificationService
+
+
+def serve_stream(in_stream, out_stream,
+                 service: VerificationService | None = None) -> int:
+    """Run the request/response loop; returns a process exit status.
+
+    The exit status is 0 when every line was schedulable, 1 when any
+    request failed to decode/validate or any verdict came back
+    ``ok=false`` (engine-level errors still produce a response line --
+    the stream keeps going).
+    """
+    service = service or VerificationService()
+    pending = []
+    failures = 0
+
+    def emit(obj: dict) -> None:
+        out_stream.write(json.dumps(obj) + "\n")
+        out_stream.flush()
+
+    def flush() -> int:
+        nonlocal pending
+        batch, pending = pending, []
+        bad = 0
+        answered = 0
+        try:
+            for response in service.stream(batch):
+                if not response.ok:
+                    bad += 1
+                emit(response_to_json(response))
+                answered += 1
+        except Exception as exc:  # engine-level failure mid-batch: the
+            # stream yields in request order, so every request from
+            # `answered` on still owes a response line
+            detail = f"{type(exc).__name__}: {exc}"[:200]
+            for request in batch[answered:]:
+                bad += 1
+                emit({"request_id": request.request_id or "", "kind":
+                      request.kind, "ok": False, "verdict": "error",
+                      "detail": detail})
+        return bad
+
+    lineno = 0
+    for raw in in_stream:
+        lineno += 1
+        line = raw.strip()
+        if not line:
+            failures += flush()
+            continue
+        obj = None
+        try:
+            obj = json.loads(line)
+            request = request_from_json(obj)
+        except (json.JSONDecodeError, RequestError, TypeError) as exc:
+            failures += 1
+            # echo the caller's id whenever the JSON decoded far enough
+            # to carry one, so correlation survives validation failures
+            rid = (obj.get("request_id") if isinstance(obj, dict)
+                   else None) or f"line{lineno}"
+            kind = (obj.get("kind", "") if isinstance(obj, dict) else "")
+            emit({"request_id": rid, "kind": str(kind), "ok": False,
+                  "verdict": "error", "detail": str(exc)[:200]})
+            continue
+        pending.append(request)
+    failures += flush()
+    return 1 if failures else 0

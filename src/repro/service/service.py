@@ -1,0 +1,629 @@
+"""The verification service: the single choke point for formal verdicts.
+
+:class:`VerificationService` executes :class:`~repro.service.api.
+VerifyRequest` batches through one pipeline::
+
+    validate -> semantic key -> in-flight dedup -> verdict cache
+             -> group `prove` work by design signature
+             -> one packed falsification pass per cone (batch scheduler)
+             -> compute -> cache put
+
+Three call shapes, all over the same scheduler:
+
+* ``submit(request)`` returns a future-like :class:`Handle`; submitted
+  requests accumulate and are flushed as one batch when any handle's
+  ``result()`` is demanded (or ``flush()`` is called);
+* ``run(requests)`` schedules one explicit batch and returns responses
+  aligned with the inputs;
+* ``stream(requests)`` yields responses one by one as they complete.
+
+Scheduling only ever changes *how much work* runs, never what a verdict
+means: deduplicated, cached and batch-scheduled responses carry exactly
+the verdict fields direct computation would produce (the provenance
+fields ``cache_hit`` / ``dedup_of`` / ``batch_id`` record which shortcut
+was taken), which is what the task-parity suite pins
+(``tests/test_service_parity.py``).
+
+The verdict cache (:class:`repro.core.cache.VerdictCache`) lives here --
+one namespace per task family -- using the same semantic keys the tasks
+computed before the service existed, so ``FVEVAL_CACHE`` directories
+written by either side of the redesign stay mutually readable.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import TYPE_CHECKING
+
+from ..sva.canonical import CanonicalizationError, canonical_key
+from .api import RequestError, VerifyRequest, VerifyResponse
+
+if TYPE_CHECKING:  # the runtime import is deferred (see _cache_module)
+    from ..core.cache import VerdictCache
+
+
+def _cache_module():
+    """:mod:`repro.core.cache`, imported on first use.
+
+    ``repro.core`` imports the tasks, which import this package;
+    deferring the reverse edge keeps ``python -m repro serve`` (which
+    enters through ``repro.service``) free of the import cycle.
+    """
+    from ..core import cache
+    return cache
+
+#: request kinds whose verdicts are memoized (syntax and trace checks are
+#: cheaper than a cache round-trip and were never cached)
+_CACHED_KINDS = ("equivalence", "prove")
+
+#: cached verdict fields per kind -- the exact pre-service protocol, so
+#: existing FVEVAL_CACHE entries keep hitting
+_CACHED_FIELDS = {
+    "equivalence": ("verdict", "func", "partial", "detail"),
+    "prove": ("verdict", "func", "partial", "detail", "meta"),
+}
+
+
+#: equivalence engine options; ``strategy`` is accepted for interface
+#: symmetry with ``prove`` but is scheduling-neutral (the bounded
+#: two-horizon equivalence pipeline has a single strategy)
+_EQUIV_ENGINE_OPTS = {"default_width", "horizons", "max_conflicts",
+                      "strategy"}
+
+
+def _prover_engine_opts() -> set[str]:
+    """Legal ``engine`` keys of a prove request: Prover's configuration
+    surface minus what the service owns (the design and the shared
+    profile dict)."""
+    import inspect
+    from ..formal.prover import Prover
+    return (set(inspect.signature(Prover.__init__).parameters)
+            - {"self", "design", "profile"})
+
+
+def batching_disabled() -> bool:
+    """``FVEVAL_NO_BATCH=1`` disables cross-sample batch scheduling."""
+    return os.environ.get("FVEVAL_NO_BATCH", "") == "1"
+
+
+class Handle:
+    """Future-like handle for one submitted request."""
+
+    def __init__(self, service: "VerificationService",
+                 request: VerifyRequest):
+        self._service = service
+        self.request = request
+        self._response: VerifyResponse | None = None
+
+    def done(self) -> bool:
+        return self._response is not None
+
+    def result(self) -> VerifyResponse:
+        """The response; flushes the service's pending batch on demand."""
+        if self._response is None:
+            self._service.flush()
+        assert self._response is not None
+        return self._response
+
+
+class VerificationService:
+    """Request/response front of the formal engine.
+
+    ``batching`` controls the cross-sample packed-lane scheduler
+    (``None`` reads ``FVEVAL_NO_BATCH`` at flush time); ``profile``
+    is the prover-profile dict shared by every prover the service
+    builds (stage timings, win counters, ``sim_batch_passes``).
+    """
+
+    def __init__(self, batching: bool | None = None,
+                 profile: dict | None = None, max_provers: int = 8,
+                 max_cache_entries: int | None = None):
+        self.batching = batching
+        self.profile: dict = {} if profile is None else profile
+        self.max_provers = max_provers
+        #: per-namespace cap on the in-memory verdict layer; benchmark
+        #: runs terminate and default unbounded, long-running `serve`
+        #: sessions pass a cap so verdict memory cannot grow forever
+        self.max_cache_entries = max_cache_entries
+        from collections import OrderedDict
+        self._caches: dict[str, VerdictCache] = {}
+        #: (design signature, engine fingerprint) -> Prover, LRU-ordered
+        self._provers: OrderedDict[tuple, object] = OrderedDict()
+        #: pool keys of the batch currently executing -- pinned against
+        #: eviction so presimulated batch state survives its own flush
+        self._active: set[tuple] = set()
+        self._pending: list[Handle] = []
+        self._seq = 0
+        self._batch_seq = 0
+        self.requests = 0
+        self.dedup_hits = 0
+        self.batch_groups = 0
+        self.batch_members = 0
+
+    def __getstate__(self):
+        # picklable across FVEVAL_JOBS workers: proof sessions and
+        # in-flight handles are process-local, verdict memory travels
+        from collections import OrderedDict
+        state = dict(self.__dict__)
+        state["_provers"] = OrderedDict()
+        state["_active"] = set()
+        state["_pending"] = []
+        return state
+
+    # -- public API ---------------------------------------------------------
+
+    def submit(self, request: VerifyRequest) -> Handle:
+        """Queue one request; it computes at the next :meth:`flush`."""
+        handle = Handle(self, request)
+        self._pending.append(handle)
+        return handle
+
+    def flush(self) -> None:
+        """Schedule every pending submitted request as one batch.
+
+        If the batch dies mid-execution the exception propagates to the
+        caller, but every unanswered handle is first resolved with an
+        ``ok=False`` error response -- a later ``result()`` reports what
+        happened instead of failing on an unresolved handle.
+        """
+        pending, self._pending = self._pending, []
+        if not pending:
+            return
+        try:
+            for index, response in self._process(
+                    [h.request for h in pending]):
+                pending[index]._response = response
+        except BaseException as exc:
+            detail = f"{type(exc).__name__}: {exc}"[:200]
+            for handle in pending:
+                if handle._response is None:
+                    handle._response = self._error(handle.request, detail)
+            raise
+
+    def run(self, requests) -> list[VerifyResponse]:
+        """Schedule *requests* as one batch; responses align with inputs."""
+        requests = list(requests)
+        out: list[VerifyResponse | None] = [None] * len(requests)
+        for index, response in self._process(requests):
+            out[index] = response
+        return out  # type: ignore[return-value]
+
+    def stream(self, requests):
+        """Yield responses one by one as the batch executes."""
+        for _index, response in self._process(list(requests)):
+            yield response
+
+    # -- observability ------------------------------------------------------
+
+    def cache_stats(self) -> dict[str, int]:
+        """Aggregate verdict-cache counters over all namespaces."""
+        totals = {"hits": 0, "misses": 0, "disk_hits": 0, "puts": 0,
+                  "entries": 0}
+        for cache in self._caches.values():
+            for key, value in cache.stats().items():
+                totals[key] += value
+        return totals
+
+    def stats(self) -> dict:
+        return {
+            "requests": self.requests,
+            "dedup_hits": self.dedup_hits,
+            "batch_groups": self.batch_groups,
+            "batch_members": self.batch_members,
+            "cache": self.cache_stats(),
+        }
+
+    # -- scheduling ---------------------------------------------------------
+
+    def _cache(self, namespace: str) -> "VerdictCache":
+        cache = self._caches.get(namespace)
+        if cache is None:
+            cache = self._caches[namespace] = _cache_module().VerdictCache(
+                namespace, max_mem_entries=self.max_cache_entries)
+        return cache
+
+    def _response(self, request: VerifyRequest) -> VerifyResponse:
+        return VerifyResponse(request_id=request.request_id,
+                              kind=request.kind)
+
+    def _process(self, requests: list[VerifyRequest]):
+        """Yield ``(index, response)`` in completion order.
+
+        Planning resolves ids, semantic keys, cache hits and in-flight
+        dedup, and buckets the remaining ``prove`` work into groups by
+        (design signature, engine); execution then runs the batch
+        scheduler's packed pre-pass per group and computes the remaining
+        verdicts in request order.
+        """
+        from .batch import presimulate
+        plan: list[dict] = []
+        primaries: dict[tuple, int] = {}  # (ns, key) -> plan index
+        groups: dict[tuple, list[int]] = {}  # prover pool key -> indices
+        no_cache = _cache_module().caching_disabled()
+        batching = (not batching_disabled() if self.batching is None
+                    else self.batching)
+        for index, request in enumerate(requests):
+            self.requests += 1
+            if not request.request_id:
+                self._seq += 1
+                request.request_id = f"req{self._seq}"
+            entry: dict = {"request": request, "index": index,
+                           "response": None, "key": None, "cache": None,
+                           "dup_of": None, "group": None}
+            plan.append(entry)
+            try:
+                request.validate()
+            except RequestError as exc:
+                entry["response"] = self._error(request, str(exc))
+                continue
+            prepared = self._prepare(request, entry)
+            if prepared is not None:
+                entry["response"] = prepared
+                continue
+            if (request.kind in _CACHED_KINDS and request.use_cache
+                    and not no_cache):
+                cache = self._cache(request.namespace)
+                try:
+                    key = cache.key(*entry["key_parts"])
+                except CanonicalizationError:
+                    key = None  # unparseable sample: just compute
+                if key is not None:
+                    # in-flight dedup first: a duplicate never touches the
+                    # cache, so hit/miss/put counters describe distinct work
+                    primary = primaries.get((request.namespace, key))
+                    if primary is not None:
+                        entry["dup_of"] = primary
+                        continue
+                    entry["cache"], entry["key"] = cache, key
+                    hit = cache.get(key)
+                    if hit is not None:
+                        entry["response"] = self._from_entry(request, hit,
+                                                             cache_hit=True)
+                        continue
+                    primaries[(request.namespace, key)] = index
+            if request.kind == "prove":
+                group_key = entry["pool_key"]
+                groups.setdefault(group_key, []).append(index)
+                entry["group"] = group_key
+        self._active.update(groups)
+        try:
+            # batch scheduler: one packed falsification pass per cone,
+            # over every candidate assertion a prove group carries.
+            # Assume-carrying requests are excluded: their falsifier runs
+            # under the environment constraints, which the unconstrained
+            # pre-pass masks would not reflect.
+            if batching:
+                for pool_key, members in groups.items():
+                    members = [i for i in members if not plan[i]["assumes"]]
+                    if len(members) < 2:
+                        continue
+                    prover = self._prover_for(plan[members[0]]["design"],
+                                              pool_key)
+                    self._batch_seq += 1
+                    batch_id = f"b{self._batch_seq}"
+                    covered = presimulate(
+                        prover, [plan[i]["assertion"] for i in members])
+                    n = sum(covered)
+                    if n:
+                        self.batch_groups += 1
+                        self.batch_members += n
+                    for i, flag in zip(members, covered):
+                        if flag:
+                            plan[i]["batch_id"] = batch_id
+            # execute in request order; a dedup primary always precedes
+            # its duplicates, so its verdict is ready when they fold
+            for entry in plan:
+                if entry["dup_of"] is not None:
+                    self.dedup_hits += 1
+                    entry["response"] = self._duplicate(
+                        entry["request"],
+                        plan[entry["dup_of"]]["response"])
+                elif entry["response"] is None:
+                    entry["response"] = self._compute(entry)
+                yield entry["index"], entry["response"]
+        finally:
+            self._active.difference_update(groups)
+            # the batch memo is per-flush state: entries persist while
+            # the flush's textual duplicates read them, then go, so a
+            # long-running serve session cannot accumulate them
+            for pool_key in groups:
+                prover = self._provers.get(pool_key)
+                if prover is not None:
+                    prover._batch_sim.clear()
+
+    # -- planning helpers ---------------------------------------------------
+
+    def _error(self, request: VerifyRequest, detail: str) -> VerifyResponse:
+        """The *request itself* failed (bad input, unknown engine
+        option): ``ok=False``, so `serve` callers can tell infrastructure
+        failures from measured verdicts."""
+        response = self._response(request)
+        response.ok = False
+        response.verdict = "error"
+        response.detail = detail
+        return response
+
+    def _measured(self, request: VerifyRequest, verdict: str,
+                  detail: str) -> VerifyResponse:
+        """A successfully *measured* negative verdict (e.g. a sample
+        failing the syntax gate): ``ok`` stays True -- that is the
+        request doing its job."""
+        response = self._response(request)
+        response.verdict = verdict
+        response.detail = detail
+        return response
+
+    def _prepare(self, request: VerifyRequest,
+                 entry: dict) -> VerifyResponse | None:
+        """Resolve key parts (and, for prove, the design/assertion).
+
+        Returns an error response when preparation itself fails --
+        elaboration errors and assertion-less responses map to the
+        ``syntax_error`` verdict exactly as the tasks reported them
+        before the service existed.
+        """
+        kind = request.kind
+        if kind == "equivalence":
+            from ..formal.equivalence import (
+                DEFAULT_MAX_CONFLICTS, MAX_HORIZON,
+            )
+            unknown = set(request.engine) - _EQUIV_ENGINE_OPTS
+            if unknown:
+                return self._error(
+                    request, f"unknown engine options: {sorted(unknown)}")
+            engine_key = ("equiv-defaults", MAX_HORIZON,
+                          DEFAULT_MAX_CONFLICTS)
+            if request.engine:
+                engine_key = (*engine_key, sorted(request.engine.items()))
+            entry["key_parts"] = _LazyParts(lambda: (
+                "equiv",
+                canonical_key(request.reference_ast or request.reference,
+                              request.params),
+                canonical_key(request.candidate, request.params),
+                sorted(request.widths.items()),
+                sorted((request.params or {}).items()),
+                engine_key))
+            return None
+        if kind == "prove":
+            return self._prepare_prove(request, entry)
+        return None  # syntax / trace: uncached, computed directly
+
+    def _prepare_prove(self, request: VerifyRequest,
+                       entry: dict) -> VerifyResponse | None:
+        from ..formal.prover import Prover
+        from ..rtl.elaborate import ElaborationError, elaborate
+        from ..sva.parser import ParseError, parse_assertion
+        unknown = set(request.engine) - _prover_engine_opts()
+        if unknown:
+            return self._error(
+                request, f"unknown engine options: {sorted(unknown)}")
+        strategy = request.engine.get("strategy")
+        if strategy is not None and strategy not in Prover.STRATEGIES:
+            return self._error(
+                request, f"unknown strategy {strategy!r}; expected one of "
+                         f"{Prover.STRATEGIES}")
+        design = request.design
+        if design is None:
+            try:
+                design = elaborate(request.source, top=request.top)
+            except (ElaborationError, ValueError) as exc:
+                return self._measured(request, "syntax_error",
+                                      str(exc)[:160])
+        assertion = request.assertion
+        if assertion is None:
+            if not design.assertions:
+                return self._measured(
+                    request, "syntax_error",
+                    "response contains no concurrent assertion")
+            assertion = design.assertions[-1]
+        elif isinstance(assertion, str):
+            try:
+                assertion = parse_assertion(assertion, params=design.params)
+            except ParseError as exc:
+                return self._measured(request, "syntax_error",
+                                      str(exc)[:160])
+        try:
+            assumes = tuple(
+                a if not isinstance(a, str)
+                else parse_assertion(a, params=design.params)
+                for a in request.assumes)
+        except ParseError as exc:
+            return self._measured(request, "syntax_error",
+                                  f"assume: {exc}"[:160])
+        entry["design"] = design
+        entry["assertion"] = assertion
+        entry["assumes"] = assumes
+        signature = design_signature(design)
+        engine_key = sorted(request.engine.items())
+        parts = ["prove", signature]
+        entry["key_parts"] = _LazyParts(lambda: (
+            *parts, canonical_key(assertion, design.params), engine_key,
+            *((("assumes", tuple(canonical_key(a, design.params)
+                                 for a in assumes)),) if assumes else ())))
+        entry["pool_key"] = (signature, _freeze(request.engine))
+        return None
+
+    def _prover_for(self, design, pool_key: tuple):
+        from ..formal.prover import Prover
+        prover = self._provers.get(pool_key)
+        if prover is not None:
+            self._provers.move_to_end(pool_key)
+            return prover
+        # evict least-recently-used provers to bound proof-session
+        # memory, but never one the executing batch still needs -- its
+        # presimulated packed masks must survive its own flush
+        evictable = [key for key in self._provers
+                     if key not in self._active]
+        while len(self._provers) >= self.max_provers and evictable:
+            del self._provers[evictable.pop(0)]
+        engine = dict(pool_key[1])
+        prover = Prover(design, profile=self.profile, **engine)
+        self._provers[pool_key] = prover
+        return prover
+
+    # -- execution ----------------------------------------------------------
+
+    def _duplicate(self, request: VerifyRequest,
+                   primary: VerifyResponse) -> VerifyResponse:
+        response = self._response(request)
+        response.ok = primary.ok
+        response.verdict = primary.verdict
+        response.func = primary.func
+        response.partial = primary.partial
+        response.detail = primary.detail
+        response.meta = dict(primary.meta)
+        response.dedup_of = primary.request_id
+        return response
+
+    def _from_entry(self, request: VerifyRequest, hit: dict,
+                    cache_hit: bool = False) -> VerifyResponse:
+        response = self._response(request)
+        fields = _CACHED_FIELDS[request.kind]
+        for name in fields:
+            value = hit.get(name)
+            if name == "meta":
+                response.meta = dict(value or {})
+            elif value is not None:
+                setattr(response, name, value)
+        response.cache_hit = cache_hit
+        return response
+
+    def _compute(self, entry: dict) -> VerifyResponse:
+        request = entry["request"]
+        t0 = time.perf_counter()
+        response = getattr(self, f"_compute_{request.kind}")(request, entry)
+        response.elapsed_s = time.perf_counter() - t0
+        response.batch_id = entry.get("batch_id")
+        cache, key = entry.get("cache"), entry.get("key")
+        if cache is not None and key is not None and response.ok:
+            payload = {}
+            for name in _CACHED_FIELDS[request.kind]:
+                value = getattr(response, name)
+                payload[name] = dict(value) if isinstance(value, dict) \
+                    else value
+            cache.put(key, payload)
+        return response
+
+    def _compute_syntax(self, request: VerifyRequest,
+                        entry: dict) -> VerifyResponse:
+        from ..sva.syntax import check_assertion_syntax
+        report = check_assertion_syntax(
+            request.candidate, signal_widths=dict(request.widths),
+            params=request.params,
+            extra_signals=set(request.extra_signals) or None)
+        response = self._response(request)
+        response.verdict = "ok" if report.ok else "syntax_error"
+        if not report.ok:
+            response.detail = "; ".join(report.errors[:2])
+            response.meta = {"errors": list(report.errors)}
+        return response
+
+    def _compute_equivalence(self, request: VerifyRequest,
+                             entry: dict) -> VerifyResponse:
+        from ..formal.equivalence import check_equivalence
+        options = {k: v for k, v in request.engine.items()
+                   if k != "strategy"}
+        result = check_equivalence(
+            request.reference_ast or request.reference, request.candidate,
+            signal_widths=dict(request.widths), params=request.params,
+            **options)
+        response = self._response(request)
+        response.verdict = result.verdict.value
+        response.func = result.is_full
+        response.partial = result.is_partial
+        response.detail = result.detail
+        if result.counterexample is not None:
+            # diagnostics for uncached CLI/serve callers; deliberately
+            # outside the cached field set (pre-service protocol)
+            response.meta = {"counterexample": result.counterexample,
+                             "cex_offset": result.cex_offset}
+        return response
+
+    def _compute_prove(self, request: VerifyRequest,
+                       entry: dict) -> VerifyResponse:
+        prover = self._prover_for(entry["design"], entry["pool_key"])
+        result = prover.prove(entry["assertion"], assumes=entry["assumes"])
+        response = self._response(request)
+        response.verdict = result.status
+        response.func = result.is_proven
+        response.partial = result.is_proven
+        response.detail = result.detail
+        response.meta = {"engine": result.engine, "depth": result.depth,
+                         "vacuous": result.vacuous}
+        return response
+
+    def _compute_trace(self, request: VerifyRequest,
+                       entry: dict) -> VerifyResponse:
+        from ..formal.prover import check_trace
+        from ..sva.parser import ParseError, parse_assertion
+        assertion = request.assertion
+        if assertion is None:
+            try:
+                assertion = parse_assertion(request.candidate,
+                                            params=request.params)
+            except ParseError as exc:
+                return self._measured(request, "syntax_error",
+                                      str(exc)[:160])
+        options = {k: request.engine[k] for k in
+                   ("first_attempt", "last_attempt", "prehistory")
+                   if k in request.engine}
+        violation = check_trace(assertion, dict(request.trace),
+                                dict(request.widths), request.params,
+                                **options)
+        response = self._response(request)
+        response.verdict = "pass" if violation is None else "violation"
+        response.func = response.partial = violation is None
+        if violation is not None:
+            response.meta = {"violation_at": violation}
+        return response
+
+
+class _LazyParts:
+    """Defer semantic-key construction until the cache asks for it.
+
+    Canonicalization may raise :class:`CanonicalizationError`; computing
+    the parts lazily keeps that control flow in one place (`_process`)
+    exactly as the pre-service memo protocol had it.
+    """
+
+    def __init__(self, thunk):
+        self._thunk = thunk
+
+    def __iter__(self):
+        return iter(self._thunk())
+
+
+def design_signature(design) -> tuple:
+    """Assertion-independent fingerprint of an elaborated design.
+
+    The grouping key of the batch scheduler and the design part of every
+    ``prove`` cache key: the n samples of one problem splice different
+    assertions into the *same* support logic, so equal signatures let
+    them share one prover (COI cones, unrolled AIGs, incremental
+    solvers, simulation traces) and one packed falsification pass.
+    """
+    from ..sva.unparse import unparse
+    return (
+        design.name,
+        tuple(sorted(design.widths.items())),
+        tuple(sorted(design.inputs)),
+        tuple(sorted(design.state)),
+        tuple(sorted(design.init.items())),
+        tuple(sorted(design.params.items())),
+        design.clock,
+        tuple(design.resets),
+        tuple(sorted((n, unparse(e))
+                     for n, e in design.next_exprs.items())),
+        tuple(sorted((n, unparse(e))
+                     for n, e in design.comb_exprs.items())),
+    )
+
+
+def _freeze(value):
+    """Hashable fingerprint of an engine-options dict."""
+    if isinstance(value, dict):
+        return tuple(sorted((k, _freeze(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(v) for v in value)
+    return value

@@ -69,6 +69,20 @@ class TestVerdictCache:
         path.write_text("{not json")
         assert cache.get(k) is None
 
+    def test_mem_cap_evicts_oldest(self, tmp_path):
+        """A capped memory layer (long-running serve) evicts FIFO; a
+        persisted entry survives via the disk layer."""
+        cache = VerdictCache("t", disk_dir=str(tmp_path), max_mem_entries=2)
+        keys = [cache.key("entry", i) for i in range(3)]
+        for i, k in enumerate(keys):
+            cache.put(k, {"verdict": f"v{i}"})
+        assert len(cache.mem) == 2
+        assert keys[0] not in cache.mem
+        # evicted but persisted: next get re-reads from disk
+        assert cache.get(keys[0]) == {"verdict": "v0"}
+        assert cache.stats()["disk_hits"] == 1
+        assert len(cache.mem) == 2  # the disk re-read respects the cap
+
     def test_env_controls(self, monkeypatch, tmp_path):
         monkeypatch.setenv("FVEVAL_CACHE", str(tmp_path))
         assert cache_dir_from_env() == str(tmp_path)

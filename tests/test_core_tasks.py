@@ -108,3 +108,17 @@ class TestDesignTask:
         p = task.problems()[0]
         rec = task.evaluate(p, "wire x; assign x = 1'b0;")
         assert not rec.syntax_ok
+
+    def test_misconfigured_prover_kwargs_fail_fast(self):
+        """A typo'd engine option aborts the run loudly (as the old
+        Prover(**kwargs) TypeError did), never a verdict='error'
+        record that silently zeroes pass@k."""
+        from repro.service import RequestError
+        task = Design2SvaTask("fsm", count=1,
+                              prover_kwargs={"max_bcm": 9})
+        p = task.problems()[0]
+        from repro.models.design_assist import fsm_correct_response
+        import random
+        resp = fsm_correct_response(p, random.Random(0))
+        with pytest.raises(RequestError, match="max_bcm"):
+            task.evaluate(p, resp)

@@ -330,7 +330,7 @@ class TestBenchSuiteParity:
         auto = Design2SvaTask("fsm", strategy="auto")
         portfolio = Design2SvaTask("fsm", strategy="portfolio")
         default = Design2SvaTask("fsm")
-        assert default._engine_key != portfolio._engine_key
+        assert default._engine != portfolio._engine
         # an explicit default strategy shares cache entries with an
         # unconfigured task -- same engine, same key
-        assert auto._engine_key == default._engine_key
+        assert auto._engine == default._engine

@@ -1,0 +1,411 @@
+"""Verification-service API: request validation, dedup/cache provenance,
+batch scheduling, handles, and the JSON-lines serve frontend."""
+
+import io
+import json
+
+import pytest
+
+from repro.service import (
+    RequestError,
+    VerificationService,
+    VerifyRequest,
+    request_from_json,
+    response_to_json,
+    serve_stream,
+)
+
+EQ_WIDTHS = {"clk": 1, "a": 1, "b": 1}
+REF = "assert property (@(posedge clk) a |-> b);"
+SAME = "assert property (@(posedge clk) a |-> ##0 b);"
+WEAKER = "assert property (@(posedge clk) (a && b) |-> b);"
+
+TOY_DESIGN = """
+module toy(clk, rst, a, b);
+input clk, rst, a;
+output reg b;
+always_ff @(posedge clk) begin
+    if (rst) b <= 1'b0;
+    else b <= a;
+end
+ap_follow: assert property (@(posedge clk) a |=> b);
+endmodule
+"""
+
+
+def equiv_request(candidate, **overrides):
+    kwargs = dict(kind="equivalence", reference=REF, candidate=candidate,
+                  widths=dict(EQ_WIDTHS))
+    kwargs.update(overrides)
+    return VerifyRequest(**kwargs)
+
+
+class TestRequestValidation:
+    def test_unknown_kind(self):
+        with pytest.raises(RequestError):
+            VerifyRequest(kind="prove_hard").validate()
+
+    def test_missing_fields(self):
+        with pytest.raises(RequestError):
+            VerifyRequest(kind="equivalence", candidate="x").validate()
+        with pytest.raises(RequestError):
+            VerifyRequest(kind="prove").validate()
+        with pytest.raises(RequestError):
+            VerifyRequest(kind="trace", candidate="x").validate()
+
+    def test_wire_decode_rejects_unknown_fields(self):
+        with pytest.raises(RequestError):
+            request_from_json({"kind": "syntax", "candidate": "x",
+                               "widths": {}, "bogus": 1})
+        with pytest.raises(RequestError):
+            request_from_json({"candidate": "x"})
+
+    def test_invalid_request_becomes_error_response(self):
+        service = VerificationService()
+        [resp] = service.run([VerifyRequest(kind="nope")])
+        assert not resp.ok and resp.verdict == "error"
+
+    def test_unknown_engine_option_is_rejected(self):
+        service = VerificationService()
+        [resp] = service.run([equiv_request(SAME,
+                                            engine={"max_bmc": 3})])
+        assert not resp.ok and "unknown engine option" in resp.detail
+        [resp] = service.run([VerifyRequest(
+            kind="prove", source=TOY_DESIGN,
+            engine={"definitely_not_a_knob": 1})])
+        assert not resp.ok and "unknown engine option" in resp.detail
+        [resp] = service.run([VerifyRequest(
+            kind="prove", source=TOY_DESIGN,
+            engine={"strategy": "psychic"})])
+        assert not resp.ok and "unknown strategy" in resp.detail
+
+
+class TestSyntaxKind:
+    def test_pass_and_fail(self):
+        service = VerificationService()
+        good, bad = service.run([
+            VerifyRequest(kind="syntax", candidate=REF,
+                          widths=dict(EQ_WIDTHS)),
+            VerifyRequest(kind="syntax", candidate="not even verilog",
+                          widths=dict(EQ_WIDTHS)),
+        ])
+        assert good.ok and good.verdict == "ok"
+        # a failed syntax gate is a successfully *measured* verdict --
+        # ok stays True; ok=False is reserved for broken requests
+        assert bad.ok and bad.verdict == "syntax_error"
+        assert bad.detail and bad.meta["errors"]
+
+
+class TestEquivalenceKind:
+    def test_verdicts(self):
+        service = VerificationService()
+        same, weaker = service.run([equiv_request(SAME),
+                                    equiv_request(WEAKER)])
+        assert same.verdict == "equivalent" and same.func and same.partial
+        assert weaker.verdict == "ref_implies_candidate"
+        assert weaker.partial and not weaker.func
+
+    def test_dedup_in_flight(self, monkeypatch):
+        monkeypatch.delenv("FVEVAL_CACHE", raising=False)
+        service = VerificationService()
+        first, second = service.run([equiv_request(SAME),
+                                     equiv_request(SAME)])
+        assert second.dedup_of == first.request_id
+        assert first.dedup_of is None
+        assert (second.verdict, second.func, second.partial,
+                second.detail) == (first.verdict, first.func,
+                                   first.partial, first.detail)
+        assert service.stats()["dedup_hits"] == 1
+        # duplicates never touch the cache, so misses == puts holds
+        cache = service.cache_stats()
+        assert cache["misses"] == cache["puts"] == 1
+
+    def test_cache_hit_provenance(self, monkeypatch):
+        monkeypatch.delenv("FVEVAL_CACHE", raising=False)
+        service = VerificationService()
+        [first] = service.run([equiv_request(SAME)])
+        [again] = service.run([equiv_request(SAME)])
+        assert not first.cache_hit and again.cache_hit
+        assert again.verdict == first.verdict
+
+    def test_use_cache_false_recomputes(self, monkeypatch):
+        monkeypatch.delenv("FVEVAL_CACHE", raising=False)
+        service = VerificationService()
+        responses = service.run([equiv_request(SAME, use_cache=False),
+                                 equiv_request(SAME, use_cache=False)])
+        assert all(not r.cache_hit and r.dedup_of is None
+                   for r in responses)
+        assert service.cache_stats()["puts"] == 0
+
+    def test_no_cache_env_kill_switch(self, monkeypatch):
+        monkeypatch.setenv("FVEVAL_NO_CACHE", "1")
+        service = VerificationService()
+        responses = service.run([equiv_request(SAME), equiv_request(SAME)])
+        assert all(not r.cache_hit and r.dedup_of is None
+                   for r in responses)
+        stats = service.cache_stats()
+        assert stats["hits"] == stats["misses"] == 0
+
+
+class TestProveKind:
+    def test_prove_from_source_text(self):
+        service = VerificationService()
+        [resp] = service.run([VerifyRequest(kind="prove",
+                                            source=TOY_DESIGN)])
+        assert resp.verdict == "proven" and resp.func
+        assert set(resp.meta) == {"engine", "depth", "vacuous"}
+
+    def test_elaboration_error_is_syntax_error(self):
+        service = VerificationService()
+        [resp] = service.run([VerifyRequest(kind="prove",
+                                            source="module broken(")])
+        assert resp.ok and resp.verdict == "syntax_error"
+
+    def test_no_assertion_detail(self):
+        source = TOY_DESIGN.replace(
+            "ap_follow: assert property (@(posedge clk) a |=> b);", "")
+        service = VerificationService()
+        [resp] = service.run([VerifyRequest(kind="prove", source=source)])
+        assert resp.verdict == "syntax_error"
+        assert resp.detail == "response contains no concurrent assertion"
+
+    def test_explicit_assertion_text(self):
+        service = VerificationService()
+        good, bad = service.run([
+            VerifyRequest(kind="prove", source=TOY_DESIGN,
+                          assertion="assert property "
+                                    "(@(posedge clk) a |=> b);"),
+            VerifyRequest(kind="prove", source=TOY_DESIGN,
+                          assertion="assert property "
+                                    "(@(posedge clk) a |=> !b);"),
+        ])
+        assert good.verdict == "proven"
+        assert bad.verdict == "cex"
+
+    def test_batch_scheduler_packs_cone(self, monkeypatch):
+        """Two candidates on one design cone -> one packed sim pass."""
+        monkeypatch.delenv("FVEVAL_CACHE", raising=False)
+        requests = [
+            VerifyRequest(kind="prove", source=TOY_DESIGN,
+                          assertion="assert property "
+                                    "(@(posedge clk) a |=> b);"),
+            VerifyRequest(kind="prove", source=TOY_DESIGN,
+                          assertion="assert property "
+                                    "(@(posedge clk) a |=> !b);"),
+        ]
+        batched = VerificationService(batching=True)
+        responses = batched.run(requests)
+        assert [r.verdict for r in responses] == ["proven", "cex"]
+        assert batched.profile.get("sim_batch_passes", 0) == 1
+        assert batched.stats()["batch_groups"] == 1
+        assert batched.stats()["batch_members"] == 2
+        assert all(r.batch_id for r in responses)
+
+        unbatched = VerificationService(batching=False)
+        plain = unbatched.run(requests)
+        assert unbatched.profile.get("sim_batch_passes", 0) == 0
+        assert all(r.batch_id is None for r in plain)
+        assert [(r.verdict, r.func, r.detail, r.meta) for r in plain] == \
+            [(r.verdict, r.func, r.detail, r.meta) for r in responses]
+
+    def test_pool_pinning_preserves_batch_state(self, monkeypatch):
+        """More prove groups than max_provers in one batch: eviction
+        must not discard the packed masks presimulate just seeded."""
+        monkeypatch.delenv("FVEVAL_CACHE", raising=False)
+        designs = [TOY_DESIGN.replace("module toy", f"module toy{i}")
+                   for i in range(3)]
+        requests = [VerifyRequest(kind="prove", source=source, assertion=a)
+                    for source in designs
+                    for a in ("assert property (@(posedge clk) a |=> b);",
+                              "assert property (@(posedge clk) a |=> !b);")]
+        service = VerificationService(batching=True, max_provers=2)
+        responses = service.run(requests)
+        assert [r.verdict for r in responses] == ["proven", "cex"] * 3
+        # every candidate was batch-served: no per-sample pass ran
+        assert service.profile.get("sim_batch_passes", 0) == 3
+        assert service.profile.get("sim_passes", 0) == 0
+        assert all(r.batch_id for r in responses)
+
+    def test_no_batch_env_kill_switch(self, monkeypatch):
+        monkeypatch.setenv("FVEVAL_NO_BATCH", "1")
+        service = VerificationService()  # batching=None reads the env
+        service.run([
+            VerifyRequest(kind="prove", source=TOY_DESIGN,
+                          assertion="assert property "
+                                    "(@(posedge clk) a |=> b);",
+                          use_cache=False),
+            VerifyRequest(kind="prove", source=TOY_DESIGN,
+                          assertion="assert property "
+                                    "(@(posedge clk) a |=> !b);",
+                          use_cache=False),
+        ])
+        assert service.profile.get("sim_batch_passes", 0) == 0
+
+
+class TestTraceKind:
+    def test_pass_and_violation(self):
+        trace = {"clk": [0, 1] * 4, "a": [0, 1, 1, 1, 1, 1, 1, 1],
+                 "b": [0, 0, 1, 1, 1, 1, 1, 1]}
+        service = VerificationService()
+        follow, broken = service.run([
+            VerifyRequest(kind="trace",
+                          candidate="assert property "
+                                    "(@(posedge clk) a |=> b);",
+                          trace=trace, widths={"a": 1, "b": 1, "clk": 1}),
+            VerifyRequest(kind="trace",
+                          candidate="assert property "
+                                    "(@(posedge clk) a |=> !b);",
+                          trace=trace, widths={"a": 1, "b": 1, "clk": 1}),
+        ])
+        assert follow.verdict == "pass" and follow.func
+        assert broken.verdict == "violation" and not broken.func
+        assert broken.meta["violation_at"] >= 0
+
+
+class TestHandles:
+    def test_submit_flush_on_demand(self):
+        service = VerificationService()
+        first = service.submit(equiv_request(SAME))
+        second = service.submit(equiv_request(SAME))
+        assert not first.done() and not second.done()
+        assert first.result().verdict == "equivalent"  # flushes the batch
+        assert second.done()
+        assert second.result().dedup_of == first.result().request_id
+
+    def test_flush_failure_resolves_handles(self):
+        """A batch that dies mid-flush still resolves every handle with
+        an error response; the exception itself propagates once."""
+        service = VerificationService()
+        handle = service.submit(VerifyRequest(
+            kind="prove", source=TOY_DESIGN, engine={"max_bmc": "8"}))
+        with pytest.raises(TypeError):
+            handle.result()
+        resolved = handle.result()
+        assert not resolved.ok and resolved.verdict == "error"
+        assert "TypeError" in resolved.detail
+
+    def test_stream_yields_in_order(self):
+        service = VerificationService()
+        ids = []
+        for response in service.stream([equiv_request(SAME),
+                                        equiv_request(WEAKER)]):
+            ids.append(response.verdict)
+        assert ids == ["equivalent", "ref_implies_candidate"]
+
+
+class TestServeFrontend:
+    @staticmethod
+    def serve(lines):
+        out = io.StringIO()
+        status = serve_stream(io.StringIO("\n".join(lines) + "\n"), out)
+        return status, [json.loads(line)
+                        for line in out.getvalue().splitlines()]
+
+    def test_three_request_script(self):
+        status, out = self.serve([
+            json.dumps({"kind": "syntax", "candidate": REF,
+                        "widths": EQ_WIDTHS, "request_id": "s1"}),
+            json.dumps({"kind": "equivalence", "reference": REF,
+                        "candidate": SAME, "widths": EQ_WIDTHS,
+                        "request_id": "e1"}),
+            json.dumps({"kind": "prove", "source": TOY_DESIGN,
+                        "request_id": "p1"}),
+        ])
+        assert status == 0
+        assert [o["request_id"] for o in out] == ["s1", "e1", "p1"]
+        assert [o["verdict"] for o in out] == ["ok", "equivalent", "proven"]
+
+    def test_blank_line_flushes_batches(self):
+        status, out = self.serve([
+            json.dumps({"kind": "equivalence", "reference": REF,
+                        "candidate": SAME, "widths": EQ_WIDTHS}),
+            "",
+            json.dumps({"kind": "equivalence", "reference": REF,
+                        "candidate": SAME, "widths": EQ_WIDTHS}),
+        ])
+        assert status == 0
+        assert out[0]["verdict"] == out[1]["verdict"] == "equivalent"
+        # separate batches: the second is a cache hit, not an in-flight dup
+        assert not out[0]["cache_hit"] and out[1]["cache_hit"]
+        assert out[1]["dedup_of"] is None
+
+    def test_validation_error_echoes_request_id(self):
+        status, out = self.serve([
+            json.dumps({"kind": "bogus", "request_id": "x7"}),
+        ])
+        assert status == 1
+        assert out[0]["request_id"] == "x7"
+        assert out[0]["ok"] is False
+
+    def test_bad_line_reports_and_continues(self):
+        status, out = self.serve([
+            "{not json",
+            json.dumps({"kind": "syntax", "candidate": REF,
+                        "widths": EQ_WIDTHS}),
+        ])
+        assert status == 1
+        assert out[0]["ok"] is False and out[0]["verdict"] == "error"
+        assert out[1]["verdict"] == "ok"
+
+    def test_type_invalid_field_is_per_request_error(self):
+        """Schema-valid but type-invalid requests must not kill the
+        stream -- the other batched requests still get answers."""
+        status, out = self.serve([
+            json.dumps({"kind": "syntax", "candidate": REF,
+                        "widths": "oops"}),
+            json.dumps({"kind": "syntax", "candidate": REF,
+                        "widths": EQ_WIDTHS}),
+        ])
+        assert status == 1
+        assert out[0]["ok"] is False and out[0]["verdict"] == "error"
+        assert "widths" in out[0]["detail"]
+        assert out[1]["verdict"] == "ok"
+
+    def test_engine_crash_still_answers_every_line(self):
+        """A type-invalid engine value crashes inside the prover; the
+        frontend converts it into error responses rather than dying."""
+        status, out = self.serve([
+            json.dumps({"kind": "prove", "source": TOY_DESIGN,
+                        "engine": {"max_bmc": "8"}}),
+            json.dumps({"kind": "syntax", "candidate": REF,
+                        "widths": EQ_WIDTHS}),
+        ])
+        assert status == 1
+        assert len(out) == 2
+        assert all(o["ok"] is False and o["verdict"] == "error"
+                   for o in out)
+
+    def test_response_wire_form_is_stable(self):
+        service = VerificationService()
+        [resp] = service.run([equiv_request(SAME)])
+        wire = response_to_json(resp)
+        assert set(wire) == {"request_id", "kind", "ok", "verdict", "func",
+                             "partial", "detail", "meta", "cache_hit",
+                             "dedup_of", "batch_id", "elapsed_s"}
+
+
+class TestCli:
+    def test_verify_file_and_strategy(self, tmp_path, capsys):
+        from repro.__main__ import main
+        design = tmp_path / "toy.sv"
+        design.write_text(TOY_DESIGN)
+        assert main(["verify", str(design)]) == 0
+        assert "proven" in capsys.readouterr().out
+        assert main(["verify", str(design), "--strategy", "kind"]) == 0
+        assert "proven" in capsys.readouterr().out
+
+    def test_equiv_strategy_flag(self, capsys):
+        from repro.__main__ import main
+        argv = ["equiv", REF, SAME, "--width", "a=1", "--width", "b=1"]
+        assert main(argv) == 0
+        assert "equivalent" in capsys.readouterr().out
+        assert main(argv + ["--strategy", "portfolio"]) == 0
+        assert "equivalent" in capsys.readouterr().out
+
+    def test_equiv_inequivalent_exit_code(self, capsys):
+        from repro.__main__ import main
+        assert main(["equiv", REF,
+                     "assert property (@(posedge clk) a |-> !b);",
+                     "--width", "a=1", "--width", "b=1"]) == 2
+        out = capsys.readouterr().out
+        assert "counterexample" in out

@@ -1,0 +1,217 @@
+"""Service-redesign parity: every task's records are field-identical to
+the pre-service direct-call path.
+
+``tests/data/service_golden.json`` pins, per generator category, the
+``EvalRecord`` rows the pre-redesign code (tasks calling
+``check_assertion_syntax`` / ``check_equivalence`` / ``Prover.prove``
+directly, commit d17737e) produced for a small fixed configuration.
+The service-backed tasks must reproduce them byte for byte -- under
+per-sample and batched evaluation, with and without the verdict cache,
+serial and pooled -- because the service only reschedules work, it never
+changes what a verdict means.
+"""
+
+import json
+import random
+from dataclasses import asdict
+from pathlib import Path
+
+import pytest
+
+from repro.core.runner import RunConfig, run_model_on_task
+from repro.core.tasks import (
+    Design2SvaTask, Nl2SvaHumanTask, Nl2SvaMachineTask,
+)
+
+GOLDEN = json.loads(
+    (Path(__file__).parent / "data" / "service_golden.json").read_text())
+
+#: the exact configuration the goldens were generated with
+PROVER = {"max_bmc": 5, "max_k": 3, "sim_traces": 4, "sim_cycles": 16}
+CONFIG = dict(n_samples=2, temperature=0.8)
+
+
+def run_records(task, **config):
+    result = run_model_on_task("gpt-4o", task,
+                               RunConfig(**{**CONFIG, **config}))
+    return [asdict(r) for r in result.records], result
+
+
+def design_task(category, **kwargs):
+    return Design2SvaTask(category, count=3, prover_kwargs=dict(PROVER),
+                          **kwargs)
+
+
+def arbiter_records(**kwargs):
+    """The bench-style template workload the arbiter golden pins."""
+    from repro.datasets.design2sva.arbiter_gen import (
+        arbiter_correct_response, arbiter_flawed_response,
+    )
+    task = design_task("arbiter", **kwargs)
+    records = []
+    for i, design in enumerate(task.problems()):
+        rng = random.Random(i)
+        responses = [arbiter_correct_response(design, rng),
+                     arbiter_flawed_response(design, rng)]
+        records.extend(asdict(r) for r in task.evaluate_batch(
+            design, responses, model="template"))
+    return records, task
+
+
+@pytest.fixture(autouse=True)
+def _hermetic_cache(monkeypatch):
+    monkeypatch.delenv("FVEVAL_CACHE", raising=False)
+    monkeypatch.delenv("FVEVAL_JOBS", raising=False)
+    monkeypatch.delenv("FVEVAL_NO_CACHE", raising=False)
+    monkeypatch.delenv("FVEVAL_NO_BATCH", raising=False)
+
+
+class TestGoldenRecords:
+    """Per-category goldens pinned from the pre-service code."""
+
+    def test_nl2sva_human(self):
+        records, _ = run_records(Nl2SvaHumanTask(), limit=4)
+        assert records == GOLDEN["nl2sva_human"]
+
+    def test_nl2sva_machine(self):
+        records, _ = run_records(Nl2SvaMachineTask(count=6))
+        assert records == GOLDEN["nl2sva_machine"]
+
+    @pytest.mark.parametrize("category", ["fsm", "pipeline"])
+    def test_design2sva(self, category):
+        records, _ = run_records(design_task(category))
+        assert records == GOLDEN[f"design2sva_{category}"]
+
+    def test_design2sva_arbiter(self):
+        records, _ = arbiter_records()
+        assert records == GOLDEN["design2sva_arbiter"]
+
+
+class TestBatchedEqualsUnbatched:
+    """The cross-sample batch scheduler reschedules, never re-verdicts."""
+
+    @pytest.mark.parametrize("category", ["fsm", "pipeline"])
+    def test_design2sva(self, category):
+        batched, _ = run_records(design_task(category, batching=True))
+        unbatched, _ = run_records(design_task(category, batching=False))
+        assert batched == unbatched == GOLDEN[f"design2sva_{category}"]
+
+    def test_batch_scheduler_actually_engaged(self):
+        _, result = run_records(design_task("fsm", batching=True,
+                                            use_cache=False))
+        service = result.stats["service"]
+        assert service["batch_groups"] > 0
+        assert service["batch_members"] >= 2 * service["batch_groups"]
+
+    def test_no_batch_env_disables(self, monkeypatch):
+        monkeypatch.setenv("FVEVAL_NO_BATCH", "1")
+        records, result = run_records(design_task("fsm"))
+        assert records == GOLDEN["design2sva_fsm"]
+        assert "service" not in result.stats or \
+            result.stats["service"]["batch_groups"] == 0
+
+    def test_arbiter_batched_equals_unbatched(self):
+        batched, _ = arbiter_records(batching=True)
+        unbatched, _ = arbiter_records(batching=False)
+        assert batched == unbatched == GOLDEN["design2sva_arbiter"]
+
+    def test_per_sample_evaluate_equals_batch(self):
+        """evaluate() is the degenerate batch of one -- same records."""
+        task = design_task("fsm")
+        loop = design_task("fsm")
+        config = RunConfig(**CONFIG)
+        problems = task.problems()[:2]
+        from repro.models.base import SimulatedModel, GenerationRequest
+        model = SimulatedModel("gpt-4o")
+        for index, problem in enumerate(problems):
+            responses = model.generate(GenerationRequest(
+                task="design2sva", problem=problem,
+                n_samples=config.n_samples,
+                temperature=config.temperature,
+                quantile=(index + 0.5) / len(problems)))
+            via_batch = [asdict(r) for r in task.evaluate_batch(
+                problem, responses, model="gpt-4o")]
+            via_loop = [asdict(loop.evaluate(problem, response,
+                                             model="gpt-4o",
+                                             sample_idx=i))
+                        for i, response in enumerate(responses)]
+            assert via_batch == via_loop
+
+
+class TestCacheParity:
+    """Cached/uncached and disk-backed runs stay record-identical."""
+
+    @pytest.mark.parametrize("category", ["fsm", "pipeline"])
+    def test_uncached(self, category):
+        records, _ = run_records(design_task(category, use_cache=False))
+        assert records == GOLDEN[f"design2sva_{category}"]
+
+    def test_nl2sva_uncached(self):
+        records, _ = run_records(Nl2SvaHumanTask(use_cache=False), limit=4)
+        assert records == GOLDEN["nl2sva_human"]
+        records, _ = run_records(Nl2SvaMachineTask(count=6,
+                                                   use_cache=False))
+        assert records == GOLDEN["nl2sva_machine"]
+
+    def test_disk_cache_roundtrip(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("FVEVAL_CACHE", str(tmp_path))
+        first, _ = run_records(design_task("fsm"))
+        assert first == GOLDEN["design2sva_fsm"]
+        # a fresh task (fresh process in real runs) serves from disk
+        second, result = run_records(design_task("fsm"))
+        assert second == GOLDEN["design2sva_fsm"]
+        assert result.stats["cache"]["disk_hits"] > 0
+
+
+class TestPooledParity:
+    """FVEVAL_JOBS pooling: identical records, merged worker stats."""
+
+    def test_records_and_stats(self, monkeypatch):
+        monkeypatch.setenv("FVEVAL_JOBS", "2")
+        records, result = run_records(design_task("fsm"))
+        assert records == GOLDEN["design2sva_fsm"]
+        # the ISSUE-4 observability fix: pooled runs now attach the
+        # workers' merged cache/prover counters instead of nothing
+        assert result.stats["cache"]["puts"] > 0
+        assert result.stats["prover"].get("sim_candidates", 0) > 0
+        assert result.stats["service"]["requests"] == len(records)
+
+    def test_nl2sva_machine_pooled(self, monkeypatch):
+        monkeypatch.setenv("FVEVAL_JOBS", "2")
+        records, result = run_records(Nl2SvaMachineTask(count=6))
+        assert records == GOLDEN["nl2sva_machine"]
+        assert result.stats["cache"]["puts"] > 0
+
+    def test_pool_stats_exclude_parent_baseline(self, monkeypatch):
+        """Counters the parent accumulated before the pool started must
+        not be re-counted once per worker."""
+        serial, serial_result = run_records(Nl2SvaMachineTask(count=6))
+        expected = serial_result.stats["service"]["requests"]
+        task = Nl2SvaMachineTask(count=6)
+        problem = task.problems()[0]
+        task.evaluate(problem, problem.sva)  # parent-side warm-up
+        monkeypatch.setenv("FVEVAL_JOBS", "2")
+        records, result = run_records(task)
+        assert records == GOLDEN["nl2sva_machine"]
+        assert result.stats["service"]["requests"] == expected
+
+
+class TestIncrementalIterator:
+    def test_iter_matches_run(self):
+        from repro.core.runner import iter_run_model_on_task
+        task = design_task("fsm")
+        stats: dict = {}
+        streamed = [asdict(r) for r in iter_run_model_on_task(
+            "gpt-4o", task, RunConfig(**CONFIG), stats=stats)]
+        assert streamed == GOLDEN["design2sva_fsm"]
+        assert stats["cache"]["puts"] > 0
+
+    def test_iter_is_incremental(self):
+        """Records of problem 0 arrive before problem 1 evaluates."""
+        from repro.core.runner import iter_run_model_on_task
+        task = Nl2SvaMachineTask(count=4)
+        iterator = iter_run_model_on_task("gpt-4o", task, RunConfig())
+        first = next(iterator)
+        assert first.problem_id == task.problems()[0].problem_id
+        rest = list(iterator)
+        assert len(rest) == 3
