@@ -28,7 +28,11 @@ off the ``scheduling`` block.  ``--strategy
 {auto,bmc,kind,portfolio}`` selects the proof-engine scheduling policy
 (``portfolio`` races BMC depth probes against k-induction steps under a
 conflict-budget ladder; pair an ``auto`` row with a ``portfolio`` row for
-the A/B comparison, see docs/benchmarks.md).  ``--expect-mix`` exits
+the A/B comparison, see docs/benchmarks.md), and ``--portfolio-threads N``
+upgrades the portfolio to the thread-racing scheduler with
+interrupt-driven cancellation.  ``--workers N`` runs each category as one
+multi-cone service batch on N in-service worker threads (pair a
+``--workers 1`` row with a ``--workers N`` row).  ``--expect-mix`` exits
 nonzero unless every category produced both ``proven`` and ``cex``
 verdicts and no errors (the CI smoke gate; no timing assertions, so slow
 shared runners cannot flake it).
@@ -71,24 +75,46 @@ def _responses_for(design, rng: random.Random) -> list[str]:
 
 def bench_category(category: str, count: int, prover_kwargs: dict,
                    use_cache: bool, with_profile: bool,
-                   batching: bool = True) -> dict:
+                   batching: bool = True,
+                   workers: int | None = None) -> dict:
     from repro.core.tasks import Design2SvaTask
     task = Design2SvaTask(category, count=count,
                           prover_kwargs=dict(prover_kwargs),
-                          use_cache=use_cache, batching=batching)
+                          use_cache=use_cache, batching=batching,
+                          workers=workers)
     problems = task.problems()  # generation excluded from the timing
     verdicts: dict[str, int] = {}
     proofs = 0
-    t0 = time.perf_counter()
-    for i, design in enumerate(problems):
-        rng = random.Random(i)
-        # both template candidates of a design go in as one service
-        # batch -- the unit the cross-sample scheduler packs per cone
-        for record in task.evaluate_batch(design,
-                                          _responses_for(design, rng)):
-            verdicts[record.verdict] = verdicts.get(record.verdict, 0) + 1
+    if workers is not None:
+        # --workers A/B mode: the whole category is ONE multi-cone
+        # service batch (each design a distinct signature group -- the
+        # worker pool's unit of concurrency), so a --workers 1 row vs a
+        # --workers N row isolates the in-service pool on an identical
+        # workload.  Requests come from the task's own construction
+        # path (Design2SvaTask.prove_request), built outside the timing.
+        requests = []
+        for i, design in enumerate(problems):
+            rng = random.Random(i)
+            for response in _responses_for(design, rng):
+                requests.append(task.prove_request(design, response))
+        t0 = time.perf_counter()
+        for response in task.service.run(requests):
+            verdicts[response.verdict] = \
+                verdicts.get(response.verdict, 0) + 1
             proofs += 1
-    elapsed = time.perf_counter() - t0
+        elapsed = time.perf_counter() - t0
+    else:
+        t0 = time.perf_counter()
+        for i, design in enumerate(problems):
+            rng = random.Random(i)
+            # both template candidates of a design go in as one service
+            # batch -- the unit the cross-sample scheduler packs per cone
+            for record in task.evaluate_batch(design,
+                                              _responses_for(design, rng)):
+                verdicts[record.verdict] = \
+                    verdicts.get(record.verdict, 0) + 1
+                proofs += 1
+        elapsed = time.perf_counter() - t0
     result = {
         "designs": len(problems),
         "proofs": proofs,
@@ -241,6 +267,17 @@ def build_parser() -> argparse.ArgumentParser:
     ap.add_argument("--strategy", default="auto",
                     choices=["auto", "bmc", "kind", "portfolio"],
                     help="proof-engine scheduling policy (default auto)")
+    ap.add_argument("--workers", type=int, default=None,
+                    help="in-service worker threads; runs each category "
+                         "as one multi-cone service batch (pair a "
+                         "--workers 1 row with a --workers N row for "
+                         "the worker-pool A/B)")
+    ap.add_argument("--portfolio-threads", type=int, default=None,
+                    help="with --strategy portfolio: race BMC vs "
+                         "k-induction on this many OS threads with "
+                         "interrupt-driven cancellation (default: "
+                         "$FVEVAL_PORTFOLIO_THREADS, else the "
+                         "single-threaded budget ladder)")
     ap.add_argument("--expect-mix", action="store_true",
                     help="fail unless every category has proven+cex verdicts")
     ap.add_argument("--output", default=str(
@@ -261,6 +298,8 @@ def main() -> int:
         # the verdict-cache engine key), so existing 'auto' rows and cache
         # entries stay comparable
         prover_kwargs["strategy"] = args.strategy
+    if args.portfolio_threads is not None:
+        prover_kwargs["portfolio_threads"] = args.portfolio_threads
 
     rev, dirty = git_state()
     entry = {
@@ -270,6 +309,7 @@ def main() -> int:
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
         "count": args.count,
         "strategy": args.strategy,
+        "workers": args.workers,
         "prover_kwargs": dict(prover_kwargs),
         "use_cache": not args.no_cache,
         "batch": not args.no_batch,
@@ -279,7 +319,7 @@ def main() -> int:
         entry["categories"][category] = bench_category(
             category, args.count, prover_kwargs,
             use_cache=not args.no_cache, with_profile=args.profile,
-            batching=not args.no_batch)
+            batching=not args.no_batch, workers=args.workers)
         data = entry["categories"][category]
         print(f"{category:>9}: designs={data['designs']} "
               f"proofs={data['proofs']} wall={data['wall_s']}s "

@@ -7,7 +7,8 @@ Commands:
     equiv REF CAND [--width N=W] [--strategy S]
                                     assertion-to-assertion equivalence
     generate {fsm,pipeline} [--seed N]   emit a synthetic design to stdout
-    serve [--no-batch]              JSON-lines verification service on
+    serve [--no-batch] [--workers N]
+                                    JSON-lines verification service on
                                     stdin/stdout (docs/service.md)
     cache-gc [DIR] [--max-age-days N] [--max-entries N] [--max-bytes N]
                                     compact an FVEVAL_CACHE directory
@@ -99,7 +100,8 @@ def _cmd_serve(args) -> int:
     # layer, when FVEVAL_CACHE is set, still holds everything and is
     # compacted by cache-gc)
     service = VerificationService(batching=False if args.no_batch else None,
-                                  max_cache_entries=65536)
+                                  max_cache_entries=65536,
+                                  workers=args.workers)
     return serve_stream(sys.stdin, sys.stdout, service)
 
 
@@ -173,6 +175,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "stdin/stdout")
     p.add_argument("--no-batch", action="store_true",
                    help="disable cross-sample batch scheduling")
+    p.add_argument("--workers", type=int, default=None,
+                   help="in-service worker threads; independent request "
+                        "groups of a flush execute concurrently and "
+                        "responses stream out of order with an 'index' "
+                        "field (default: $FVEVAL_WORKERS, else 1)")
     p.set_defaults(fn=_cmd_serve)
 
     p = sub.add_parser("cache-gc",

@@ -41,6 +41,7 @@ import hashlib
 import json
 import os
 import tempfile
+import threading
 from pathlib import Path
 
 #: bump to invalidate all persisted entries on semantics changes
@@ -83,6 +84,22 @@ class VerdictCache:
         self.misses = 0
         self.disk_hits = 0
         self.puts = 0
+        #: guards the memory layer and the counters: the service's
+        #: worker pool gets/puts from several threads, and a bare
+        #: ``self.hits += 1`` would lose increments between the read and
+        #: the write.  Disk writes need no lock -- the temp-file +
+        #: ``os.replace`` protocol is already atomic against racing
+        #: writers in *any* process.
+        self._lock = threading.RLock()
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state.pop("_lock", None)  # travels across FVEVAL_JOBS workers
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._lock = threading.RLock()
 
     def _bound_mem(self) -> None:
         if self.max_mem_entries is None:
@@ -115,10 +132,11 @@ class VerdictCache:
         return d / key[:2] / f"{key}.json"
 
     def get(self, key: str) -> dict | None:
-        value = self.mem.get(key)
-        if value is not None:
-            self.hits += 1
-            return value
+        with self._lock:
+            value = self.mem.get(key)
+            if value is not None:
+                self.hits += 1
+                return value
         path = self._path(key)
         if path is not None:
             try:
@@ -126,22 +144,25 @@ class VerdictCache:
             except (OSError, ValueError):
                 value = None
             if isinstance(value, dict):
-                self.mem[key] = value
-                self._bound_mem()
-                self.hits += 1
-                self.disk_hits += 1
+                with self._lock:
+                    self.mem[key] = value
+                    self._bound_mem()
+                    self.hits += 1
+                    self.disk_hits += 1
                 try:
                     os.utime(path)  # LRU touch: eviction is by last *read*
                 except OSError:
                     pass
                 return value
-        self.misses += 1
+        with self._lock:
+            self.misses += 1
         return None
 
     def put(self, key: str, value: dict) -> None:
-        self.mem[key] = value
-        self._bound_mem()
-        self.puts += 1
+        with self._lock:
+            self.mem[key] = value
+            self._bound_mem()
+            self.puts += 1
         path = self._path(key)
         if path is None:
             return
@@ -159,9 +180,10 @@ class VerdictCache:
             pass  # disk layer is best-effort; memory layer already holds it
 
     def stats(self) -> dict[str, int]:
-        return {"hits": self.hits, "misses": self.misses,
-                "disk_hits": self.disk_hits, "puts": self.puts,
-                "entries": len(self.mem)}
+        with self._lock:
+            return {"hits": self.hits, "misses": self.misses,
+                    "disk_hits": self.disk_hits, "puts": self.puts,
+                    "entries": len(self.mem)}
 
 
 # ---------------------------------------------------------------------------

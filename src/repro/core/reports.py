@@ -160,8 +160,10 @@ def table6_corpus_stats() -> Table:
 
 
 #: scheduler counters the portfolio accumulates in the prover profile
+#: (``portfolio_interrupts`` counts Solver.interrupt() cancellations
+#: issued by the thread-racing scheduler; 0/absent under the ladder)
 PORTFOLIO_COUNTERS = ("portfolio_solves", "portfolio_requeues",
-                      "portfolio_cancelled")
+                      "portfolio_cancelled", "portfolio_interrupts")
 
 
 def strategy_stats(profile: dict) -> tuple[dict, dict, dict]:

@@ -98,10 +98,12 @@ class _EquivalenceTask:
 
     def __init__(self, namespace: str, use_cache: bool,
                  service: VerificationService | None = None,
-                 batching: bool | None = None):
+                 batching: bool | None = None,
+                 workers: int | None = None):
         self.use_cache = use_cache
         self.service = (service if service is not None
-                        else VerificationService(batching=batching))
+                        else VerificationService(batching=batching,
+                                                 workers=workers))
         self._namespace = namespace
 
     def cache_stats(self) -> dict[str, int]:
@@ -165,8 +167,10 @@ class Nl2SvaHumanTask(_EquivalenceTask):
 
     def __init__(self, use_cache: bool = True,
                  service: VerificationService | None = None,
-                 batching: bool | None = None):
-        super().__init__("nl2sva_human", use_cache, service, batching)
+                 batching: bool | None = None,
+                 workers: int | None = None):
+        super().__init__("nl2sva_human", use_cache, service, batching,
+                         workers)
         self._design_cache: dict[str, Design] = {}
 
     def problems(self) -> list[HumanProblem]:
@@ -216,8 +220,10 @@ class Nl2SvaMachineTask(_EquivalenceTask):
     def __init__(self, count: int = 300, seed: int = 0,
                  use_cache: bool = True,
                  service: VerificationService | None = None,
-                 batching: bool | None = None):
-        super().__init__("nl2sva_machine", use_cache, service, batching)
+                 batching: bool | None = None,
+                 workers: int | None = None):
+        super().__init__("nl2sva_machine", use_cache, service, batching,
+                         workers)
         self.count = count
         self.seed = seed
         self._problems: list[MachineProblem] | None = None
@@ -262,7 +268,8 @@ class Design2SvaTask:
                  prover_kwargs: dict | None = None, use_cache: bool = True,
                  strategy: str | None = None,
                  service: VerificationService | None = None,
-                 batching: bool | None = None):
+                 batching: bool | None = None,
+                 workers: int | None = None):
         self.category = category
         self.count = count
         self.seed = seed
@@ -290,7 +297,8 @@ class Design2SvaTask:
         self._namespace = f"design2sva_{category}"
         self.service = (service if service is not None
                         else VerificationService(batching=batching,
-                                                 profile=self.profile))
+                                                 profile=self.profile,
+                                                 workers=workers))
         self._problems: list[GeneratedDesign] | None = None
 
     def cache_stats(self) -> dict[str, int]:
@@ -310,6 +318,20 @@ class Design2SvaTask:
                              top=merged.top, engine=dict(self._engine),
                              cache_ns=self._namespace,
                              use_cache=self.use_cache)
+
+    def prove_request(self, problem: GeneratedDesign,
+                      response: str) -> VerifyRequest:
+        """The service request one sample of *problem* evaluates as.
+
+        The single construction path (fence stripping, testbench splice,
+        engine/cache configuration) shared by :meth:`evaluate_batch` and
+        external workload builders like ``scripts/bench_prover.py
+        --workers``.  Raises :class:`SpliceError`/``ValueError`` when
+        the response cannot be spliced into the testbench.
+        """
+        merged = merge_for_eval(problem, problem.tb_source,
+                                strip_code_fences(response))
+        return self._prove_request(merged)
 
     def evaluate(self, problem: GeneratedDesign, response: str,
                  model: str = "", sample_idx: int = 0) -> EvalRecord:
@@ -334,15 +356,14 @@ class Design2SvaTask:
                                 sample_idx=start_idx + offset,
                                 response=response)
             records.append(record)
-            code = strip_code_fences(response)
             try:
-                merged = merge_for_eval(problem, problem.tb_source, code)
+                request = self.prove_request(problem, response)
             except (SpliceError, ValueError) as exc:
                 record.verdict = "syntax_error"
                 record.detail = str(exc)[:160]
                 continue
             pending.append(record)
-            requests.append(self._prove_request(merged))
+            requests.append(request)
         for record, response in zip(
                 pending, _checked(self.service.run(requests))):
             if response.verdict == "syntax_error":

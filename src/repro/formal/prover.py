@@ -50,7 +50,9 @@ are liveness obligations that bounded engines cannot prove; they are reported
 
 from __future__ import annotations
 
+import os
 import sys
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -70,6 +72,36 @@ from .bitvec import AigBackend, EvalError, ExprEvaluator, SignalSource
 from .coi import assertion_roots, cone_of_influence
 from .sat import Solver, solve_cnf
 from .semantics import EncodingError, PropertyEncoder, horizon_of
+
+
+#: guards read-modify-write profile updates: profile dicts are shared
+#: across the provers of one service and across the threads of the
+#: in-service worker pool / threaded portfolio, where a bare
+#: ``d[k] = d.get(k) + v`` would lose increments between the read and
+#: the write.  One process-wide lock is cheap (updates happen per stage
+#: / per solve call, never per conflict).
+_PROFILE_LOCK = threading.Lock()
+
+
+def bump(profile: dict, key: str, value) -> None:
+    """Atomically accumulate ``value`` into ``profile[key]``."""
+    with _PROFILE_LOCK:
+        profile[key] = profile.get(key, 0) + value
+
+
+def bump_max(profile: dict, key: str, value) -> None:
+    """Atomically raise the high-water mark ``profile[key]``."""
+    with _PROFILE_LOCK:
+        profile[key] = max(profile.get(key, 0), value)
+
+
+def portfolio_threads_from_env() -> int:
+    """``FVEVAL_PORTFOLIO_THREADS`` as an int (0 = sequential ladder)."""
+    raw = os.environ.get("FVEVAL_PORTFOLIO_THREADS", "").strip()
+    try:
+        return max(0, int(raw)) if raw else 0
+    except ValueError:
+        return 0
 
 
 def has_unbounded_strong(prop: PropNode) -> bool:
@@ -284,12 +316,11 @@ class ProofSession:
                                    conflict_budget=conflict_budget)
         if profile is not None:
             t2 = time.perf_counter()
-            profile["encode_s"] = profile.get("encode_s", 0.0) + (t1 - t0)
-            profile["sat_s"] = profile.get("sat_s", 0.0) + (t2 - t1)
+            bump(profile, "encode_s", t1 - t0)
+            bump(profile, "sat_s", t2 - t1)
             for key in ("conflicts", "decisions", "propagations"):
-                profile[key] = profile.get(key, 0) + getattr(result, key)
-            profile["learned_db"] = max(profile.get("learned_db", 0),
-                                        result.learned_db)
+                bump(profile, key, getattr(result, key))
+            bump_max(profile, "learned_db", result.learned_db)
         return result
 
     def extract_cex(self, model, max_t: int | None = None
@@ -388,6 +419,7 @@ class Prover:
                  packed_max_nodes: int | None = None,
                  strategy: str = "auto",
                  portfolio_ladder: tuple[int, ...] | None = None,
+                 portfolio_threads: int | None = None,
                  profile: dict | None = None):
         if strategy not in self.STRATEGIES:
             raise ValueError(f"unknown strategy {strategy!r}; "
@@ -415,6 +447,15 @@ class Prover:
         #: conflict-budget rungs for the portfolio scheduler (None: the
         #: module default, 1k -> 8k -> 64k -> ``max_conflicts``)
         self.portfolio_ladder = portfolio_ladder
+        #: >= 2 races BMC and k-induction on OS threads over their own
+        #: solvers, first sound verdict interrupting the loser
+        #: (:class:`~.portfolio.ThreadedPortfolio`); <= 1 keeps the
+        #: single-threaded conflict-budget ladder.  ``None`` reads
+        #: ``FVEVAL_PORTFOLIO_THREADS``.  Scheduling-only: verdicts are
+        #: record-identical either way (tests/test_formal_portfolio.py).
+        self.portfolio_threads = (portfolio_threads_from_env()
+                                  if portfolio_threads is None
+                                  else int(portfolio_threads))
         #: step-AIG node budget for packed simulation; above it the cone is
         #: datapath-dominated and the scalar compiled simulator is faster
         #: (the budget scales with the lane count the bit-parallel pass
@@ -462,8 +503,7 @@ class Prover:
             result = ProofResult("error", detail=str(exc))
         # per-strategy win accounting: which engine produced the verdict
         # (surfaced by reports.run_summary and bench_prover --profile)
-        win = f"win_{result.engine or result.status}"
-        self.profile[win] = self.profile.get(win, 0) + 1
+        bump(self.profile, f"win_{result.engine or result.status}", 1)
         return result
 
     def _dispatch(self, design: Design, cone_key: frozenset,
@@ -483,6 +523,10 @@ class Prover:
                 return ProofResult("cex", engine="simulation",
                                    counterexample=cex)
         if self.strategy == "portfolio":
+            if self.portfolio_threads >= 2:
+                from .portfolio import ThreadedPortfolio
+                return ThreadedPortfolio(self, design, cone_key,
+                                         assertion).run()
             from .portfolio import PortfolioScheduler
             return PortfolioScheduler(self, design, cone_key,
                                       assertion).run()
@@ -518,8 +562,7 @@ class Prover:
         try:
             yield
         finally:
-            self.profile[key] = (self.profile.get(key, 0.0)
-                                 + time.perf_counter() - t0)
+            bump(self.profile, key, time.perf_counter() - t0)
 
     def _reduced_design(self, roots: set[str]) -> tuple[Design, frozenset]:
         """COI-reduce the design, caching per cone signal set.
@@ -621,8 +664,7 @@ class Prover:
 
     def _simulate_falsify(self, design: Design, cone_key: frozenset,
                           assertion: Assertion) -> dict | None:
-        self.profile["sim_candidates"] = (
-            self.profile.get("sim_candidates", 0) + 1)
+        bump(self.profile, "sim_candidates", 1)
         if not self._assumes:
             # batch-scheduled verdict: one packed pass per cone already
             # scored this candidate across the whole request batch
@@ -634,7 +676,7 @@ class Prover:
                     return None
                 # lowest violating lane == the scalar loop's first trial
                 return packed.lane_trace((viol & -viol).bit_length() - 1)
-        self.profile["sim_passes"] = self.profile.get("sim_passes", 0) + 1
+        bump(self.profile, "sim_passes", 1)
         window = max(1, horizon_of(assertion) + 1)
         start = 2  # skip the reset phase
         length = self.sim_cycles + 2  # reset() contributes two frames

@@ -119,17 +119,38 @@ class Solver:
     def interrupt(self) -> None:
         """Ask the current (or next) ``solve`` call to stop.
 
-        The flag is checked once per conflict and once per decision, so a
-        watchdog thread (or a future thread-level portfolio -- the
-        current ``formal.portfolio`` scheduler interleaves budgeted calls
-        instead) can reclaim the process without killing it.  The
-        interrupted call returns ``'unknown'`` with ``limit='interrupt'``
-        and the solver stays fully usable; the flag is sticky until
-        :meth:`clear_interrupt`.
+        May be called from any thread (a watchdog, or the thread-level
+        portfolio's winner cancelling the losers --
+        :class:`repro.formal.portfolio.ThreadedPortfolio`).  The flag is
+        polled at every conflict, at every propagation boundary (the
+        quiescent point before an assumption or decision extends the
+        trail) and at restarts (after learned-DB reduction), so
+        interruption latency is bounded by a single propagation pass --
+        a long propagation or database-reduction phase can no longer
+        run to an unbounded horizon before noticing.  The interrupted
+        call returns ``'unknown'`` with ``limit='interrupt'`` and the
+        solver stays fully usable.
+
+        **Handshake** (the thread contract): the flag is *sticky* and is
+        owned by the solving session -- only the thread that calls
+        ``solve`` may :meth:`clear_interrupt`, and only *between* solve
+        calls, once every thread that might still deliver an interrupt
+        for the previous race has been joined.  Interrupting threads
+        never clear.  This makes ``interrupt()`` racing a concurrent
+        clear well-defined: a late interrupt lands on the *next* solve
+        (which promptly returns ``limit='interrupt'``), and the solving
+        thread's clear-then-retry loop converges because nobody
+        re-interrupts a race that is already over
+        (``tests/test_service_concurrency.py``).
         """
         self._interrupt = True
 
     def clear_interrupt(self) -> None:
+        """Reset the interrupt flag.
+
+        Call only from the solving thread, between ``solve`` calls (see
+        :meth:`interrupt` for the full handshake).
+        """
         self._interrupt = False
 
     def stats(self) -> dict[str, int]:
@@ -552,7 +573,20 @@ class Solver:
                         self._reduce_db()
                         self._max_learned = int(
                             self._max_learned * _REDUCE_GROWTH)
+                    # restart boundary: database reduction can be long,
+                    # so an interrupt raised during it is honoured here
+                    if self._interrupt:
+                        return finish("unknown", limit="interrupt")
                 continue
+
+            # propagation boundary: the trail is quiescent and is about
+            # to be extended by an assumption or decision -- the safe,
+            # bounded-latency point to honour a cooperative interrupt
+            # (the assumption-placement loop below never conflicts or
+            # decides, so without this poll a query with many assumption
+            # levels could ignore the flag indefinitely)
+            if self._interrupt:
+                return finish("unknown", limit="interrupt")
 
             # place assumptions as pseudo-decisions
             if assume_pos < len(assume):
@@ -578,8 +612,6 @@ class Solver:
                 model = {v: bool(self.assign[v])
                          for v in range(1, self.nv + 1)}
                 return finish("sat", model=model)
-            if self._interrupt:
-                return finish("unknown", limit="interrupt")
             decisions += 1
             self.trail_lim.append(len(self.trail))
             # phase saving: re-try the variable's previous polarity

@@ -34,6 +34,7 @@ from .api import (
     request_from_json,
     response_to_json,
 )
+from .executor import resolve_workers
 from .frontend import serve_stream
 from .service import (
     Handle,
@@ -45,6 +46,6 @@ from .service import (
 __all__ = [
     "KINDS", "Handle", "RequestError", "VerificationService",
     "VerifyRequest", "VerifyResponse", "batching_disabled",
-    "design_signature", "request_from_json", "response_to_json",
-    "serve_stream",
+    "design_signature", "request_from_json", "resolve_workers",
+    "response_to_json", "serve_stream",
 ]

@@ -22,7 +22,10 @@ Every verdict the benchmark produces is the answer to one
 The :class:`VerifyResponse` carries the verdict fields the tasks fold
 into :class:`~repro.core.tasks.EvalRecord`\\ s (``verdict`` / ``func`` /
 ``partial`` / ``detail`` / ``meta``) plus *provenance* the records never
-see: ``cache_hit``, ``dedup_of``, ``batch_id`` and ``elapsed_s``.
+see: ``cache_hit``, ``dedup_of``, ``batch_id``, ``elapsed_s``,
+``index`` (the request's position within its batch -- the correlation
+key once a multi-worker service streams completions out of order) and
+``worker_id`` (which pool thread computed it).
 Provenance describes how the service produced the verdict; the verdict
 fields themselves are deterministic, which is what keeps cached,
 deduplicated and batch-scheduled runs record-identical to direct
@@ -162,6 +165,13 @@ class VerifyResponse:
     #: batch-scheduler group this request was computed in, or None
     batch_id: str | None = None
     elapsed_s: float = 0.0
+    #: zero-based position of the request within its scheduled batch --
+    #: the correlation key for out-of-order consumption (``stream()``
+    #: and ``serve`` with ``workers > 1`` complete out of request order)
+    index: int | None = None
+    #: worker-pool thread that computed this response (None when the
+    #: serial scheduler answered it)
+    worker_id: int | None = None
 
 
 #: wire-form request fields (in-process object fields excluded)
@@ -203,4 +213,6 @@ def response_to_json(response: VerifyResponse) -> dict:
         "dedup_of": response.dedup_of,
         "batch_id": response.batch_id,
         "elapsed_s": round(response.elapsed_s, 6),
+        "index": response.index,
+        "worker_id": response.worker_id,
     }

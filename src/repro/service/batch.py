@@ -28,7 +28,7 @@ passes changes (``tests/test_service_parity.py``).
 from __future__ import annotations
 
 from ..formal.bitsim import MAX_LANES, packed_violation_masks
-from ..formal.prover import has_unbounded_strong
+from ..formal.prover import bump, has_unbounded_strong
 from ..formal.semantics import PropertyEncoder, horizon_of
 from ..sva.unparse import unparse
 
@@ -133,8 +133,7 @@ def presimulate(prover, assertions) -> list[bool]:
             # persist in the memo and textual duplicates read the same one
             prover._batch_sim[(cone_key, key)] = (mask & packed.mask, packed)
             covered[index] = True
-        prover.profile["sim_batch_passes"] = (
-            prover.profile.get("sim_batch_passes", 0) + 1)
+        bump(prover.profile, "sim_batch_passes", 1)
     # textual duplicates share the seeded mask entry
     for index, assertion in enumerate(assertions):
         if not covered[index] and not has_unbounded_strong(assertion.prop):

@@ -14,13 +14,17 @@ Wire protocol (documented in docs/service.md):
 * requests accumulate into a batch -- so the dedup and cross-sample
   batch scheduler see them together -- and a **blank line or end of
   input flushes** the batch, emitting one response JSON object per
-  request in request order;
+  request: in request order on a single-worker service, in *completion*
+  order when the service runs a worker pool (``--workers N`` /
+  ``FVEVAL_WORKERS``), each response carrying its zero-based position
+  within the flushed batch as ``index``;
 * a line that fails to decode or validate produces an immediate
   ``{"ok": false, "verdict": "error", ...}`` response for that line
   only; the batch keeps accumulating.
 
 Responses echo ``request_id`` (assigned ``req<n>`` when the caller sent
-none), so callers may correlate out-of-band.
+none), so callers may correlate out-of-band; out-of-order consumers
+should correlate by ``index``.
 """
 
 from __future__ import annotations
@@ -52,22 +56,25 @@ def serve_stream(in_stream, out_stream,
         nonlocal pending
         batch, pending = pending, []
         bad = 0
-        answered = 0
+        answered: set[int] = set()
         try:
             for response in service.stream(batch):
                 if not response.ok:
                     bad += 1
                 emit(response_to_json(response))
-                answered += 1
-        except Exception as exc:  # engine-level failure mid-batch: the
-            # stream yields in request order, so every request from
-            # `answered` on still owes a response line
+                answered.add(response.index)
+        except Exception as exc:  # infrastructure failure mid-batch
+            # (per-request engine errors already came back as ok=false
+            # response lines): every unanswered index -- responses may
+            # have completed out of order -- still owes a response line
             detail = f"{type(exc).__name__}: {exc}"[:200]
-            for request in batch[answered:]:
+            for position, request in enumerate(batch):
+                if position in answered:
+                    continue
                 bad += 1
                 emit({"request_id": request.request_id or "", "kind":
                       request.kind, "ok": False, "verdict": "error",
-                      "detail": detail})
+                      "detail": detail, "index": position})
         return bad
 
     lineno = 0

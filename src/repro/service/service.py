@@ -17,6 +17,22 @@ Three call shapes, all over the same scheduler:
   aligned with the inputs;
 * ``stream(requests)`` yields responses one by one as they complete.
 
+Batches are *planned* serially (validation, semantic keys, in-flight
+dedup, cache, grouping) and -- when ``workers > 1`` (or
+``FVEVAL_WORKERS`` asks for it) -- *executed* concurrently: each prove
+group (one design signature, one pooled prover) and each remaining
+computed request is an independent unit on the in-service worker pool
+(:mod:`repro.service.executor`).  Completions then stream out of order
+through :meth:`VerificationService.stream` carrying their request
+``index``; ``run()``/``flush()`` re-align responses with the inputs on
+top of the same substrate.  ``submit``/``flush`` are safe to call from
+multiple threads: batch *planning* is serialized per service (and a
+handle whose batch another thread is flushing blocks in ``result()``
+until that flush resolves it), while executions may overlap -- a batch
+whose design cone another in-flight batch still owns computes on a
+private prover, so overlapping batches never share mutable engine
+state.
+
 Scheduling only ever changes *how much work* runs, never what a verdict
 means: deduplicated, cached and batch-scheduled responses carry exactly
 the verdict fields direct computation would produce (the provenance
@@ -33,6 +49,7 @@ written by either side of the redesign stay mutually readable.
 from __future__ import annotations
 
 import os
+import threading
 import time
 from typing import TYPE_CHECKING
 
@@ -88,13 +105,23 @@ def batching_disabled() -> bool:
 
 
 class Handle:
-    """Future-like handle for one submitted request."""
+    """Future-like handle for one submitted request.
+
+    Thread-safe: ``result()`` flushes the owning service's pending batch
+    on demand, and -- when a *different* thread's flush already claimed
+    this handle's batch -- blocks until that flush resolves it.
+    """
 
     def __init__(self, service: "VerificationService",
                  request: VerifyRequest):
         self._service = service
         self.request = request
         self._response: VerifyResponse | None = None
+        self._event = threading.Event()
+
+    def _resolve(self, response: VerifyResponse) -> None:
+        self._response = response
+        self._event.set()
 
     def done(self) -> bool:
         return self._response is not None
@@ -103,6 +130,9 @@ class Handle:
         """The response; flushes the service's pending batch on demand."""
         if self._response is None:
             self._service.flush()
+        if self._response is None:
+            # another thread's flush owns this handle's batch
+            self._event.wait()
         assert self._response is not None
         return self._response
 
@@ -114,11 +144,19 @@ class VerificationService:
     (``None`` reads ``FVEVAL_NO_BATCH`` at flush time); ``profile``
     is the prover-profile dict shared by every prover the service
     builds (stage timings, win counters, ``sim_batch_passes``).
+    ``workers`` sizes the in-service worker pool executing a batch's
+    independent scheduled units concurrently (``None`` reads
+    ``FVEVAL_WORKERS`` at flush time; either way the count is clamped
+    against ``FVEVAL_JOBS`` oversubscription --
+    :func:`repro.service.executor.resolve_workers`).  ``workers <= 1``
+    keeps the serial scheduler, whose completions arrive in request
+    order; scheduling never changes verdicts either way.
     """
 
     def __init__(self, batching: bool | None = None,
                  profile: dict | None = None, max_provers: int = 8,
-                 max_cache_entries: int | None = None):
+                 max_cache_entries: int | None = None,
+                 workers: int | None = None):
         self.batching = batching
         self.profile: dict = {} if profile is None else profile
         self.max_provers = max_provers
@@ -126,6 +164,8 @@ class VerificationService:
         #: runs terminate and default unbounded, long-running `serve`
         #: sessions pass a cap so verdict memory cannot grow forever
         self.max_cache_entries = max_cache_entries
+        #: in-service worker-thread count (None: FVEVAL_WORKERS)
+        self.workers = workers
         from collections import OrderedDict
         self._caches: dict[str, VerdictCache] = {}
         #: (design signature, engine fingerprint) -> Prover, LRU-ordered
@@ -140,57 +180,96 @@ class VerificationService:
         self.dedup_hits = 0
         self.batch_groups = 0
         self.batch_members = 0
+        self._init_runtime()
+
+    def _init_runtime(self) -> None:
+        """Unpicklable per-process state (locks, the worker pool)."""
+        #: serializes whole scheduling passes: one batch plans/executes
+        #: at a time per service (reentrant so one thread may interleave
+        #: two of its own stream() generators without deadlocking)
+        self._sched_lock = threading.RLock()
+        #: guards the short mutations shared with worker threads
+        #: (pending swap, dedup/batch counters)
+        self._state_lock = threading.Lock()
+        self._pool = None
+        #: parallel batches currently executing on the pool -- a pool
+        #: another batch still uses is never torn down to grow
+        self._inflight = 0
 
     def __getstate__(self):
-        # picklable across FVEVAL_JOBS workers: proof sessions and
-        # in-flight handles are process-local, verdict memory travels
+        # picklable across FVEVAL_JOBS workers: proof sessions, worker
+        # pools and in-flight handles are process-local, verdict memory
+        # travels
         from collections import OrderedDict
         state = dict(self.__dict__)
         state["_provers"] = OrderedDict()
         state["_active"] = set()
         state["_pending"] = []
+        for name in ("_sched_lock", "_state_lock", "_pool"):
+            state.pop(name, None)
         return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._init_runtime()
 
     # -- public API ---------------------------------------------------------
 
     def submit(self, request: VerifyRequest) -> Handle:
         """Queue one request; it computes at the next :meth:`flush`."""
         handle = Handle(self, request)
-        self._pending.append(handle)
+        with self._state_lock:
+            self._pending.append(handle)
         return handle
 
     def flush(self) -> None:
         """Schedule every pending submitted request as one batch.
 
-        If the batch dies mid-execution the exception propagates to the
-        caller, but every unanswered handle is first resolved with an
-        ``ok=False`` error response -- a later ``result()`` reports what
-        happened instead of failing on an unresolved handle.
+        Per-request failures (bad input, an engine crash on that
+        request) resolve the request's handle with an ``ok=False`` error
+        response and never abort the batch.  Only an infrastructure
+        failure of the scheduling pass itself propagates -- and even
+        then every unanswered handle is first resolved with an error
+        response, so a later ``result()`` reports what happened instead
+        of failing on an unresolved handle.
         """
-        pending, self._pending = self._pending, []
+        with self._state_lock:
+            pending, self._pending = self._pending, []
         if not pending:
             return
         try:
             for index, response in self._process(
                     [h.request for h in pending]):
-                pending[index]._response = response
+                pending[index]._resolve(response)
         except BaseException as exc:
             detail = f"{type(exc).__name__}: {exc}"[:200]
             for handle in pending:
                 if handle._response is None:
-                    handle._response = self._error(handle.request, detail)
+                    handle._resolve(self._error(handle.request, detail))
             raise
 
     def run(self, requests) -> list[VerifyResponse]:
-        """Schedule *requests* as one batch; responses align with inputs."""
+        """Schedule *requests* as one batch; responses align with inputs.
+
+        :meth:`_process` guarantees exactly one response per input index
+        (an ``ok=False`` error response when that request failed), so
+        the re-alignment below is total even when workers complete out
+        of order.
+        """
         requests = list(requests)
-        out: list[VerifyResponse | None] = [None] * len(requests)
+        responses: dict[int, VerifyResponse] = {}
         for index, response in self._process(requests):
-            out[index] = response
-        return out  # type: ignore[return-value]
+            responses[index] = response
+        return [responses[index] for index in range(len(requests))]
 
     def stream(self, requests):
-        """Yield responses one by one as the batch executes."""
+        """Yield responses one by one as the batch executes.
+
+        With the serial scheduler (``workers <= 1``) responses arrive in
+        request order; with a worker pool they arrive in *completion*
+        order, each carrying its request position in
+        ``VerifyResponse.index`` so consumers can correlate.
+        """
         for _index, response in self._process(list(requests)):
             yield response
 
@@ -230,19 +309,70 @@ class VerificationService:
     def _process(self, requests: list[VerifyRequest]):
         """Yield ``(index, response)`` in completion order.
 
-        Planning resolves ids, semantic keys, cache hits and in-flight
-        dedup, and buckets the remaining ``prove`` work into groups by
-        (design signature, engine); execution then runs the batch
-        scheduler's packed pre-pass per group and computes the remaining
-        verdicts in request order.
+        Planning (serial, under the scheduling lock) resolves ids,
+        semantic keys, cache hits and in-flight dedup, and buckets the
+        remaining ``prove`` work into groups by (design signature,
+        engine); execution then runs the batch scheduler's packed
+        pre-pass per group and computes the remaining verdicts -- in
+        request order on the serial scheduler, or concurrently per
+        independent unit on the worker pool (``workers > 1``), where
+        completions arrive out of order.
+
+        Guarantee: exactly one response is yielded per input index, with
+        per-request failures mapped to ``ok=False`` error responses
+        (never a skipped index), and ``VerifyResponse.index`` set on
+        every response.
         """
-        from .batch import presimulate
+        from .executor import resolve_workers
+        requests = list(requests)
+        # planning is serialized, but the lock is RELEASED before any
+        # response is yielded: a partially consumed stream() must never
+        # block another thread's flush.  Safe overlap rests on prover
+        # pinning (_pin_provers): a pool key an in-flight batch owns is
+        # answered by a private prover instead of the shared one.
+        with self._sched_lock:
+            plan, groups = self._plan(requests)
+            batching = (not batching_disabled() if self.batching is None
+                        else self.batching)
+            workers = resolve_workers(self.workers)
+            owned, batch_ids = self._pin_provers(plan, groups)
+            parallel = workers > 1 and len(plan) > 1
+            pool = None
+            if parallel:
+                pool = self._worker_pool(workers)
+                with self._state_lock:
+                    self._inflight += 1
+        try:
+            if parallel:
+                yield from self._execute_parallel(plan, groups, batch_ids,
+                                                  batching, pool, workers)
+            else:
+                yield from self._execute_serial(plan, groups, batch_ids,
+                                                batching)
+        finally:
+            # the batch memo is per-flush state: entries persist while
+            # the flush's textual duplicates read them, then go, so a
+            # long-running serve session cannot accumulate them.  Clear
+            # BEFORE unpinning: once a key leaves _active another flush
+            # may pin the shared prover and seed its own masks, which
+            # this cleanup must not wipe.
+            seen: set[int] = set()
+            for members in groups.values():
+                prover = plan[members[0]]["prover"]
+                if prover is not None and id(prover) not in seen:
+                    seen.add(id(prover))
+                    prover._batch_sim.clear()
+            with self._state_lock:
+                self._active.difference_update(owned)
+                if parallel:
+                    self._inflight -= 1
+
+    def _plan(self, requests: list[VerifyRequest]):
+        """Serial planning pass: ids, keys, cache, dedup, prove groups."""
         plan: list[dict] = []
         primaries: dict[tuple, int] = {}  # (ns, key) -> plan index
         groups: dict[tuple, list[int]] = {}  # prover pool key -> indices
         no_cache = _cache_module().caching_disabled()
-        batching = (not batching_disabled() if self.batching is None
-                    else self.batching)
         for index, request in enumerate(requests):
             self.requests += 1
             if not request.request_id:
@@ -250,14 +380,19 @@ class VerificationService:
                 request.request_id = f"req{self._seq}"
             entry: dict = {"request": request, "index": index,
                            "response": None, "key": None, "cache": None,
-                           "dup_of": None, "group": None}
+                           "dup_of": None, "group": None, "prover": None}
             plan.append(entry)
             try:
-                request.validate()
-            except RequestError as exc:
-                entry["response"] = self._error(request, str(exc))
+                try:
+                    request.validate()
+                except RequestError as exc:
+                    entry["response"] = self._error(request, str(exc))
+                    continue
+                prepared = self._prepare(request, entry)
+            except Exception as exc:  # a planning crash costs one request
+                entry["response"] = self._error(
+                    request, f"{type(exc).__name__}: {exc}"[:200])
                 continue
-            prepared = self._prepare(request, entry)
             if prepared is not None:
                 entry["response"] = prepared
                 continue
@@ -286,51 +421,185 @@ class VerificationService:
                 group_key = entry["pool_key"]
                 groups.setdefault(group_key, []).append(index)
                 entry["group"] = group_key
-        self._active.update(groups)
+        return plan, groups
+
+    def _pin_provers(self, plan: list[dict], groups: dict):
+        """Resolve one prover per prove group and pin it for the batch.
+
+        Runs on the planning thread under the scheduling lock.  A pool
+        key no in-flight batch owns comes from (and is pinned in) the
+        LRU pool; a key another batch is still executing gets a fresh
+        *private* prover instead -- overlapping batches then share no
+        mutable engine state, at the cost of one session rebuild.
+        Returns the set of pool keys this batch pinned (to unpin in the
+        caller's ``finally``) and the pre-assigned batch ids.
+        """
+        from ..formal.prover import Prover
+        owned: set[tuple] = set()
+        batch_ids: dict[tuple, str] = {}
+        with self._state_lock:
+            for pool_key, members in groups.items():
+                self._batch_seq += 1
+                batch_ids[pool_key] = f"b{self._batch_seq}"
+                design = plan[members[0]]["design"]
+                if pool_key in self._active:
+                    prover = Prover(design, profile=self.profile,
+                                    **dict(pool_key[1]))
+                else:
+                    self._active.add(pool_key)
+                    owned.add(pool_key)
+                    prover = self._prover_for(design, pool_key)
+                for index in members:
+                    plan[index]["prover"] = prover
+        return owned, batch_ids
+
+    def _presimulate_group(self, plan: list[dict], prover,
+                           members: list[int], batch_id: str) -> None:
+        """Run the packed cross-sample pre-pass for one prove group.
+
+        Assume-carrying requests are excluded: their falsifier runs
+        under the environment constraints, which the unconstrained
+        pre-pass masks would not reflect.  A pre-pass failure degrades
+        to per-sample falsification (verdict-identical) rather than
+        aborting the batch.
+        """
+        from .batch import presimulate
+        members = [i for i in members if not plan[i]["assumes"]]
+        if len(members) < 2:
+            return
         try:
+            covered = presimulate(
+                prover, [plan[i]["assertion"] for i in members])
+        except Exception:
+            return  # per-sample path computes the same verdicts
+        n = sum(covered)
+        if n:
+            with self._state_lock:
+                self.batch_groups += 1
+                self.batch_members += n
+        for i, flag in zip(members, covered):
+            if flag:
+                plan[i]["batch_id"] = batch_id
+
+    def _execute_serial(self, plan: list[dict], groups: dict,
+                        batch_ids: dict, batching: bool):
+        """Single-threaded execution in request order (the reference)."""
+        if batching:
             # batch scheduler: one packed falsification pass per cone,
-            # over every candidate assertion a prove group carries.
-            # Assume-carrying requests are excluded: their falsifier runs
-            # under the environment constraints, which the unconstrained
-            # pre-pass masks would not reflect.
-            if batching:
-                for pool_key, members in groups.items():
-                    members = [i for i in members if not plan[i]["assumes"]]
-                    if len(members) < 2:
-                        continue
-                    prover = self._prover_for(plan[members[0]]["design"],
-                                              pool_key)
-                    self._batch_seq += 1
-                    batch_id = f"b{self._batch_seq}"
-                    covered = presimulate(
-                        prover, [plan[i]["assertion"] for i in members])
-                    n = sum(covered)
-                    if n:
-                        self.batch_groups += 1
-                        self.batch_members += n
-                    for i, flag in zip(members, covered):
-                        if flag:
-                            plan[i]["batch_id"] = batch_id
-            # execute in request order; a dedup primary always precedes
-            # its duplicates, so its verdict is ready when they fold
-            for entry in plan:
-                if entry["dup_of"] is not None:
+            # over every candidate assertion a prove group carries
+            for pool_key, members in groups.items():
+                self._presimulate_group(plan, plan[members[0]]["prover"],
+                                        members, batch_ids[pool_key])
+        # execute in request order; a dedup primary always precedes
+        # its duplicates, so its verdict is ready when they fold
+        for entry in plan:
+            if entry["dup_of"] is not None:
+                with self._state_lock:
                     self.dedup_hits += 1
-                    entry["response"] = self._duplicate(
+                entry["response"] = self._duplicate(
+                    entry["request"],
+                    plan[entry["dup_of"]]["response"])
+            elif entry["response"] is None:
+                entry["response"] = self._compute_guarded(entry)
+            entry["response"].index = entry["index"]
+            yield entry["index"], entry["response"]
+
+    def _execute_parallel(self, plan: list[dict], groups: dict,
+                          batch_ids: dict, batching: bool, pool,
+                          workers: int):
+        """Concurrent execution of the plan's independent units.
+
+        Unit boundaries guarantee no shared mutable engine state across
+        workers: one unit per prove group (its pinned prover belongs to
+        that unit alone for the flush), one unit per remaining computed
+        request, and in-flight duplicates ride in their primary's unit
+        (the primary always executes first within it).
+        """
+        from .executor import current_worker_id
+        units: list[dict] = []
+        unit_by_group: dict[tuple, dict] = {}
+        unit_by_index: dict[int, dict] = {}
+        instants: list[dict] = []
+        for entry in plan:
+            if entry["dup_of"] is not None:
+                continue  # attached to its primary's unit below
+            if entry["response"] is not None:
+                instants.append(entry)
+                continue
+            group = entry["group"]
+            if group is not None:
+                unit = unit_by_group.get(group)
+                if unit is None:
+                    unit = {"indices": [], "group": group,
+                            "batch_id": batch_ids[group],
+                            "prover": entry["prover"]}
+                    unit_by_group[group] = unit
+                    units.append(unit)
+                unit["indices"].append(entry["index"])
+            else:
+                unit = {"indices": [entry["index"]], "group": None,
+                        "batch_id": None, "prover": None}
+                units.append(unit)
+            unit_by_index[entry["index"]] = unit
+        for entry in plan:
+            if entry["dup_of"] is not None:
+                unit_by_index[entry["dup_of"]]["indices"].append(
+                    entry["index"])
+
+        def run_unit(unit: dict) -> list[tuple[int, VerifyResponse]]:
+            worker_id = current_worker_id()
+            if batching and unit["group"] is not None:
+                members = [i for i in unit["indices"]
+                           if plan[i]["dup_of"] is None]
+                self._presimulate_group(plan, unit["prover"], members,
+                                        unit["batch_id"])
+            out = []
+            for i in unit["indices"]:
+                entry = plan[i]
+                if entry["dup_of"] is not None:
+                    with self._state_lock:
+                        self.dedup_hits += 1
+                    response = self._duplicate(
                         entry["request"],
                         plan[entry["dup_of"]]["response"])
-                elif entry["response"] is None:
-                    entry["response"] = self._compute(entry)
-                yield entry["index"], entry["response"]
-        finally:
-            self._active.difference_update(groups)
-            # the batch memo is per-flush state: entries persist while
-            # the flush's textual duplicates read them, then go, so a
-            # long-running serve session cannot accumulate them
-            for pool_key in groups:
-                prover = self._provers.get(pool_key)
-                if prover is not None:
-                    prover._batch_sim.clear()
+                else:
+                    response = self._compute_guarded(entry)
+                response.index = i
+                response.worker_id = worker_id
+                entry["response"] = response
+                out.append((i, response))
+            return out
+
+        # requests answered during planning complete "first"
+        for entry in instants:
+            entry["response"].index = entry["index"]
+            yield entry["index"], entry["response"]
+        # limit (not pool size) enforces this flush's width: the pool
+        # is shared and only ever grows, but at most `workers` units of
+        # this batch are in flight at once, so a lowered FVEVAL_WORKERS
+        # (or the FVEVAL_JOBS clamp) takes effect on the next flush
+        for results in pool.map_unordered(run_unit, units,
+                                          limit=workers):
+            yield from results
+
+    def _worker_pool(self, workers: int):
+        """The shared thread pool, grown on demand.
+
+        The pool only ever grows, and never while another batch is
+        executing on it (tearing down an executor mid-flight would fail
+        that batch's pending submissions); per-flush width is enforced
+        by the ``limit`` passed to ``map_unordered``, not by pool size.
+        """
+        from .executor import WorkerPool
+        pool = self._pool
+        with self._state_lock:
+            busy = self._inflight > 0
+        if pool is None or (pool.workers < workers and not busy):
+            if pool is not None:
+                pool.shutdown()
+            pool = WorkerPool(workers)
+            self._pool = pool
+        return pool
 
     # -- planning helpers ---------------------------------------------------
 
@@ -489,6 +758,20 @@ class VerificationService:
         response.cache_hit = cache_hit
         return response
 
+    def _compute_guarded(self, entry: dict) -> VerifyResponse:
+        """Compute one verdict; an engine crash costs that request only.
+
+        The per-index response guarantee of :meth:`_process` rests here:
+        whatever the engines raise becomes an ``ok=False`` error
+        response for this entry instead of aborting the batch (callers
+        like :meth:`repro.core.tasks._checked` still fail loudly on it).
+        """
+        try:
+            return self._compute(entry)
+        except Exception as exc:
+            return self._error(entry["request"],
+                               f"{type(exc).__name__}: {exc}"[:200])
+
     def _compute(self, entry: dict) -> VerifyResponse:
         request = entry["request"]
         t0 = time.perf_counter()
@@ -542,7 +825,10 @@ class VerificationService:
 
     def _compute_prove(self, request: VerifyRequest,
                        entry: dict) -> VerifyResponse:
-        prover = self._prover_for(entry["design"], entry["pool_key"])
+        # parallel units carry their prover (resolved on the planning
+        # thread); the serial scheduler resolves lazily from the pool
+        prover = entry.get("prover") or self._prover_for(entry["design"],
+                                                         entry["pool_key"])
         result = prover.prove(entry["assertion"], assumes=entry["assumes"])
         response = self._response(request)
         response.verdict = result.status

@@ -272,32 +272,48 @@ class TestHandles:
         assert second.done()
         assert second.result().dedup_of == first.result().request_id
 
-    def test_flush_failure_resolves_handles(self):
-        """A batch that dies mid-flush still resolves every handle with
-        an error response; the exception itself propagates once."""
+    def test_engine_crash_resolves_handle_with_error(self):
+        """A request whose engine call crashes resolves its handle with
+        an ok=False error response; the batch itself never dies on a
+        per-request failure (the run()-None satellite fix)."""
         service = VerificationService()
-        handle = service.submit(VerifyRequest(
+        broken = service.submit(VerifyRequest(
             kind="prove", source=TOY_DESIGN, engine={"max_bmc": "8"}))
-        with pytest.raises(TypeError):
-            handle.result()
-        resolved = handle.result()
+        healthy = service.submit(equiv_request(SAME))
+        resolved = broken.result()
         assert not resolved.ok and resolved.verdict == "error"
         assert "TypeError" in resolved.detail
+        assert healthy.result().verdict == "equivalent"
 
     def test_stream_yields_in_order(self):
-        service = VerificationService()
+        # in-request-order delivery is the *serial* scheduler's
+        # contract; out-of-order streaming is tested with workers>1 in
+        # tests/test_service_concurrency.py
+        service = VerificationService(workers=1)
         ids = []
         for response in service.stream([equiv_request(SAME),
                                         equiv_request(WEAKER)]):
             ids.append(response.verdict)
         assert ids == ["equivalent", "ref_implies_candidate"]
 
+    def test_stream_surfaces_request_index(self):
+        service = VerificationService(workers=1)
+        indexes = [response.index for response in service.stream(
+            [equiv_request(SAME), equiv_request(SAME),
+             equiv_request(WEAKER)])]
+        assert indexes == [0, 1, 2]
+
 
 class TestServeFrontend:
     @staticmethod
-    def serve(lines):
+    def serve(lines, workers=1):
+        # the in-request-order assertions below are the single-worker
+        # contract, so the service is pinned serial regardless of any
+        # ambient FVEVAL_WORKERS (the CI concurrency matrix sets it);
+        # out-of-order serving is covered by test_service_concurrency
         out = io.StringIO()
-        status = serve_stream(io.StringIO("\n".join(lines) + "\n"), out)
+        status = serve_stream(io.StringIO("\n".join(lines) + "\n"), out,
+                              VerificationService(workers=workers))
         return status, [json.loads(line)
                         for line in out.getvalue().splitlines()]
 
@@ -363,7 +379,8 @@ class TestServeFrontend:
 
     def test_engine_crash_still_answers_every_line(self):
         """A type-invalid engine value crashes inside the prover; the
-        frontend converts it into error responses rather than dying."""
+        service converts it into an error response for that line only --
+        the rest of the batch still gets real verdicts."""
         status, out = self.serve([
             json.dumps({"kind": "prove", "source": TOY_DESIGN,
                         "engine": {"max_bmc": "8"}}),
@@ -372,8 +389,23 @@ class TestServeFrontend:
         ])
         assert status == 1
         assert len(out) == 2
-        assert all(o["ok"] is False and o["verdict"] == "error"
-                   for o in out)
+        assert out[0]["ok"] is False and out[0]["verdict"] == "error"
+        assert "TypeError" in out[0]["detail"]
+        assert out[1]["ok"] is True and out[1]["verdict"] == "ok"
+
+    def test_responses_carry_batch_index(self):
+        status, out = self.serve([
+            json.dumps({"kind": "syntax", "candidate": REF,
+                        "widths": EQ_WIDTHS}),
+            json.dumps({"kind": "syntax", "candidate": REF,
+                        "widths": EQ_WIDTHS}),
+            "",
+            json.dumps({"kind": "syntax", "candidate": REF,
+                        "widths": EQ_WIDTHS}),
+        ])
+        assert status == 0
+        # index is zero-based per flushed batch, not per stream
+        assert [o["index"] for o in out] == [0, 1, 0]
 
     def test_response_wire_form_is_stable(self):
         service = VerificationService()
@@ -381,7 +413,8 @@ class TestServeFrontend:
         wire = response_to_json(resp)
         assert set(wire) == {"request_id", "kind", "ok", "verdict", "func",
                              "partial", "detail", "meta", "cache_hit",
-                             "dedup_of", "batch_id", "elapsed_s"}
+                             "dedup_of", "batch_id", "elapsed_s", "index",
+                             "worker_id"}
 
 
 class TestCli:

@@ -7,8 +7,9 @@ the pre-service direct-call path.
 directly, commit d17737e) produced for a small fixed configuration.
 The service-backed tasks must reproduce them byte for byte -- under
 per-sample and batched evaluation, with and without the verdict cache,
-serial and pooled -- because the service only reschedules work, it never
-changes what a verdict means.
+serial and pooled, and with the in-service worker pool (``workers > 1``,
+out-of-order completion) -- because the service only reschedules work,
+it never changes what a verdict means.
 """
 
 import json
@@ -161,6 +162,56 @@ class TestCacheParity:
         second, result = run_records(design_task("fsm"))
         assert second == GOLDEN["design2sva_fsm"]
         assert result.stats["cache"]["disk_hits"] > 0
+
+
+class TestWorkerPoolParity:
+    """The in-service worker pool reschedules, never re-verdicts: every
+    golden pinned from the pre-service serial code must reproduce byte
+    for byte with ``workers > 1`` (out-of-order completion re-aligned by
+    request index)."""
+
+    @pytest.mark.parametrize("category", ["fsm", "pipeline"])
+    def test_design2sva_workers(self, category):
+        records, _ = run_records(design_task(category, workers=4))
+        assert records == GOLDEN[f"design2sva_{category}"]
+
+    def test_design2sva_arbiter_workers(self):
+        records, _ = arbiter_records(workers=4)
+        assert records == GOLDEN["design2sva_arbiter"]
+
+    def test_nl2sva_workers(self):
+        records, _ = run_records(Nl2SvaHumanTask(workers=4), limit=4)
+        assert records == GOLDEN["nl2sva_human"]
+        records, _ = run_records(Nl2SvaMachineTask(count=6, workers=4))
+        assert records == GOLDEN["nl2sva_machine"]
+
+    def test_workers_env_route(self, monkeypatch):
+        monkeypatch.setenv("FVEVAL_WORKERS", "4")
+        records, _ = run_records(design_task("fsm"))
+        assert records == GOLDEN["design2sva_fsm"]
+
+    def test_workers_with_batching_disabled(self):
+        records, _ = run_records(design_task("fsm", workers=4,
+                                             batching=False))
+        assert records == GOLDEN["design2sva_fsm"]
+
+    def test_workers_uncached(self):
+        records, _ = run_records(design_task("fsm", workers=4,
+                                             use_cache=False))
+        assert records == GOLDEN["design2sva_fsm"]
+
+    def test_workers_threaded_portfolio_combined(self):
+        """Worker pool and thread-racing portfolio composed: still the
+        same records the serial auto engine pinned (the portfolio is
+        record-identical to auto on this suite; see
+        tests/test_formal_portfolio.py for the general contract)."""
+        task = design_task("fsm", workers=4, use_cache=False)
+        task.prover_kwargs["strategy"] = "portfolio"
+        task.prover_kwargs["portfolio_threads"] = 2
+        task._engine = {k: v for k, v in task.prover_kwargs.items()
+                        if k != "profile"}
+        records, _ = run_records(task)
+        assert records == GOLDEN["design2sva_fsm"]
 
 
 class TestPooledParity:
