@@ -32,7 +32,9 @@ the A/B comparison, see docs/benchmarks.md), and ``--portfolio-threads N``
 upgrades the portfolio to the thread-racing scheduler with
 interrupt-driven cancellation.  ``--workers N`` runs each category as one
 multi-cone service batch on N in-service worker threads (pair a
-``--workers 1`` row with a ``--workers N`` row).  ``--expect-mix`` exits
+``--workers 1`` row with a ``--workers N`` row).  ``--executor process``
+moves those units into crash-isolated worker processes -- the
+fault-tolerant execution tier (docs/robustness.md).  ``--expect-mix`` exits
 nonzero unless every category produced both ``proven`` and ``cex``
 verdicts and no errors (the CI smoke gate; no timing assertions, so slow
 shared runners cannot flake it).
@@ -76,12 +78,13 @@ def _responses_for(design, rng: random.Random) -> list[str]:
 def bench_category(category: str, count: int, prover_kwargs: dict,
                    use_cache: bool, with_profile: bool,
                    batching: bool = True,
-                   workers: int | None = None) -> dict:
+                   workers: int | None = None,
+                   executor: str | None = None) -> dict:
     from repro.core.tasks import Design2SvaTask
     task = Design2SvaTask(category, count=count,
                           prover_kwargs=dict(prover_kwargs),
                           use_cache=use_cache, batching=batching,
-                          workers=workers)
+                          workers=workers, executor=executor)
     problems = task.problems()  # generation excluded from the timing
     verdicts: dict[str, int] = {}
     proofs = 0
@@ -272,6 +275,12 @@ def build_parser() -> argparse.ArgumentParser:
                          "as one multi-cone service batch (pair a "
                          "--workers 1 row with a --workers N row for "
                          "the worker-pool A/B)")
+    ap.add_argument("--executor", default=None,
+                    choices=["thread", "process"],
+                    help="service execution tier; 'process' computes each "
+                         "work unit in crash-isolated worker processes "
+                         "(pair with --workers N for the process-pool "
+                         "A/B; default: $FVEVAL_EXECUTOR, else thread)")
     ap.add_argument("--portfolio-threads", type=int, default=None,
                     help="with --strategy portfolio: race BMC vs "
                          "k-induction on this many OS threads with "
@@ -310,6 +319,7 @@ def main() -> int:
         "count": args.count,
         "strategy": args.strategy,
         "workers": args.workers,
+        "executor": args.executor,
         "prover_kwargs": dict(prover_kwargs),
         "use_cache": not args.no_cache,
         "batch": not args.no_batch,
@@ -319,7 +329,8 @@ def main() -> int:
         entry["categories"][category] = bench_category(
             category, args.count, prover_kwargs,
             use_cache=not args.no_cache, with_profile=args.profile,
-            batching=not args.no_batch, workers=args.workers)
+            batching=not args.no_batch, workers=args.workers,
+            executor=args.executor)
         data = entry["categories"][category]
         print(f"{category:>9}: designs={data['designs']} "
               f"proofs={data['proofs']} wall={data['wall_s']}s "

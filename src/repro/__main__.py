@@ -7,7 +7,8 @@ Commands:
     equiv REF CAND [--width N=W] [--strategy S]
                                     assertion-to-assertion equivalence
     generate {fsm,pipeline} [--seed N]   emit a synthetic design to stdout
-    serve [--no-batch] [--workers N]
+    serve [--no-batch] [--workers N] [--deadline SECONDS]
+          [--executor {thread,process}]
                                     JSON-lines verification service on
                                     stdin/stdout (docs/service.md)
     cache-gc [DIR] [--max-age-days N] [--max-entries N] [--max-bytes N]
@@ -101,8 +102,13 @@ def _cmd_serve(args) -> int:
     # compacted by cache-gc)
     service = VerificationService(batching=False if args.no_batch else None,
                                   max_cache_entries=65536,
-                                  workers=args.workers)
-    return serve_stream(sys.stdin, sys.stdout, service)
+                                  workers=args.workers,
+                                  deadline_s=args.deadline,
+                                  executor=args.executor)
+    try:
+        return serve_stream(sys.stdin, sys.stdout, service)
+    finally:
+        service.close()
 
 
 def _cmd_cache_gc(args) -> int:
@@ -180,6 +186,15 @@ def build_parser() -> argparse.ArgumentParser:
                         "groups of a flush execute concurrently and "
                         "responses stream out of order with an 'index' "
                         "field (default: $FVEVAL_WORKERS, else 1)")
+    p.add_argument("--deadline", type=float, default=None, metavar="SECONDS",
+                   help="default per-request wall-clock deadline; expiry "
+                        "is a structured 'timeout' verdict (default: "
+                        "$FVEVAL_DEADLINE_S, else none)")
+    p.add_argument("--executor", default=None,
+                   choices=["thread", "process"],
+                   help="execution tier: 'process' runs work units in "
+                        "crash-isolated worker processes (default: "
+                        "$FVEVAL_EXECUTOR, else thread)")
     p.set_defaults(fn=_cmd_serve)
 
     p = sub.add_parser("cache-gc",

@@ -84,6 +84,9 @@ class VerdictCache:
         self.misses = 0
         self.disk_hits = 0
         self.puts = 0
+        #: corrupt/truncated disk entries observed (quarantined as
+        #: ``<entry>.json.corrupt`` and treated as misses)
+        self.corrupt = 0
         #: guards the memory layer and the counters: the service's
         #: worker pool gets/puts from several threads, and a bare
         #: ``self.hits += 1`` would lose increments between the read and
@@ -139,24 +142,51 @@ class VerdictCache:
                 return value
         path = self._path(key)
         if path is not None:
+            raw = None
             try:
-                value = json.loads(path.read_text())
-            except (OSError, ValueError):
-                value = None
-            if isinstance(value, dict):
-                with self._lock:
-                    self.mem[key] = value
-                    self._bound_mem()
-                    self.hits += 1
-                    self.disk_hits += 1
+                raw = path.read_text()
+            except OSError:
+                pass  # absent (or unreadable): a plain miss
+            if raw is not None:
+                from .faults import inject
                 try:
-                    os.utime(path)  # LRU touch: eviction is by last *read*
-                except OSError:
-                    pass
-                return value
+                    if inject("cache_corrupt") is not None:
+                        raise ValueError("injected cache corruption")
+                    value = json.loads(raw)
+                    if not isinstance(value, dict):
+                        raise ValueError("entry is not a JSON object")
+                except ValueError:
+                    # corrupt/truncated entry (a writer died mid-write on
+                    # a filesystem without atomic replace, bit rot, ...):
+                    # quarantine it so the damage is diagnosable but can
+                    # never be re-read, and serve a miss
+                    self._quarantine(path)
+                    value = None
+                if value is not None:
+                    with self._lock:
+                        self.mem[key] = value
+                        self._bound_mem()
+                        self.hits += 1
+                        self.disk_hits += 1
+                    try:
+                        os.utime(path)  # LRU touch: eviction by last *read*
+                    except OSError:
+                        pass
+                    return value
         with self._lock:
             self.misses += 1
         return None
+
+    def _quarantine(self, path: Path) -> None:
+        with self._lock:
+            self.corrupt += 1
+        try:
+            os.replace(path, f"{path}.corrupt")
+        except OSError:
+            try:
+                path.unlink()  # quarantine failed: drop it outright
+            except OSError:
+                pass
 
     def put(self, key: str, value: dict) -> None:
         with self._lock:
@@ -183,7 +213,7 @@ class VerdictCache:
         with self._lock:
             return {"hits": self.hits, "misses": self.misses,
                     "disk_hits": self.disk_hits, "puts": self.puts,
-                    "entries": len(self.mem)}
+                    "entries": len(self.mem), "corrupt": self.corrupt}
 
 
 # ---------------------------------------------------------------------------
@@ -219,8 +249,9 @@ def gc_cache_dir(root: str | os.PathLike,
     loses the race simply misses and recomputes (the layer is best-effort
     by design), and writers replace atomically, so no torn entry can be
     observed.  Orphaned ``*.tmp`` files (a writer killed between
-    ``mkstemp`` and ``os.replace``) older than a short grace period are
-    reaped first, then empty bucket directories are pruned afterwards.
+    ``mkstemp`` and ``os.replace``) and quarantined ``*.corrupt``
+    entries older than a short grace period are reaped first, then
+    empty bucket directories are pruned afterwards.
     With ``dry_run`` nothing is deleted; the returned counts describe
     what *would* go.
 
@@ -235,8 +266,10 @@ def gc_cache_dir(root: str | os.PathLike,
         return stats
     now = time.time() if now is None else now
 
-    # reap crashed writers' temp files (grace period covers live writers)
-    for tmp in root.rglob("*.tmp"):
+    # reap crashed writers' temp files and quarantined corrupt entries
+    # (the same grace period keeps freshly quarantined files around long
+    # enough to be inspected)
+    for tmp in [*root.rglob("*.tmp"), *root.rglob("*.corrupt")]:
         try:
             st = tmp.stat()
         except OSError:

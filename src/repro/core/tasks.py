@@ -269,7 +269,8 @@ class Design2SvaTask:
                  strategy: str | None = None,
                  service: VerificationService | None = None,
                  batching: bool | None = None,
-                 workers: int | None = None):
+                 workers: int | None = None,
+                 executor: str | None = None):
         self.category = category
         self.count = count
         self.seed = seed
@@ -298,7 +299,8 @@ class Design2SvaTask:
         self.service = (service if service is not None
                         else VerificationService(batching=batching,
                                                  profile=self.profile,
-                                                 workers=workers))
+                                                 workers=workers,
+                                                 executor=executor))
         self._problems: list[GeneratedDesign] | None = None
 
     def cache_stats(self) -> dict[str, int]:

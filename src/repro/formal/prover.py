@@ -95,6 +95,14 @@ def bump_max(profile: dict, key: str, value) -> None:
         profile[key] = max(profile.get(key, 0), value)
 
 
+def _faults():
+    """:mod:`repro.core.faults`, imported on first use (``repro.core``
+    eagerly imports the tasks, which import the service, which imports
+    this package -- deferring the reverse edge avoids the cycle)."""
+    from ..core import faults
+    return faults
+
+
 def portfolio_threads_from_env() -> int:
     """``FVEVAL_PORTFOLIO_THREADS`` as an int (0 = sequential ladder)."""
     raw = os.environ.get("FVEVAL_PORTFOLIO_THREADS", "").strip()
@@ -123,13 +131,18 @@ def has_unbounded_strong(prop: PropNode) -> bool:
 
 @dataclass
 class ProofResult:
-    status: str  # 'proven' | 'cex' | 'undetermined' | 'error'
+    status: str  # 'proven' | 'cex' | 'undetermined' | 'timeout' | 'error'
     engine: str = ""
     depth: int = 0
     counterexample: dict[str, list[int]] | None = None
     vacuous: bool = False
     detail: str = ""
     stats: dict[str, int] = field(default_factory=dict)
+    #: degradation provenance: one dict per recorded
+    #: :class:`repro.core.faults.FaultEvent` (wall-clock timeout,
+    #: memory-pressure one-shot retry, packed-sim fallback...), in the
+    #: order the ladder took them.  Empty on the clean path.
+    degraded: list = field(default_factory=list)
 
     @property
     def is_proven(self) -> bool:
@@ -235,6 +248,10 @@ class ProofSession:
         self.writer = CnfWriter(self.aig, self.solver)
         self.simplify = simplify
         self.profile = profile
+        #: wall-clock deadline (absolute ``time.monotonic()``) the owning
+        #: prover propagates per :meth:`Prover.prove` call; forwarded to
+        #: the solver so long solves stop with ``limit='deadline'``
+        self.deadline_at: float | None = None
         self._encoders: dict[int, PropertyEncoder] = {}
         self._sweepers: dict[tuple, object] = {}
 
@@ -299,6 +316,15 @@ class ProofSession:
         its learned clauses between calls.
         """
         from .sat import SatResult
+        delay = _faults().inject("slow_solve")
+        if delay is not None:  # chaos harness: a pathologically slow solve
+            time.sleep(delay or 0.05)
+        self.solver.deadline_at = self.deadline_at
+        if (self.deadline_at is not None
+                and time.monotonic() >= self.deadline_at):
+            # encoding below can be arbitrarily long; honour an already
+            # expired deadline before starting it
+            return SatResult("unknown", limit="deadline")
         live = [lit for lit in lits if lit != TRUE]
         if any(lit == FALSE for lit in live):
             return SatResult("unsat")
@@ -466,6 +492,12 @@ class Prover:
         #: prove() calls; pass a shared dict to aggregate over provers
         self.profile: dict = profile if profile is not None else {}
         self._assumes: tuple[Assertion, ...] = ()
+        #: absolute wall-clock deadline of the in-flight prove() (None
+        #: off-deadline); propagated to every session and one-shot solve
+        self._deadline_at: float | None = None
+        #: FaultEvent accumulator of the in-flight prove() -- the
+        #: degradation ladder and the simulation fallbacks append here
+        self._fault_events: list | None = None
         self._coi_cache: dict[frozenset, Design] = {}
         self._sessions: dict[tuple[frozenset, bool], ProofSession] = {}
         self._trace_cache: dict[frozenset, list[dict[str, list[int]]]] = {}
@@ -485,26 +517,109 @@ class Prover:
     # -- public API -------------------------------------------------------------
 
     def prove(self, assertion: Assertion,
-              assumes: tuple[Assertion, ...] = ()) -> ProofResult:
+              assumes: tuple[Assertion, ...] = (),
+              deadline_s: float | None = None) -> ProofResult:
         """Prove *assertion*, optionally under environment *assumes*
-        (input constraints, as a formal tool's assume directives)."""
+        (input constraints, as a formal tool's assume directives).
+
+        ``deadline_s`` bounds this call's wall clock: the deadline is
+        propagated to every proof session's solver (polled at the same
+        sites as the cooperative interrupt), and a call that exhausts it
+        without a sound verdict returns status ``timeout`` -- a measured
+        outcome carrying whatever partial stats the engines accumulated,
+        never an exception.  Resource faults (``MemoryError`` /
+        ``RecursionError``) degrade to the one-shot non-incremental
+        oracle (retried once); every degradation step is recorded in
+        ``ProofResult.degraded`` (docs/robustness.md).
+        """
         sys.setrecursionlimit(max(sys.getrecursionlimit(), 100_000))
-        design = self.design
-        cone_key = frozenset(self.design.widths)
-        if self.use_coi:
-            roots = assertion_roots(assertion)
-            for a in assumes:
-                roots |= assertion_roots(a)
-            design, cone_key = self._reduced_design(roots)
-        self._assumes = tuple(assumes)
+        deadline_at = (time.monotonic() + max(0.0, float(deadline_s))
+                       if deadline_s is not None else None)
+        events: list = []
+        self._deadline_at = deadline_at
+        self._fault_events = events
+        self._set_session_deadlines(deadline_at)
         try:
-            result = self._dispatch(design, cone_key, assertion)
-        except (EncodingError, EvalError) as exc:
-            result = ProofResult("error", detail=str(exc))
+            design = self.design
+            cone_key = frozenset(self.design.widths)
+            if self.use_coi:
+                roots = assertion_roots(assertion)
+                for a in assumes:
+                    roots |= assertion_roots(a)
+                design, cone_key = self._reduced_design(roots)
+            self._assumes = tuple(assumes)
+            if (deadline_at is not None
+                    and time.monotonic() >= deadline_at):
+                result = ProofResult("undetermined", engine="none",
+                                     detail="deadline expired before "
+                                            "dispatch")
+            else:
+                try:
+                    result = self._dispatch(design, cone_key, assertion)
+                except (EncodingError, EvalError) as exc:
+                    result = ProofResult("error", detail=str(exc))
+                except (MemoryError, RecursionError) as exc:
+                    result = self._retry_oneshot(design, assertion, exc,
+                                                 events)
+        finally:
+            self._deadline_at = None
+            self._fault_events = None
+            self._set_session_deadlines(None)
+        if (deadline_at is not None and result.status == "undetermined"
+                and time.monotonic() >= deadline_at):
+            # the engines stopped on the wall clock, not on their
+            # conflict budgets: surface the structured timeout verdict
+            # (partial stats retained) instead of plain undetermined
+            events.append(_faults().FaultEvent(
+                "timeout", stage=result.engine or "prover",
+                detail=f"wall-clock deadline of {deadline_s:g}s expired"))
+            result = ProofResult("timeout", engine=result.engine,
+                                 depth=result.depth,
+                                 detail=f"deadline exceeded "
+                                        f"({deadline_s:g}s)",
+                                 stats=result.stats)
+        if events:
+            result.degraded = [*result.degraded,
+                               *(e.as_dict() for e in events)]
         # per-strategy win accounting: which engine produced the verdict
         # (surfaced by reports.run_summary and bench_prover --profile)
-        bump(self.profile, f"win_{result.engine or result.status}", 1)
+        win = (result.status if result.status == "timeout"
+               else result.engine or result.status)
+        bump(self.profile, f"win_{win}", 1)
         return result
+
+    def _set_session_deadlines(self, deadline_at: float | None) -> None:
+        for session in self._sessions.values():
+            session.deadline_at = deadline_at
+            session.solver.deadline_at = deadline_at
+
+    def _retry_oneshot(self, design: Design, assertion: Assertion,
+                       exc: BaseException, events: list) -> ProofResult:
+        """Degradation rung for resource faults: the incremental sessions
+        (possibly corrupted mid-mutation) are dropped and the proof is
+        retried once on the one-shot non-incremental oracle.  A second
+        resource fault becomes an error result -- never a raised
+        exception."""
+        faults = _faults()
+        events.append(faults.classify(exc, stage="prover", attempt=0))
+        self._sessions.clear()
+        self._trace_cache.clear()
+        self._packed_cache.clear()
+        try:
+            with self._stage("bmc_s"):
+                bmc = self._bmc_oneshot(design, assertion)
+            if bmc is not None:
+                return bmc
+            with self._stage("kind_s"):
+                return self._k_induction_oneshot(design, assertion)
+        except (MemoryError, RecursionError) as exc2:
+            event = faults.classify(exc2, stage="prover", attempt=1)
+            event.retryable = False  # the ladder has no lower rung
+            events.append(event)
+            return ProofResult(
+                "error",
+                detail=f"{type(exc2).__name__} persisted after one-shot "
+                       f"retry")
 
     def _dispatch(self, design: Design, cone_key: frozenset,
                   assertion: Assertion) -> ProofResult:
@@ -593,8 +708,20 @@ class Prover:
             session = ProofSession(design, free_init=free_init,
                                    simplify=self.simplify,
                                    profile=self.profile)
+            # a session born mid-prove inherits the in-flight deadline
+            session.deadline_at = self._deadline_at
             self._sessions[key] = session
         return session
+
+    def _record_fault(self, code: str, stage: str, detail: str = "",
+                      retryable: bool = False) -> None:
+        """Append a FaultEvent to the in-flight prove()'s accumulator
+        (no-op outside a prove call: the fallbacks below also run from
+        the batch scheduler's presimulate pass)."""
+        events = self._fault_events
+        if events is not None:
+            events.append(_faults().FaultEvent(
+                code, stage=stage, retryable=retryable, detail=detail))
 
     # -- simulation falsifier --------------------------------------------------------
 
@@ -638,7 +765,18 @@ class Prover:
                     packed = sim.run(lanes=self.sim_traces,
                                      seed_base=0xF5E0A1,
                                      cycles=self.sim_cycles)
-            except PackedUnsupported:
+            except PackedUnsupported as exc:
+                # the documented word-level fallback (AIG over budget /
+                # outside the packed subset) -- recorded, not fatal
+                self._record_fault("aig_overflow", stage="simulation",
+                                   detail=str(exc)[:200])
+                packed = None
+            except Exception as exc:
+                # unexpected packed-sim failure: the scalar oracle
+                # computes the same verdicts (degradation ladder rung)
+                self._record_fault("packed_sim", stage="simulation",
+                                   detail=f"{type(exc).__name__}: "
+                                          f"{exc}"[:200])
                 packed = None
         self._packed_cache[cone_key] = packed
         return packed
@@ -718,6 +856,9 @@ class Prover:
             # lowest violating lane == the scalar loop's first trial
             return packed.lane_trace((viol & -viol).bit_length() - 1)
         for trial in range(self.sim_traces):
+            if (self._deadline_at is not None
+                    and time.monotonic() >= self._deadline_at):
+                return None  # prove() converts the verdict to timeout
             with self._stage("sim_gen_s"):
                 trace = self._sim_trace(design, cone_key, trial)
             with self._stage("sim_check_s"):
@@ -826,7 +967,8 @@ class Prover:
                                detail="assertion constant-false")
         clauses, node2var, nv = aig.to_cnf([any_violation])
         clauses.append([aig.cnf_literal(any_violation, node2var)])
-        result = solve_cnf(nv, clauses, max_conflicts=self.max_conflicts)
+        result = solve_cnf(nv, clauses, max_conflicts=self.max_conflicts,
+                           deadline_at=self._deadline_at)
         if result.is_sat:
             cex = self._extract_cex(source, result.model, node2var)
             return ProofResult("cex", engine="bmc", depth=self.max_bmc,
@@ -958,7 +1100,8 @@ class Prover:
                                    stats={"conflicts": total_conflicts})
             clauses, node2var, nv = aig.to_cnf([query])
             clauses.append([aig.cnf_literal(query, node2var)])
-            result = solve_cnf(nv, clauses, max_conflicts=self.max_conflicts)
+            result = solve_cnf(nv, clauses, max_conflicts=self.max_conflicts,
+                               deadline_at=self._deadline_at)
             total_conflicts += result.conflicts
             if result.is_unsat:
                 return ProofResult("proven", engine="k-induction", depth=k,
@@ -1020,8 +1163,8 @@ class Prover:
             return False
         clauses, node2var, nv = aig.to_cnf([any_fire])
         clauses.append([aig.cnf_literal(any_fire, node2var)])
-        return solve_cnf(nv, clauses,
-                         max_conflicts=self.max_conflicts).is_unsat
+        return solve_cnf(nv, clauses, max_conflicts=self.max_conflicts,
+                         deadline_at=self._deadline_at).is_unsat
 
     def _extract_cex(self, source: UnrolledSource, model,
                      node2var) -> dict[str, list[int]]:

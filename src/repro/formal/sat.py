@@ -21,6 +21,7 @@ Literals use DIMACS convention: variable ``v`` (1-based) appears as ``v`` or
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import monotonic
 
 #: learned-clause DB reduction: first reduction threshold and growth factor
 _REDUCE_BASE = 2000
@@ -55,8 +56,9 @@ class SatResult:
     propagations: int = 0
     learned_db: int = 0  # learned-clause database size after the call
     restarts: int = 0
-    #: why an 'unknown' call stopped: 'conflicts' (budget exhausted) or
-    #: 'interrupt' (cooperative Solver.interrupt()); empty when decided
+    #: why an 'unknown' call stopped: 'conflicts' (budget exhausted),
+    #: 'interrupt' (cooperative Solver.interrupt()) or 'deadline'
+    #: (wall-clock ``Solver.deadline_at`` passed); empty when decided
     limit: str = ""
 
     @property
@@ -107,6 +109,12 @@ class Solver:
         self.propagations = 0  # running counter, snapshotted per solve call
         self._max_learned = _REDUCE_BASE
         self._interrupt = False
+        #: absolute ``time.monotonic()`` wall-clock deadline; polled at
+        #: the same sites as the interrupt flag, yielding
+        #: ``SatResult(limit='deadline')``.  Deliberately *not* touched
+        #: by clear_interrupt(): deadlines compose with the portfolio's
+        #: interrupt handshake without being cleared by it.
+        self.deadline_at: float | None = None
         # indexed max-heap over variable activity
         self._heap: list[int] = []
         self._heap_pos: list[int] = [-1]
@@ -531,8 +539,11 @@ class Solver:
                              learned_db=len(self.learned),
                              restarts=restart_idx, limit=limit)
 
+        deadline = self.deadline_at
         if self._interrupt:
             return finish("unknown", limit="interrupt")
+        if deadline is not None and monotonic() >= deadline:
+            return finish("unknown", limit="deadline")
         while True:
             confl = self._propagate()
             if confl is not None:
@@ -564,6 +575,8 @@ class Solver:
                     return finish("unknown", limit="conflicts")
                 if self._interrupt:
                     return finish("unknown", limit="interrupt")
+                if deadline is not None and monotonic() >= deadline:
+                    return finish("unknown", limit="deadline")
                 if conflicts >= restart_budget:
                     restart_idx += 1
                     restart_budget = conflicts + 32 * _luby(restart_idx)
@@ -577,6 +590,8 @@ class Solver:
                     # so an interrupt raised during it is honoured here
                     if self._interrupt:
                         return finish("unknown", limit="interrupt")
+                    if deadline is not None and monotonic() >= deadline:
+                        return finish("unknown", limit="deadline")
                 continue
 
             # propagation boundary: the trail is quiescent and is about
@@ -587,6 +602,8 @@ class Solver:
             # levels could ignore the flag indefinitely)
             if self._interrupt:
                 return finish("unknown", limit="interrupt")
+            if deadline is not None and monotonic() >= deadline:
+                return finish("unknown", limit="deadline")
 
             # place assumptions as pseudo-decisions
             if assume_pos < len(assume):
@@ -620,6 +637,9 @@ class Solver:
 
 def solve_cnf(num_vars: int, clauses: list[list[int]],
               assumptions: list[int] | None = None,
-              max_conflicts: int | None = None) -> SatResult:
+              max_conflicts: int | None = None,
+              deadline_at: float | None = None) -> SatResult:
     """One-shot convenience wrapper around :class:`Solver`."""
-    return Solver(num_vars, clauses).solve(assumptions, max_conflicts)
+    solver = Solver(num_vars, clauses)
+    solver.deadline_at = deadline_at
+    return solver.solve(assumptions, max_conflicts)

@@ -36,16 +36,19 @@ from .api import (
 )
 from .executor import resolve_workers
 from .frontend import serve_stream
+from .procpool import resolve_executor
 from .service import (
     Handle,
     VerificationService,
     batching_disabled,
+    deadline_from_env,
     design_signature,
 )
 
 __all__ = [
     "KINDS", "Handle", "RequestError", "VerificationService",
     "VerifyRequest", "VerifyResponse", "batching_disabled",
-    "design_signature", "request_from_json", "resolve_workers",
-    "response_to_json", "serve_stream",
+    "deadline_from_env", "design_signature", "request_from_json",
+    "resolve_executor", "resolve_workers", "response_to_json",
+    "serve_stream",
 ]

@@ -24,8 +24,10 @@ into :class:`~repro.core.tasks.EvalRecord`\\ s (``verdict`` / ``func`` /
 ``partial`` / ``detail`` / ``meta``) plus *provenance* the records never
 see: ``cache_hit``, ``dedup_of``, ``batch_id``, ``elapsed_s``,
 ``index`` (the request's position within its batch -- the correlation
-key once a multi-worker service streams completions out of order) and
-``worker_id`` (which pool thread computed it).
+key once a multi-worker service streams completions out of order),
+``worker_id`` (which pool thread or process slot computed it) and
+``degraded`` (fault/degradation events observed while producing the
+verdict -- docs/robustness.md).
 Provenance describes how the service produced the verdict; the verdict
 fields themselves are deterministic, which is what keeps cached,
 deduplicated and batch-scheduled runs record-identical to direct
@@ -99,6 +101,11 @@ class VerifyRequest:
     #: memoize/serve this request through the verdict cache; also gates
     #: in-flight dedup, so ``use_cache=False`` always recomputes
     use_cache: bool = True
+    #: wall-clock deadline in seconds for this request's computation
+    #: (None: the service default / ``FVEVAL_DEADLINE_S``).  Expiry is a
+    #: structured ``timeout`` verdict, never an exception
+    #: (docs/robustness.md).
+    deadline_s: float | None = None
     # -- in-process fast paths (never serialized) ---------------------------
     #: pre-elaborated :class:`~repro.rtl.elaborate.Design` (prove)
     design: object = None
@@ -122,6 +129,15 @@ class VerifyRequest:
                     f"got {type(getattr(self, name)).__name__}")
         if self.params is not None and not isinstance(self.params, dict):
             raise RequestError("params must be a mapping or null")
+        if self.deadline_s is not None:
+            try:
+                positive = float(self.deadline_s) > 0
+            except (TypeError, ValueError):
+                positive = False
+            if not positive:
+                raise RequestError(
+                    "deadline_s must be a positive number of seconds "
+                    "or null")
         if self.kind == "equivalence" and not (self.reference
                                                or self.reference_ast):
             raise RequestError("equivalence request needs a reference")
@@ -169,15 +185,20 @@ class VerifyResponse:
     #: the correlation key for out-of-order consumption (``stream()``
     #: and ``serve`` with ``workers > 1`` complete out of request order)
     index: int | None = None
-    #: worker-pool thread that computed this response (None when the
-    #: serial scheduler answered it)
+    #: worker-pool thread (or process slot) that computed this response
+    #: (None when the serial scheduler answered it)
     worker_id: int | None = None
+    #: degradation/fault provenance: :class:`~repro.core.faults.
+    #: FaultEvent` dicts, in the order observed (empty on the clean
+    #: path).  Provenance, never folded into EvalRecords -- a degraded
+    #: verdict is still the verdict.
+    degraded: list = field(default_factory=list)
 
 
 #: wire-form request fields (in-process object fields excluded)
 _WIRE_FIELDS = ("kind", "candidate", "reference", "source", "top", "widths",
                 "params", "extra_signals", "trace", "assumes", "engine",
-                "request_id", "cache_ns", "use_cache")
+                "request_id", "cache_ns", "use_cache", "deadline_s")
 
 
 def request_from_json(obj: dict) -> VerifyRequest:
@@ -215,4 +236,5 @@ def response_to_json(response: VerifyResponse) -> dict:
         "elapsed_s": round(response.elapsed_s, 6),
         "index": response.index,
         "worker_id": response.worker_id,
+        "degraded": list(response.degraded),
     }

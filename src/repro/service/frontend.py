@@ -65,16 +65,21 @@ def serve_stream(in_stream, out_stream,
                 answered.add(response.index)
         except Exception as exc:  # infrastructure failure mid-batch
             # (per-request engine errors already came back as ok=false
-            # response lines): every unanswered index -- responses may
-            # have completed out of order -- still owes a response line
-            detail = f"{type(exc).__name__}: {exc}"[:200]
+            # response lines; KeyboardInterrupt/SystemExit are
+            # BaseExceptions and propagate -- a user abort must not be
+            # swallowed into error lines): every unanswered index --
+            # responses may have completed out of order -- still owes a
+            # response line, carrying the classified fault as provenance
+            from ..core.faults import classify
+            event = classify(exc, stage="service").as_dict()
             for position, request in enumerate(batch):
                 if position in answered:
                     continue
                 bad += 1
                 emit({"request_id": request.request_id or "", "kind":
                       request.kind, "ok": False, "verdict": "error",
-                      "detail": detail, "index": position})
+                      "detail": event["detail"], "index": position,
+                      "degraded": [event]})
         return bad
 
     lineno = 0

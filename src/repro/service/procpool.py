@@ -1,0 +1,399 @@
+"""Process-pool execution tier: crash-isolated verification workers.
+
+``FVEVAL_EXECUTOR=process`` (or ``VerificationService(executor=
+"process")`` / ``serve --executor process``) moves a batch's scheduled
+units out of the service process: each unit -- one prove group or one
+remaining computed request, exactly the thread executor's unit shape --
+is pickled to a persistent worker process that runs its own single-
+worker :class:`~repro.service.service.VerificationService` and streams
+responses back over a pipe.  The parent keeps planning, dedup, caching
+and stats; workers only compute.
+
+Why not :class:`concurrent.futures.ProcessPoolExecutor`: one SIGKILL'd
+worker breaks that pool permanently (``BrokenProcessPool`` fails every
+queued future).  Crash isolation is the whole point here, so the pool
+is hand-rolled: one ``multiprocessing.Process`` + duplex pipe per slot,
+multiplexed with :func:`multiprocessing.connection.wait` on the pipes
+*and* the process sentinels, so a worker dying (segfault, OOM kill,
+injected SIGKILL) is detected immediately and costs exactly its
+in-flight unit:
+
+* the unit's unanswered requests are retried **once** on a fresh worker
+  (exponential backoff), then error-responded with a ``worker_crash``
+  :class:`~repro.core.faults.FaultEvent` -- never a lost or duplicated
+  ``VerifyResponse.index``;
+* a worker that outlives its unit's wall-clock deadline by more than
+  :data:`DEADLINE_GRACE_S` is SIGKILLed and respawned (the in-worker
+  cooperative deadline normally answers first -- the kill is the
+  backstop for a worker stuck outside the solver's poll sites); its
+  unanswered requests become ``timeout`` verdicts, not retries;
+* a unit that cannot be pickled at all falls back to in-process
+  computation in the parent (``unpicklable`` fault event).
+
+Workers are respawned lazily and die with the parent (daemon
+processes).  Observability parity: each worker ships per-unit profile /
+batch-counter deltas back with its ``done`` message, which the parent
+merges into the service's shared profile, so ``--profile`` output and
+``stats()`` describe the same work under either executor.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import signal
+import threading
+import time
+
+#: extra wall-clock seconds past a unit's deadline before the parent
+#: SIGKILLs the worker (the cooperative in-worker deadline should have
+#: answered by then); tests lower it to keep the backstop path fast
+DEADLINE_GRACE_S = 1.0
+
+#: hard ceiling on worker processes (cf. executor.MAX_WORKERS for
+#: threads; processes are heavier, so the cap is lower)
+MAX_PROC_WORKERS = 16
+
+#: profile keys that are high-water marks, not additive counters
+_HIGH_WATER = ("learned_db",)
+
+_EXECUTORS = ("thread", "process")
+
+
+def resolve_executor(requested: str | None = None) -> str:
+    """Effective executor for one scheduling pass.
+
+    ``requested`` is the service's configured value (None defers to
+    ``FVEVAL_EXECUTOR``, read per flush); an explicit bad value raises,
+    an env typo falls back to ``thread`` (matching the lenient env
+    conventions elsewhere).  Inside a daemonic ``FVEVAL_JOBS`` pool
+    worker the process tier is unavailable (daemonic processes may not
+    have children), so ``thread`` is forced.
+    """
+    if requested is not None:
+        value = str(requested).strip().lower()
+        if value not in _EXECUTORS:
+            raise ValueError(f"unknown executor {value!r}; "
+                             f"expected one of {_EXECUTORS}")
+    else:
+        value = os.environ.get("FVEVAL_EXECUTOR", "").strip().lower()
+        if value not in _EXECUTORS:
+            value = "thread"
+    if value == "process":
+        import multiprocessing
+        if multiprocessing.current_process().daemon:
+            return "thread"
+    return value
+
+
+def _profile_delta(current: dict, base: dict) -> dict:
+    """What one unit added to a worker's profile (high-water keys ship
+    their absolute value; the parent merges them with max)."""
+    delta = {}
+    for key, value in current.items():
+        if not isinstance(value, (int, float)):
+            continue
+        if key in _HIGH_WATER:
+            delta[key] = value
+        else:
+            diff = value - base.get(key, 0)
+            if diff:
+                delta[key] = diff
+    return delta
+
+
+def _worker_main(conn, slot: int) -> None:
+    """Worker process body: a persistent single-worker service answering
+    one unit at a time over the pipe."""
+    import threading as _threading
+
+    from ..formal import prover as _prover
+
+    # under the fork start method the parent's module locks are copied
+    # in whatever state they were in at fork time; replace the known
+    # process-wide ones so a lock held by another parent thread can
+    # never deadlock this (single-threaded) child
+    _prover._PROFILE_LOCK = _threading.Lock()
+    from .service import VerificationService
+    service = VerificationService(workers=1)
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            return  # parent went away (or shut the pipe): exit quietly
+        if message[0] == "stop":
+            return
+        _kind, unit_id, requests, batching, crash = message
+        if crash:
+            # parent-drawn fault injection: die exactly like a
+            # segfaulted/OOM-killed worker would
+            os.kill(os.getpid(), signal.SIGKILL)
+        service.batching = batching
+        base = dict(service.profile)
+        groups0 = service.batch_groups
+        members0 = service.batch_members
+        try:
+            for response in service.stream(requests):
+                response.worker_id = slot
+                conn.send(("res", unit_id, response.index, response))
+            conn.send(("done", unit_id, {
+                "profile": _profile_delta(service.profile, base),
+                "batch_groups": service.batch_groups - groups0,
+                "batch_members": service.batch_members - members0,
+            }))
+        except (EOFError, OSError, BrokenPipeError):
+            return
+
+
+class _Worker:
+    __slots__ = ("proc", "conn", "slot")
+
+    def __init__(self, proc, conn, slot: int):
+        self.proc = proc
+        self.conn = conn
+        self.slot = slot
+
+
+class ProcessExecutor:
+    """A crash-tolerant pool of verification worker processes.
+
+    :meth:`execute` drives one batch's units and yields events the
+    owning service interprets:
+
+    * ``("response", unit, position, response)`` -- one request of
+      *unit* answered (positions index ``unit["entries"]``);
+    * ``("unit_done", unit, stats)`` -- a unit completed; ``stats``
+      carries the worker's profile/batch-counter deltas to merge;
+    * ``("failed", unit, positions, cause)`` -- terminal failure of the
+      listed (still unanswered) positions: ``crash`` (retry exhausted),
+      ``timeout`` (deadline SIGKILL backstop) or ``unpicklable`` (the
+      unit never crossed the process boundary -- compute in-process).
+
+    One execute() runs at a time per pool (guarded by a lock): the
+    pipes are single-consumer.  Workers persist across batches.
+    """
+
+    def __init__(self, workers: int):
+        import multiprocessing
+        self.workers = max(1, min(int(workers), MAX_PROC_WORKERS))
+        methods = multiprocessing.get_all_start_methods()
+        self._ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else "spawn")
+        self._slots: list[_Worker | None] = [None] * self.workers
+        self._lock = threading.Lock()
+        #: pid the pool was built in -- a forked FVEVAL_JOBS child
+        #: inherits the object but not the worker processes (they stay
+        #: children of the original parent), so it must not touch them
+        self.owner_pid = os.getpid()
+
+    @property
+    def busy(self) -> bool:
+        """True while a batch is executing on this pool."""
+        return self._lock.locked()
+
+    # -- worker lifecycle ---------------------------------------------------
+
+    def _spawn(self, slot: int) -> _Worker:
+        parent_conn, child_conn = self._ctx.Pipe()
+        proc = self._ctx.Process(target=_worker_main,
+                                 args=(child_conn, slot), daemon=True,
+                                 name=f"fveval-procworker-{slot}")
+        proc.start()
+        child_conn.close()
+        worker = _Worker(proc, parent_conn, slot)
+        self._slots[slot] = worker
+        return worker
+
+    def _discard(self, slot: int) -> None:
+        worker = self._slots[slot]
+        if worker is None:
+            return
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+        if worker.proc.is_alive():
+            worker.proc.kill()
+        worker.proc.join(timeout=5)
+        self._slots[slot] = None
+
+    def shutdown(self) -> None:
+        """Stop every worker (best-effort; daemons die with the parent
+        anyway)."""
+        if os.getpid() != self.owner_pid:
+            # forked child: the workers are the original parent's
+            # children -- signalling or joining them from here raises,
+            # so just drop the references
+            self._slots = [None] * self.workers
+            return
+        for slot, worker in enumerate(self._slots):
+            if worker is None:
+                continue
+            try:
+                worker.conn.send(("stop",))
+            except (OSError, ValueError):
+                pass
+            self._discard(slot)
+
+    # -- batch execution ----------------------------------------------------
+
+    def execute(self, units: list[dict]):
+        """Drive *units* to completion; see the class docstring for the
+        yielded event protocol.  Each unit dict needs ``entries`` (a
+        list of ``(plan_index, wire_request)``) and ``deadline_s``
+        (per-request deadlines, None entries meaning unbounded); the
+        executor adds runtime fields (``attempt``, ``answered``...).
+        """
+        from ..core.faults import inject
+        with self._lock:
+            yield from self._execute_locked(list(units), inject)
+
+    def _execute_locked(self, pending: list[dict], inject):
+        for unit in pending:
+            unit["attempt"] = 0
+            unit["answered"] = set()
+            unit["events"] = []
+        busy: dict[int, dict] = {}  # slot -> unit
+        while pending or busy:
+            # dispatch onto free slots
+            while pending and len(busy) < self.workers:
+                free = next(s for s in range(self.workers)
+                            if s not in busy)
+                unit = pending.pop(0)
+                if self._dispatch(free, unit):
+                    busy[free] = unit
+                else:
+                    yield ("failed", unit, self._unanswered(unit),
+                           "unpicklable")
+            if not busy:
+                continue
+            timeout = self._next_kill_in(busy)
+            ready = self._wait(busy, timeout)
+            # drain pipes first -- a worker may have streamed responses
+            # before dying, and those verdicts are good
+            for slot in list(busy):
+                worker = self._slots[slot]
+                for event in self._drain(worker, busy[slot]):
+                    if event[0] == "unit_done":
+                        del busy[slot]
+                    yield event
+            # then reap the dead
+            for slot in list(busy):
+                worker = self._slots[slot]
+                if worker.proc.is_alive():
+                    continue
+                unit = busy.pop(slot)
+                self._discard(slot)
+                for event in self._casualty(unit, pending):
+                    yield event
+            # deadline backstop: SIGKILL workers stuck past the grace
+            now = time.monotonic()
+            for slot, unit in busy.items():
+                kill_at = unit.get("kill_at")
+                if (kill_at is not None and now >= kill_at
+                        and not unit.get("timed_out")):
+                    unit["timed_out"] = True
+                    self._slots[slot].proc.kill()
+            del ready
+
+    def _unanswered(self, unit: dict) -> list[int]:
+        return [p for p in range(len(unit["entries"]))
+                if p not in unit["answered"]]
+
+    def _dispatch(self, slot: int, unit: dict) -> bool:
+        """Send a unit's unanswered requests to the slot's worker.
+        False when the unit cannot be pickled (worker left idle)."""
+        from ..core.faults import inject
+        worker = self._slots[slot]
+        if worker is None or not worker.proc.is_alive():
+            self._discard(slot)
+            worker = self._spawn(slot)
+        positions = self._unanswered(unit)
+        unit["sent"] = positions
+        unit["timed_out"] = False
+        deadlines = [unit["deadline_s"][p] for p in positions]
+        unit["kill_at"] = (time.monotonic() + sum(deadlines)
+                           + DEADLINE_GRACE_S
+                           if deadlines and all(d is not None
+                                                for d in deadlines)
+                           else None)
+        # the crash draw happens in the PARENT, once per dispatch, so a
+        # respawned worker cannot re-draw (and re-suffer) its
+        # predecessor's injected fate
+        crash = inject("worker_crash") is not None
+        payload = [unit["entries"][p][1] for p in positions]
+        try:
+            worker.conn.send(("unit", unit["id"], payload,
+                              unit["batching"], crash))
+        except (pickle.PicklingError, TypeError, AttributeError,
+                ValueError):
+            return False
+        except OSError:
+            # pipe died under us: treat like a crash-before-work
+            self._discard(slot)
+            return self._dispatch(slot, unit)
+        return True
+
+    def _wait(self, busy: dict, timeout: float | None):
+        from multiprocessing.connection import wait as mp_wait
+        objects = []
+        for slot in busy:
+            worker = self._slots[slot]
+            objects.append(worker.conn)
+            objects.append(worker.proc.sentinel)
+        return mp_wait(objects, timeout=timeout)
+
+    def _next_kill_in(self, busy: dict) -> float | None:
+        now = time.monotonic()
+        kills = [unit["kill_at"] for unit in busy.values()
+                 if unit.get("kill_at") is not None
+                 and not unit.get("timed_out")]
+        if not kills:
+            return None
+        return max(0.0, min(kills) - now)
+
+    def _drain(self, worker: _Worker, unit: dict):
+        """Yield events for every message currently buffered on a
+        worker's pipe (non-blocking)."""
+        while True:
+            try:
+                if not worker.conn.poll(0):
+                    return
+                message = worker.conn.recv()
+            except (EOFError, OSError):
+                return  # dead worker: the sentinel pass handles it
+            if message[0] == "res":
+                _kind, _unit_id, pos, response = message
+                position = unit["sent"][pos]
+                unit["answered"].add(position)
+                yield ("response", unit, position, response)
+            elif message[0] == "done":
+                yield ("unit_done", unit, message[2])
+
+    def _casualty(self, unit: dict, pending: list[dict]):
+        """A worker died with *unit* in flight: retry once, then fail."""
+        from ..core.faults import FaultEvent
+        positions = self._unanswered(unit)
+        if not positions:
+            # every request was answered before death; only the final
+            # stats message was lost -- nothing to recover
+            yield ("unit_done", unit, {})
+            return
+        if unit.get("timed_out"):
+            yield ("failed", unit, positions, "timeout")
+            return
+        if unit["attempt"] >= 1:
+            unit["events"].append(FaultEvent(
+                "worker_crash", stage="worker", retryable=False,
+                attempt=unit["attempt"],
+                detail="worker died again on retry").as_dict())
+            yield ("failed", unit, positions, "crash")
+            return
+        unit["events"].append(FaultEvent(
+            "worker_crash", stage="worker", retryable=True,
+            attempt=unit["attempt"],
+            detail=f"worker died with {len(positions)} request(s) in "
+                   f"flight; retrying on a fresh worker").as_dict())
+        time.sleep(0.05 * (2 ** unit["attempt"]))
+        unit["attempt"] += 1
+        pending.append(unit)

@@ -70,6 +70,26 @@ def _cache_module():
     from ..core import cache
     return cache
 
+
+def _faults():
+    """:mod:`repro.core.faults`, imported on first use (same cycle as
+    :func:`_cache_module`: ``repro.core.__init__`` imports the tasks)."""
+    from ..core import faults
+    return faults
+
+
+def deadline_from_env() -> float | None:
+    """``FVEVAL_DEADLINE_S``: default per-request wall-clock deadline in
+    seconds (unset/empty/non-positive: no deadline)."""
+    raw = os.environ.get("FVEVAL_DEADLINE_S", "").strip()
+    if not raw:
+        return None
+    try:
+        value = float(raw)
+    except ValueError:
+        return None
+    return value if value > 0 else None
+
 #: request kinds whose verdicts are memoized (syntax and trace checks are
 #: cheaper than a cache round-trip and were never cached)
 _CACHED_KINDS = ("equivalence", "prove")
@@ -156,7 +176,10 @@ class VerificationService:
     def __init__(self, batching: bool | None = None,
                  profile: dict | None = None, max_provers: int = 8,
                  max_cache_entries: int | None = None,
-                 workers: int | None = None):
+                 workers: int | None = None,
+                 deadline_s: float | None = None,
+                 executor: str | None = None):
+        from .procpool import resolve_executor
         self.batching = batching
         self.profile: dict = {} if profile is None else profile
         self.max_provers = max_provers
@@ -166,6 +189,16 @@ class VerificationService:
         self.max_cache_entries = max_cache_entries
         #: in-service worker-thread count (None: FVEVAL_WORKERS)
         self.workers = workers
+        #: default per-request wall-clock deadline in seconds
+        #: (None: FVEVAL_DEADLINE_S per flush; request.deadline_s wins)
+        self.deadline_s = deadline_s
+        #: execution tier -- "thread" | "process" (None: FVEVAL_EXECUTOR
+        #: per flush); an explicit bad value fails here, not mid-batch
+        #: (the stored value is re-resolved per flush so e.g. the
+        #: daemonic-worker fallback tracks where the service runs)
+        if executor is not None:
+            resolve_executor(executor)
+        self.executor = executor
         from collections import OrderedDict
         self._caches: dict[str, VerdictCache] = {}
         #: (design signature, engine fingerprint) -> Prover, LRU-ordered
@@ -192,6 +225,7 @@ class VerificationService:
         #: (pending swap, dedup/batch counters)
         self._state_lock = threading.Lock()
         self._pool = None
+        self._procpool = None
         #: parallel batches currently executing on the pool -- a pool
         #: another batch still uses is never torn down to grow
         self._inflight = 0
@@ -205,7 +239,7 @@ class VerificationService:
         state["_provers"] = OrderedDict()
         state["_active"] = set()
         state["_pending"] = []
-        for name in ("_sched_lock", "_state_lock", "_pool"):
+        for name in ("_sched_lock", "_state_lock", "_pool", "_procpool"):
             state.pop(name, None)
         return state
 
@@ -214,6 +248,16 @@ class VerificationService:
         self._init_runtime()
 
     # -- public API ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Tear down the worker pools (idempotent; the service stays
+        usable -- pools respawn on the next flush that needs them)."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown()
+        procpool, self._procpool = self._procpool, None
+        if procpool is not None:
+            procpool.shutdown()
 
     def submit(self, request: VerifyRequest) -> Handle:
         """Queue one request; it computes at the next :meth:`flush`."""
@@ -278,10 +322,11 @@ class VerificationService:
     def cache_stats(self) -> dict[str, int]:
         """Aggregate verdict-cache counters over all namespaces."""
         totals = {"hits": 0, "misses": 0, "disk_hits": 0, "puts": 0,
-                  "entries": 0}
+                  "entries": 0, "corrupt": 0}
         for cache in self._caches.values():
             for key, value in cache.stats().items():
-                totals[key] += value
+                # tolerant of counters this service version predates
+                totals[key] = totals.get(key, 0) + value
         return totals
 
     def stats(self) -> dict:
@@ -324,6 +369,7 @@ class VerificationService:
         every response.
         """
         from .executor import resolve_workers
+        from .procpool import resolve_executor
         requests = list(requests)
         # planning is serialized, but the lock is RELEASED before any
         # response is yielded: a partially consumed stream() must never
@@ -335,15 +381,34 @@ class VerificationService:
             batching = (not batching_disabled() if self.batching is None
                         else self.batching)
             workers = resolve_workers(self.workers)
-            owned, batch_ids = self._pin_provers(plan, groups)
-            parallel = workers > 1 and len(plan) > 1
+            crossproc = resolve_executor(self.executor) == "process"
+            parallel = False
             pool = None
-            if parallel:
-                pool = self._worker_pool(workers)
-                with self._state_lock:
-                    self._inflight += 1
+            if crossproc:
+                # the parent keeps planning/cache/dedup; provers live in
+                # the workers, so nothing is pinned here
+                owned: set[tuple] = set()
+                batch_ids = self._assign_batch_ids(groups)
+                pool = self._process_pool(workers)
+            else:
+                owned, batch_ids = self._pin_provers(plan, groups)
+                parallel = workers > 1 and len(plan) > 1
+                if parallel:
+                    pool = self._worker_pool(workers)
+                    with self._state_lock:
+                        self._inflight += 1
         try:
-            if parallel:
+            if crossproc:
+                stream = self._execute_process(plan, groups, batch_ids,
+                                               batching, pool)
+                if workers == 1:
+                    # the single-worker contract is in-request-order
+                    # responses (mirrors _execute_serial); one worker
+                    # gains nothing from streaming out of order
+                    yield from sorted(stream, key=lambda pair: pair[0])
+                else:
+                    yield from stream
+            elif parallel:
                 yield from self._execute_parallel(plan, groups, batch_ids,
                                                   batching, pool, workers)
             else:
@@ -380,7 +445,13 @@ class VerificationService:
                 request.request_id = f"req{self._seq}"
             entry: dict = {"request": request, "index": index,
                            "response": None, "key": None, "cache": None,
-                           "dup_of": None, "group": None, "prover": None}
+                           "dup_of": None, "group": None, "prover": None,
+                           "faults": [],
+                           "deadline_s": (request.deadline_s
+                                          if request.deadline_s is not None
+                                          else self.deadline_s
+                                          if self.deadline_s is not None
+                                          else deadline_from_env())}
             plan.append(entry)
             try:
                 try:
@@ -390,8 +461,9 @@ class VerificationService:
                     continue
                 prepared = self._prepare(request, entry)
             except Exception as exc:  # a planning crash costs one request
+                event = _faults().classify(exc, stage="plan")
                 entry["response"] = self._error(
-                    request, f"{type(exc).__name__}: {exc}"[:200])
+                    request, event.detail, faults=[event.as_dict()])
                 continue
             if prepared is not None:
                 entry["response"] = prepared
@@ -453,6 +525,17 @@ class VerificationService:
                     plan[index]["prover"] = prover
         return owned, batch_ids
 
+    def _assign_batch_ids(self, groups: dict) -> dict:
+        """Batch ids without prover pinning (the process executor's
+        provers live in the workers; only the id allocation is shared
+        with :meth:`_pin_provers`)."""
+        batch_ids: dict[tuple, str] = {}
+        with self._state_lock:
+            for pool_key in groups:
+                self._batch_seq += 1
+                batch_ids[pool_key] = f"b{self._batch_seq}"
+        return batch_ids
+
     def _presimulate_group(self, plan: list[dict], prover,
                            members: list[int], batch_id: str) -> None:
         """Run the packed cross-sample pre-pass for one prove group.
@@ -470,8 +553,16 @@ class VerificationService:
         try:
             covered = presimulate(
                 prover, [plan[i]["assertion"] for i in members])
-        except Exception:
-            return  # per-sample path computes the same verdicts
+        except Exception as exc:
+            # per-sample path computes the same verdicts; record the
+            # degradation on every member the pre-pass would have served
+            event = _faults().FaultEvent(
+                "packed_sim", stage="batch",
+                detail=f"packed pre-pass failed "
+                       f"({type(exc).__name__}: {exc})"[:200]).as_dict()
+            for i in members:
+                plan[i]["faults"].append(event)
+            return
         n = sum(covered)
         if n:
             with self._state_lock:
@@ -582,6 +673,168 @@ class VerificationService:
                                           limit=workers):
             yield from results
 
+    def _execute_process(self, plan: list[dict], groups: dict,
+                         batch_ids: dict, batching: bool, pool):
+        """Execute the plan's units on the process pool (crash-isolated).
+
+        The parent owns planning, cache writes, dedup folding and stats;
+        each unit -- one prove group or one remaining computed request,
+        the thread executor's exact unit shape -- crosses the process
+        boundary as pickled wire requests (``use_cache=False`` so the
+        worker neither reads nor writes verdict caches, with the
+        resolved per-request deadline baked in) and comes back as
+        streamed responses.  :class:`~repro.service.procpool.
+        ProcessExecutor` guarantees every dispatched position resolves
+        exactly once -- as a response, a ``timeout``, a crash error
+        after one retry, or an ``unpicklable`` fallback the parent
+        computes in-process -- which carries :meth:`_process`'s
+        one-response-per-index invariant across worker death.
+        """
+        import dataclasses
+        faults = _faults()
+        dups: dict[int, list[dict]] = {}
+        for entry in plan:
+            if entry["dup_of"] is not None:
+                dups.setdefault(entry["dup_of"], []).append(entry)
+
+        def finish(entry: dict, response: VerifyResponse):
+            """Resolve one primary and fold its in-flight duplicates."""
+            response.index = entry["index"]
+            entry["response"] = response
+            yield entry["index"], response
+            for dup in dups.get(entry["index"], ()):
+                with self._state_lock:
+                    self.dedup_hits += 1
+                folded = self._duplicate(dup["request"], response)
+                folded.index = dup["index"]
+                dup["response"] = folded
+                yield dup["index"], folded
+
+        # requests answered during planning complete "first" (errors,
+        # cache hits, measured syntax gates); they never have duplicates
+        # -- dedup primaries are by construction computed entries
+        for entry in plan:
+            if entry["dup_of"] is None and entry["response"] is not None:
+                entry["response"].index = entry["index"]
+                yield entry["index"], entry["response"]
+
+        units: list[dict] = []
+
+        def make_unit(indices: list[int], batch_id: str | None) -> None:
+            entries, deadlines = [], []
+            for i in indices:
+                entry = plan[i]
+                wire = dataclasses.replace(
+                    entry["request"], use_cache=False,
+                    deadline_s=entry["deadline_s"])
+                entries.append((i, wire))
+                deadlines.append(entry["deadline_s"])
+            units.append({"id": len(units), "entries": entries,
+                          "deadline_s": deadlines, "batching": batching,
+                          "batch_id": batch_id})
+
+        grouped: set[int] = set()
+        for pool_key, members in groups.items():
+            live = [i for i in members if plan[i]["response"] is None]
+            if live:
+                make_unit(live, batch_ids[pool_key])
+                grouped.update(live)
+        for entry in plan:
+            if (entry["dup_of"] is None and entry["response"] is None
+                    and entry["index"] not in grouped):
+                make_unit([entry["index"]], None)
+        if not units:
+            return
+
+        for event in pool.execute(units):
+            kind, unit = event[0], event[1]
+            if kind == "response":
+                _, _, position, response = event
+                index = unit["entries"][position][0]
+                entry = plan[index]
+                if unit["events"]:  # crash-retry provenance
+                    response.degraded = [*unit["events"],
+                                         *response.degraded]
+                if response.batch_id is not None:
+                    # worker-local batch id -> this flush's id
+                    response.batch_id = unit["batch_id"]
+                self._cache_put(entry, response)
+                yield from finish(entry, response)
+            elif kind == "unit_done":
+                self._merge_worker_stats(event[2])
+            else:  # ("failed", unit, positions, cause)
+                _, _, positions, cause = event
+                for position in positions:
+                    index = unit["entries"][position][0]
+                    entry = plan[index]
+                    if cause == "timeout":
+                        response = self._timeout_response(entry, unit)
+                    elif cause == "unpicklable":
+                        entry["faults"].append(faults.FaultEvent(
+                            "unpicklable", stage="dispatch",
+                            detail="request could not cross the process "
+                                   "boundary; computed in-process"
+                        ).as_dict())
+                        response = self._compute_guarded(entry)
+                    else:  # crash: retried once already
+                        response = self._error(
+                            entry["request"],
+                            "worker process crashed while computing this "
+                            "request (retried once on a fresh worker)",
+                            faults=unit["events"])
+                    yield from finish(entry, response)
+
+    def _timeout_response(self, entry: dict,
+                          unit: dict) -> VerifyResponse:
+        """The deadline SIGKILL backstop fired: a structured ``timeout``
+        verdict (``ok`` stays True -- expiry is a measured outcome)."""
+        deadline = entry["deadline_s"]
+        response = self._response(entry["request"])
+        response.verdict = "timeout"
+        response.detail = (f"deadline exceeded ({deadline:g}s): worker "
+                           f"killed past the grace period")
+        response.degraded = [*unit["events"], *entry["faults"],
+                             _faults().FaultEvent(
+                                 "timeout", stage="worker",
+                                 attempt=unit.get("attempt", 0),
+                                 detail="worker overran the unit deadline "
+                                        "and was SIGKILLed").as_dict()]
+        return response
+
+    def _merge_worker_stats(self, stats: dict) -> None:
+        """Fold one unit's worker-side profile/batch deltas into the
+        service's shared observability state."""
+        if not stats:
+            return
+        from ..formal.prover import bump, bump_max
+        from .procpool import _HIGH_WATER
+        for key, value in (stats.get("profile") or {}).items():
+            if key in _HIGH_WATER:
+                bump_max(self.profile, key, value)
+            else:
+                bump(self.profile, key, value)
+        with self._state_lock:
+            self.batch_groups += stats.get("batch_groups", 0)
+            self.batch_members += stats.get("batch_members", 0)
+
+    def _process_pool(self, workers: int):
+        """The shared process pool, grown on demand (mirrors
+        :meth:`_worker_pool`: never torn down under an executing batch;
+        ``ProcessExecutor.execute`` serializes batches internally)."""
+        from .procpool import ProcessExecutor
+        pool = self._procpool
+        if pool is not None and pool.owner_pid != os.getpid():
+            # inherited across a fork (FVEVAL_JOBS pool worker): the
+            # worker processes belong to the original parent, so drop
+            # the reference untouched and build our own pool
+            pool = self._procpool = None
+        if pool is None or (pool.workers < workers and not pool.busy):
+            if pool is not None:
+                pool.shutdown()
+            pool = ProcessExecutor(workers)
+            self._procpool = pool
+        return pool
+
     def _worker_pool(self, workers: int):
         """The shared thread pool, grown on demand.
 
@@ -603,14 +856,18 @@ class VerificationService:
 
     # -- planning helpers ---------------------------------------------------
 
-    def _error(self, request: VerifyRequest, detail: str) -> VerifyResponse:
+    def _error(self, request: VerifyRequest, detail: str,
+               faults: list | None = None) -> VerifyResponse:
         """The *request itself* failed (bad input, unknown engine
         option): ``ok=False``, so `serve` callers can tell infrastructure
-        failures from measured verdicts."""
+        failures from measured verdicts.  ``faults`` carries the
+        FaultEvent dicts that led here (engine crashes, worker death)."""
         response = self._response(request)
         response.ok = False
         response.verdict = "error"
         response.detail = detail
+        if faults:
+            response.degraded = list(faults)
         return response
 
     def _measured(self, request: VerifyRequest, verdict: str,
@@ -742,6 +999,7 @@ class VerificationService:
         response.partial = primary.partial
         response.detail = primary.detail
         response.meta = dict(primary.meta)
+        response.degraded = list(primary.degraded)
         response.dedup_of = primary.request_id
         return response
 
@@ -762,31 +1020,62 @@ class VerificationService:
         """Compute one verdict; an engine crash costs that request only.
 
         The per-index response guarantee of :meth:`_process` rests here:
-        whatever the engines raise becomes an ``ok=False`` error
-        response for this entry instead of aborting the batch (callers
-        like :meth:`repro.core.tasks._checked` still fail loudly on it).
+        whatever the engines raise is classified into the FaultEvent
+        taxonomy and becomes an ``ok=False`` error response for this
+        entry instead of aborting the batch (callers like
+        :meth:`repro.core.tasks._checked` still fail loudly on it).
+        Resource faults (``MemoryError``/``RecursionError``) get one
+        more attempt -- the degradation ladder's service rung, covering
+        the kinds whose engines have no internal retry.
+        (``KeyboardInterrupt``/``SystemExit`` are BaseExceptions and
+        propagate: a user abort must never become an error verdict.)
         """
-        try:
-            return self._compute(entry)
-        except Exception as exc:
-            return self._error(entry["request"],
-                               f"{type(exc).__name__}: {exc}"[:200])
+        faults = _faults()
+        events: list[dict] = []
+        for attempt in range(2):
+            try:
+                response = self._compute(entry)
+            except Exception as exc:
+                event = faults.classify(exc, stage=entry["request"].kind,
+                                        attempt=attempt)
+                events.append(event.as_dict())
+                if event.retryable and attempt == 0:
+                    continue
+                return self._error(entry["request"], event.detail,
+                                   faults=[*entry["faults"], *events])
+            if events:  # first attempt degraded, retry answered
+                response.degraded = [*events, *response.degraded]
+            return response
 
     def _compute(self, entry: dict) -> VerifyResponse:
         request = entry["request"]
+        if _faults().inject("engine_error") is not None:
+            raise _faults().InjectedFault(
+                f"injected engine_error ({request.namespace})")
         t0 = time.perf_counter()
         response = getattr(self, f"_compute_{request.kind}")(request, entry)
         response.elapsed_s = time.perf_counter() - t0
         response.batch_id = entry.get("batch_id")
-        cache, key = entry.get("cache"), entry.get("key")
-        if cache is not None and key is not None and response.ok:
-            payload = {}
-            for name in _CACHED_FIELDS[request.kind]:
-                value = getattr(response, name)
-                payload[name] = dict(value) if isinstance(value, dict) \
-                    else value
-            cache.put(key, payload)
+        if entry["faults"]:  # planning/pre-pass degradations
+            response.degraded = [*entry["faults"], *response.degraded]
+        self._cache_put(entry, response)
         return response
+
+    def _cache_put(self, entry: dict, response: VerifyResponse) -> None:
+        """Memoize one computed verdict.  ``timeout`` verdicts are
+        deliberately not cached: they describe this run's wall-clock
+        budget, not the sample, and must not mask a future verdict
+        computed under a longer (or no) deadline."""
+        cache, key = entry.get("cache"), entry.get("key")
+        if (cache is None or key is None or not response.ok
+                or response.verdict == "timeout"):
+            return
+        payload = {}
+        for name in _CACHED_FIELDS[entry["request"].kind]:
+            value = getattr(response, name)
+            payload[name] = dict(value) if isinstance(value, dict) \
+                else value
+        cache.put(key, payload)
 
     def _compute_syntax(self, request: VerifyRequest,
                         entry: dict) -> VerifyResponse:
@@ -829,7 +1118,8 @@ class VerificationService:
         # thread); the serial scheduler resolves lazily from the pool
         prover = entry.get("prover") or self._prover_for(entry["design"],
                                                          entry["pool_key"])
-        result = prover.prove(entry["assertion"], assumes=entry["assumes"])
+        result = prover.prove(entry["assertion"], assumes=entry["assumes"],
+                              deadline_s=entry.get("deadline_s"))
         response = self._response(request)
         response.verdict = result.status
         response.func = result.is_proven
@@ -837,6 +1127,11 @@ class VerificationService:
         response.detail = result.detail
         response.meta = {"engine": result.engine, "depth": result.depth,
                          "vacuous": result.vacuous}
+        if result.status == "timeout" and result.stats:
+            # partial profile of the interrupted solve: what the engine
+            # managed before the deadline (docs/robustness.md)
+            response.meta["stats"] = dict(result.stats)
+        response.degraded = list(result.degraded)
         return response
 
     def _compute_trace(self, request: VerifyRequest,

@@ -414,7 +414,7 @@ class TestServeFrontend:
         assert set(wire) == {"request_id", "kind", "ok", "verdict", "func",
                              "partial", "detail", "meta", "cache_hit",
                              "dedup_of", "batch_id", "elapsed_s", "index",
-                             "worker_id"}
+                             "worker_id", "degraded"}
 
 
 class TestCli:
