@@ -34,7 +34,11 @@ interrupt-driven cancellation.  ``--workers N`` runs each category as one
 multi-cone service batch on N in-service worker threads (pair a
 ``--workers 1`` row with a ``--workers N`` row).  ``--executor process``
 moves those units into crash-isolated worker processes -- the
-fault-tolerant execution tier (docs/robustness.md).  ``--expect-mix`` exits
+fault-tolerant execution tier (docs/robustness.md).  ``--http`` drives the
+identical workload through the admission-controlled HTTP frontend (an
+in-process server, ``--clients`` concurrent client threads, one ``POST
+/v1/verify`` batch per design) so a ``--http`` row against a plain row
+reads off the wire + admission overhead.  ``--expect-mix`` exits
 nonzero unless every category produced both ``proven`` and ``cex``
 verdicts and no errors (the CI smoke gate; no timing assertions, so slow
 shared runners cannot flake it).
@@ -142,6 +146,132 @@ def bench_category(category: str, count: int, prover_kwargs: dict,
         if portfolio:
             result["portfolio"] = portfolio
     return result
+
+
+def _wire_source(design, response: str) -> str:
+    """One textual RTL source that evaluates *response* like the task does.
+
+    The HTTP frontend takes wire requests (text only, no pre-parsed
+    ASTs), so the in-process testbench merge is reproduced textually:
+    the generated TB mirrors every DUT port under the same name and
+    adds only its extra items (the ``tb_reset`` alias), so splicing
+    those items plus the fence-stripped response into the DUT's top
+    module -- right before its ``endmodule`` -- yields the same scope,
+    with the candidate as the design's last assertion (which is what a
+    wire ``prove`` request proves).
+    """
+    import re
+    from repro.core.tasks import strip_code_fences
+    lines = design.tb_source.splitlines()
+    end = lines.index("endmodule")
+    last_input = max(i for i, line in enumerate(lines[:end])
+                     if line.lstrip().startswith("input"))
+    tb_items = "\n".join(lines[last_input + 1:end])
+    src = design.source
+    start = re.search(rf"\bmodule\s+{re.escape(design.top)}\b", src).start()
+    splice_at = src.index("endmodule", start)
+    body = tb_items + "\n" + strip_code_fences(response)
+    return src[:splice_at] + "\n" + body + "\n" + src[splice_at:]
+
+
+def bench_category_http(category: str, count: int, prover_kwargs: dict,
+                        use_cache: bool, batching: bool = True,
+                        workers: int | None = None,
+                        executor: str | None = None,
+                        clients: int = 4) -> dict:
+    """Benchmark one category through the HTTP frontend, end to end.
+
+    The workload of :func:`bench_category` -- one correct and one
+    flawed template assertion per design -- serialized to the wire and
+    POSTed to an in-process ``BackgroundServer`` by *clients*
+    concurrent client threads, one ``/v1/verify`` batch per design.
+    Times the full path: HTTP parse, admission, scheduling, engines,
+    response serialization.
+    """
+    import json as _json
+    import queue
+    import threading
+    from http.client import HTTPConnection
+
+    from repro.datasets.design2sva.sweep import build_benchmark
+    from repro.service import (
+        AdmissionController, BackgroundServer, VerificationService,
+    )
+
+    problems = build_benchmark(category, count=count)
+    batches: "queue.Queue[tuple[int, list[dict]]]" = queue.Queue()
+    engine = dict(prover_kwargs)
+    for i, design in enumerate(problems):
+        rng = random.Random(i)
+        batch = []
+        for j, response in enumerate(_responses_for(design, rng)):
+            batch.append({"kind": "prove",
+                          "source": _wire_source(design, response),
+                          "top": design.top, "engine": dict(engine),
+                          "cache_ns": f"bench_http_{category}",
+                          "use_cache": use_cache,
+                          "request_id": f"{category}-{i}-{j}"})
+        batches.put((i, batch))
+
+    verdicts: dict[str, int] = {}
+    proofs = 0
+    errors: list[str] = []
+    lock = threading.Lock()
+
+    admission = AdmissionController()
+    service = VerificationService(batching=batching, workers=workers,
+                                  executor=executor, admission=admission)
+    with BackgroundServer(service=service, admission=admission) as bg:
+        host, port = bg.address
+
+        def client():
+            nonlocal proofs
+            conn = HTTPConnection(host, port, timeout=600)
+            try:
+                while True:
+                    try:
+                        _, batch = batches.get_nowait()
+                    except queue.Empty:
+                        return
+                    conn.request("POST", "/v1/verify", _json.dumps(batch))
+                    reply = conn.getresponse()
+                    body = _json.loads(reply.read())
+                    with lock:
+                        if reply.status != 200:
+                            errors.append(f"status {reply.status}")
+                            continue
+                        for item in body:
+                            verdicts[item["verdict"]] = \
+                                verdicts.get(item["verdict"], 0) + 1
+                            proofs += 1
+            finally:
+                conn.close()
+
+        t0 = time.perf_counter()
+        threads = [threading.Thread(target=client)
+                   for _ in range(max(1, clients))]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        elapsed = time.perf_counter() - t0
+        stats = admission.stats()
+    service.close()
+
+    if errors:
+        raise RuntimeError(f"http bench had non-200 batches: {errors[:3]}")
+    return {
+        "designs": len(problems),
+        "proofs": proofs,
+        "wall_s": round(elapsed, 4),
+        "per_proof_ms": round(1000.0 * elapsed / max(1, proofs), 3),
+        "verdicts": dict(sorted(verdicts.items())),
+        "http": {"clients": max(1, clients),
+                 "admitted_units": stats["admitted_units"],
+                 "shed_units": stats["shed_units"],
+                 "peak_inflight": stats["peak_inflight"],
+                 "unit_latency_s": stats["unit_latency_s"]},
+    }
 
 
 def scheduling_stats(task) -> dict:
@@ -287,6 +417,15 @@ def build_parser() -> argparse.ArgumentParser:
                          "interrupt-driven cancellation (default: "
                          "$FVEVAL_PORTFOLIO_THREADS, else the "
                          "single-threaded budget ladder)")
+    ap.add_argument("--http", action="store_true",
+                    help="drive the workload through the HTTP frontend "
+                         "(an in-process server, concurrent clients, one "
+                         "POST /v1/verify batch per design) instead of "
+                         "the Python API -- the wire-throughput row "
+                         "(docs/service.md)")
+    ap.add_argument("--clients", type=int, default=4,
+                    help="with --http: concurrent client threads "
+                         "(default 4)")
     ap.add_argument("--expect-mix", action="store_true",
                     help="fail unless every category has proven+cex verdicts")
     ap.add_argument("--output", default=str(
@@ -325,12 +464,21 @@ def main() -> int:
         "batch": not args.no_batch,
         "categories": {},
     }
+    if args.http:
+        entry["http"] = True
     for category in CATEGORIES:
-        entry["categories"][category] = bench_category(
-            category, args.count, prover_kwargs,
-            use_cache=not args.no_cache, with_profile=args.profile,
-            batching=not args.no_batch, workers=args.workers,
-            executor=args.executor)
+        if args.http:
+            entry["categories"][category] = bench_category_http(
+                category, args.count, prover_kwargs,
+                use_cache=not args.no_cache,
+                batching=not args.no_batch, workers=args.workers,
+                executor=args.executor, clients=args.clients)
+        else:
+            entry["categories"][category] = bench_category(
+                category, args.count, prover_kwargs,
+                use_cache=not args.no_cache, with_profile=args.profile,
+                batching=not args.no_batch, workers=args.workers,
+                executor=args.executor)
         data = entry["categories"][category]
         print(f"{category:>9}: designs={data['designs']} "
               f"proofs={data['proofs']} wall={data['wall_s']}s "

@@ -8,9 +8,12 @@ Commands:
                                     assertion-to-assertion equivalence
     generate {fsm,pipeline} [--seed N]   emit a synthetic design to stdout
     serve [--no-batch] [--workers N] [--deadline SECONDS]
-          [--executor {thread,process}]
+          [--executor {thread,process}] [--http HOST:PORT]
+          [--max-queue N] [--max-inflight N] [--max-deadline SECONDS]
                                     JSON-lines verification service on
-                                    stdin/stdout (docs/service.md)
+                                    stdin/stdout, or an admission-
+                                    controlled HTTP server with --http
+                                    (docs/service.md)
     cache-gc [DIR] [--max-age-days N] [--max-entries N] [--max-bytes N]
                                     compact an FVEVAL_CACHE directory
 """
@@ -95,18 +98,33 @@ def _cmd_generate(args) -> int:
 
 
 def _cmd_serve(args) -> int:
-    from .service import VerificationService, serve_stream
+    from .core.cache import mem_cap_from_env
+    from .service import (
+        AdmissionController, VerificationService, serve_http, serve_stream,
+    )
     # the in-memory verdict layer is capped: serve is a long-running
     # process and must not grow per distinct request forever (the disk
     # layer, when FVEVAL_CACHE is set, still holds everything and is
-    # compacted by cache-gc)
+    # compacted by cache-gc).  FVEVAL_CACHE_MEM_MAX overrides the
+    # default entry cap and/or adds an approximate byte cap; eviction
+    # is LRU either way.
+    max_entries, max_bytes = mem_cap_from_env()
+    if max_entries is None and max_bytes is None:
+        max_entries = 65536
+    admission = AdmissionController(max_queue=args.max_queue,
+                                    max_inflight=args.max_inflight,
+                                    max_deadline_s=args.max_deadline)
     service = VerificationService(batching=False if args.no_batch else None,
-                                  max_cache_entries=65536,
+                                  max_cache_entries=max_entries,
+                                  max_cache_bytes=max_bytes,
                                   workers=args.workers,
                                   deadline_s=args.deadline,
-                                  executor=args.executor)
+                                  executor=args.executor,
+                                  admission=admission)
     try:
-        return serve_stream(sys.stdin, sys.stdout, service)
+        if args.http:
+            return serve_http(args.http, service, admission)
+        return serve_stream(sys.stdin, sys.stdout, service, admission)
     finally:
         service.close()
 
@@ -195,6 +213,28 @@ def build_parser() -> argparse.ArgumentParser:
                    help="execution tier: 'process' runs work units in "
                         "crash-isolated worker processes (default: "
                         "$FVEVAL_EXECUTOR, else thread)")
+    p.add_argument("--http", default=None, metavar="HOST:PORT",
+                   help="serve HTTP instead of stdin/stdout JSON lines: "
+                        "POST /v1/verify plus healthz/readyz/metrics "
+                        "(port 0 binds an ephemeral port, printed to "
+                        "stderr; docs/service.md)")
+    p.add_argument("--max-queue", type=int, default=None, metavar="N",
+                   help="bounded admission queue in requests; arrivals "
+                        "past the high watermark get structured "
+                        "'overloaded' responses (HTTP: 503 with "
+                        "Retry-After) instead of queuing without bound "
+                        "(default: $FVEVAL_MAX_QUEUE, else 256)")
+    p.add_argument("--max-inflight", type=int, default=None, metavar="N",
+                   help="cap on concurrently executing requests (also "
+                        "the per-connection cap of the HTTP frontend; "
+                        "default: $FVEVAL_MAX_INFLIGHT, else "
+                        "min(32, 4*cores))")
+    p.add_argument("--max-deadline", type=float, default=None,
+                   metavar="SECONDS",
+                   help="server-wide deadline ceiling: every request's "
+                        "effective deadline is clamped to this, "
+                        "including requests that asked for none "
+                        "(default: no ceiling)")
     p.set_defaults(fn=_cmd_serve)
 
     p = sub.add_parser("cache-gc",

@@ -42,6 +42,7 @@ import json
 import os
 import tempfile
 import threading
+from collections import OrderedDict
 from pathlib import Path
 
 #: bump to invalidate all persisted entries on semantics changes
@@ -62,6 +63,39 @@ def caching_disabled() -> bool:
     return os.environ.get("FVEVAL_NO_CACHE", "") == "1"
 
 
+def mem_cap_from_env() -> tuple[int | None, int | None]:
+    """``FVEVAL_CACHE_MEM_MAX``: in-memory layer cap for long-running
+    services, as ``(max_entries, max_bytes)``.
+
+    A plain integer caps *entries*; a ``K``/``M``/``G``-suffixed value
+    caps approximate JSON *bytes*; a comma joins both (``"50000,64M"``).
+    Unset, non-positive or unparsable terms cap nothing -- the caller
+    (``python -m repro serve``) applies its own default when both come
+    back None.
+    """
+    raw = os.environ.get("FVEVAL_CACHE_MEM_MAX", "").strip()
+    entries: int | None = None
+    max_bytes: int | None = None
+    units = {"K": 1024, "M": 1024 ** 2, "G": 1024 ** 3}
+    for term in raw.split(","):
+        term = term.strip().upper()
+        if not term:
+            continue
+        scale = units.get(term[-1])
+        try:
+            if scale is not None:
+                value = int(term[:-1]) * scale
+                if value > 0:
+                    max_bytes = value
+            else:
+                value = int(term)
+                if value > 0:
+                    entries = value
+        except ValueError:
+            continue
+    return entries, max_bytes
+
+
 class VerdictCache:
     """Two-layer (memory + optional disk) verdict store.
 
@@ -70,16 +104,23 @@ class VerdictCache:
     """
 
     def __init__(self, namespace: str, disk_dir: str | None | object = None,
-                 max_mem_entries: int | None = None):
+                 max_mem_entries: int | None = None,
+                 max_mem_bytes: int | None = None):
         self.namespace = namespace
         self._explicit_dir = disk_dir
-        #: cap on the in-memory layer (None = unbounded).  Benchmark runs
-        #: terminate, so they default unbounded; long-running services
-        #: (``python -m repro serve``) pass a cap -- eviction is
-        #: oldest-inserted first, and a capped entry that was also
+        #: caps on the in-memory layer (None = unbounded).  Benchmark
+        #: runs terminate, so they default unbounded; long-running
+        #: services (``python -m repro serve`` /
+        #: ``FVEVAL_CACHE_MEM_MAX``) pass caps -- eviction is LRU (a
+        #: ``get`` refreshes recency), and a capped entry that was also
         #: persisted simply costs a disk re-read later.
         self.max_mem_entries = max_mem_entries
-        self.mem: dict[str, dict] = {}
+        #: approximate byte cap over the entries' compact-JSON size
+        self.max_mem_bytes = max_mem_bytes
+        self.mem: OrderedDict[str, dict] = OrderedDict()
+        #: compact-JSON size per key (maintained only under a byte cap)
+        self._mem_sizes: dict[str, int] = {}
+        self._mem_bytes = 0
         self.hits = 0
         self.misses = 0
         self.disk_hits = 0
@@ -104,11 +145,37 @@ class VerdictCache:
         self.__dict__.update(state)
         self._lock = threading.RLock()
 
+    def _insert_mem(self, key: str, value: dict) -> None:
+        """Insert/refresh one memory entry and enforce the LRU caps.
+
+        Runs under ``self._lock``.  Front of the OrderedDict = least
+        recently used; hits call :meth:`_touch_mem` so "used" means
+        read, not just written.
+        """
+        if key in self.mem:
+            self.mem.move_to_end(key)
+            if self.mem[key] is value:
+                return
+            self._mem_bytes -= self._mem_sizes.pop(key, 0)
+        self.mem[key] = value
+        if self.max_mem_bytes is not None:
+            size = len(json.dumps(value, separators=(",", ":"),
+                                  default=str))
+            self._mem_sizes[key] = size
+            self._mem_bytes += size
+        self._bound_mem()
+
+    def _touch_mem(self, key: str) -> None:
+        self.mem.move_to_end(key)
+
     def _bound_mem(self) -> None:
-        if self.max_mem_entries is None:
-            return
-        while len(self.mem) > self.max_mem_entries:
-            self.mem.pop(next(iter(self.mem)))  # FIFO: oldest inserted
+        while ((self.max_mem_entries is not None
+                and len(self.mem) > self.max_mem_entries)
+               or (self.max_mem_bytes is not None
+                   and self._mem_bytes > self.max_mem_bytes
+                   and len(self.mem) > 1)):
+            evicted, _value = self.mem.popitem(last=False)  # LRU first
+            self._mem_bytes -= self._mem_sizes.pop(evicted, 0)
 
     # -- keys ----------------------------------------------------------------
 
@@ -138,6 +205,7 @@ class VerdictCache:
         with self._lock:
             value = self.mem.get(key)
             if value is not None:
+                self._touch_mem(key)  # LRU: eviction by last *read*
                 self.hits += 1
                 return value
         path = self._path(key)
@@ -164,8 +232,7 @@ class VerdictCache:
                     value = None
                 if value is not None:
                     with self._lock:
-                        self.mem[key] = value
-                        self._bound_mem()
+                        self._insert_mem(key, value)
                         self.hits += 1
                         self.disk_hits += 1
                     try:
@@ -190,8 +257,7 @@ class VerdictCache:
 
     def put(self, key: str, value: dict) -> None:
         with self._lock:
-            self.mem[key] = value
-            self._bound_mem()
+            self._insert_mem(key, value)
             self.puts += 1
         path = self._path(key)
         if path is None:
@@ -211,9 +277,12 @@ class VerdictCache:
 
     def stats(self) -> dict[str, int]:
         with self._lock:
-            return {"hits": self.hits, "misses": self.misses,
-                    "disk_hits": self.disk_hits, "puts": self.puts,
-                    "entries": len(self.mem), "corrupt": self.corrupt}
+            stats = {"hits": self.hits, "misses": self.misses,
+                     "disk_hits": self.disk_hits, "puts": self.puts,
+                     "entries": len(self.mem), "corrupt": self.corrupt}
+            if self.max_mem_bytes is not None:
+                stats["mem_bytes"] = self._mem_bytes
+            return stats
 
 
 # ---------------------------------------------------------------------------

@@ -44,6 +44,8 @@ FAULT_CODES = (
     "engine_error",   # unclassified engine exception
     "cache_corrupt",  # corrupt/truncated disk-cache entry quarantined
     "unpicklable",    # work unit could not cross the process boundary
+    "overload",       # admission control shed the request (bounded queue)
+    "config",         # invalid env/config value replaced by a default
 )
 
 

@@ -26,6 +26,7 @@ are scored by a single bit-parallel falsification pass per design cone
 (:mod:`repro.service.batch`).
 """
 
+from .admission import AdmissionController
 from .api import (
     KINDS,
     RequestError,
@@ -36,6 +37,7 @@ from .api import (
 )
 from .executor import resolve_workers
 from .frontend import serve_stream
+from .http import BackgroundServer, HttpVerificationServer, serve_http
 from .procpool import resolve_executor
 from .service import (
     Handle,
@@ -46,9 +48,10 @@ from .service import (
 )
 
 __all__ = [
-    "KINDS", "Handle", "RequestError", "VerificationService",
+    "KINDS", "AdmissionController", "BackgroundServer", "Handle",
+    "HttpVerificationServer", "RequestError", "VerificationService",
     "VerifyRequest", "VerifyResponse", "batching_disabled",
     "deadline_from_env", "design_signature", "request_from_json",
     "resolve_executor", "resolve_workers", "response_to_json",
-    "serve_stream",
+    "serve_http", "serve_stream",
 ]

@@ -20,7 +20,13 @@ Wire protocol (documented in docs/service.md):
   within the flushed batch as ``index``;
 * a line that fails to decode or validate produces an immediate
   ``{"ok": false, "verdict": "error", ...}`` response for that line
-  only; the batch keeps accumulating.
+  only; the batch keeps accumulating;
+* with an admission controller attached (``serve --max-queue`` /
+  ``FVEVAL_MAX_QUEUE``), a line arriving while the bounded queue is
+  full produces an immediate ``{"ok": false, "verdict": "overloaded",
+  ...}`` response -- carrying an ``overload`` fault event and a
+  ``retry_after_s`` estimate in ``meta`` -- instead of buffering
+  without bound (docs/robustness.md).
 
 Responses echo ``request_id`` (assigned ``req<n>`` when the caller sent
 none), so callers may correlate out-of-band; out-of-order consumers
@@ -31,21 +37,27 @@ from __future__ import annotations
 
 import json
 
+from .admission import AdmissionController
 from .api import RequestError, request_from_json, response_to_json
 from .service import VerificationService
 
 
 def serve_stream(in_stream, out_stream,
-                 service: VerificationService | None = None) -> int:
+                 service: VerificationService | None = None,
+                 admission: AdmissionController | None = None) -> int:
     """Run the request/response loop; returns a process exit status.
 
     The exit status is 0 when every line was schedulable, 1 when any
-    request failed to decode/validate or any verdict came back
-    ``ok=false`` (engine-level errors still produce a response line --
-    the stream keeps going).
+    request failed to decode/validate, was shed by admission control,
+    or any verdict came back ``ok=false`` (engine-level errors still
+    produce a response line -- the stream keeps going).
     """
     service = service or VerificationService()
+    if admission is not None and service.admission is None:
+        # deadline clamping + unit-latency observation ride the service
+        service.admission = admission
     pending = []
+    tickets = []
     failures = 0
 
     def emit(obj: dict) -> None:
@@ -53,8 +65,11 @@ def serve_stream(in_stream, out_stream,
         out_stream.flush()
 
     def flush() -> int:
-        nonlocal pending
+        nonlocal pending, tickets
         batch, pending = pending, []
+        batch_tickets, tickets = tickets, []
+        for ticket in batch_tickets:
+            ticket.start()
         bad = 0
         answered: set[int] = set()
         try:
@@ -80,6 +95,11 @@ def serve_stream(in_stream, out_stream,
                       request.kind, "ok": False, "verdict": "error",
                       "detail": event["detail"], "index": position,
                       "degraded": [event]})
+        finally:
+            # finish-after-write: the admission layer's "idle" then
+            # means every owed response line has been emitted
+            for ticket in batch_tickets:
+                ticket.finish()
         return bad
 
     lineno = 0
@@ -103,6 +123,16 @@ def serve_stream(in_stream, out_stream,
             emit({"request_id": rid, "kind": str(kind), "ok": False,
                   "verdict": "error", "detail": str(exc)[:200]})
             continue
+        if admission is not None:
+            ticket = admission.try_admit(1)
+            if ticket is None:
+                # bounded queue: shed now with a structured response
+                # instead of accumulating without bound
+                failures += 1
+                emit(response_to_json(admission.shed_response(
+                    request.request_id, request.kind)))
+                continue
+            tickets.append(ticket)
         pending.append(request)
     failures += flush()
     return 1 if failures else 0

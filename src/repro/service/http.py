@@ -1,0 +1,632 @@
+"""Asyncio HTTP frontend of the verification service (``python -m repro
+serve --http HOST:PORT``).
+
+Stdlib only (``asyncio.start_server`` + a minimal HTTP/1.1 parser): the
+repo's no-new-hard-deps rule applies to the network edge too.  The
+frontend exposes:
+
+``POST /v1/verify``
+    One :class:`~repro.service.api.VerifyRequest` wire object -- or a
+    JSON array of them, scheduled as one batch so in-flight dedup and
+    the cross-sample batch scheduler see them together.  The response
+    body mirrors the input shape (object in, object out; array in,
+    array out) using the exact JSON-lines wire form
+    (:func:`~repro.service.api.response_to_json`), each response
+    carrying its zero-based ``index`` within the POSTed batch.  Status
+    codes: 200 (every index answered; individual responses may still be
+    ``ok=false``), 400 (unparseable body, empty batch, or a single
+    invalid request), 503 + ``Retry-After`` (admission shed the batch;
+    body is one structured ``overloaded`` response), 500 (an
+    infrastructure failure mid-batch; the body still answers every
+    index with ``ok=false`` error responses).
+``GET /healthz``
+    Liveness: 200 always -- including under overload and during drain.
+``GET /readyz``
+    Readiness: 200 while admitting, 503 once saturated or draining.
+``GET /metrics``
+    JSON counters: admission state (queue depth, in-flight units,
+    sheds), per-verdict totals, per-fault-code totals from the PR 6
+    taxonomy (docs/robustness.md), retry/degraded/timeout counts,
+    cache hit rates, HTTP status buckets.
+
+Overload behaviour is the point (docs/robustness.md): admission happens
+*before* scheduling, on the shared
+:class:`~repro.service.admission.AdmissionController`, so a saturated
+server answers 503 in microseconds instead of queuing minutes of work
+it will answer too late.  Graceful drain on SIGTERM/SIGINT: stop
+listening, stop admitting, let in-flight batches finish (or deadline
+out through the existing three-layer enforcement), write every owed
+response, then exit 0.  A second signal force-kills worker processes
+via the procpool backstop and exits nonzero immediately.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+import os
+import signal
+import sys
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from .admission import AdmissionController
+from .api import (
+    RequestError, VerifyResponse, request_from_json, response_to_json,
+)
+from .service import VerificationService
+
+#: request-body ceiling (a design source is tens of KB; 8 MiB is loud
+#: misuse, not a workload)
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+#: per-header-section line cap
+_MAX_HEADERS = 100
+
+_REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
+            405: "Method Not Allowed", 411: "Length Required",
+            413: "Payload Too Large", 500: "Internal Server Error",
+            501: "Not Implemented", 503: "Service Unavailable"}
+
+
+class _HttpError(Exception):
+    """A connection-level protocol error (answered, then closed)."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+@dataclass
+class _HttpRequest:
+    method: str
+    path: str
+    headers: dict = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def wants_close(self) -> bool:
+        return self.headers.get("connection", "").lower() == "close"
+
+
+async def _read_request(reader) -> _HttpRequest | None:
+    """Parse one HTTP/1.1 request; None on a clean EOF."""
+    try:
+        line = await reader.readline()
+    except ValueError:
+        raise _HttpError(400, "request line too long")
+    if not line:
+        return None
+    text = line.decode("latin-1").strip()
+    if not text:
+        return await _read_request(reader)  # tolerate stray CRLFs
+    parts = text.split()
+    if len(parts) != 3:
+        raise _HttpError(400, "malformed request line")
+    method, target, version = parts
+    if not version.startswith("HTTP/1."):
+        raise _HttpError(400, f"unsupported protocol {version}")
+    headers: dict[str, str] = {}
+    while True:
+        try:
+            raw = await reader.readline()
+        except ValueError:
+            raise _HttpError(400, "header line too long")
+        if not raw:
+            raise _HttpError(400, "truncated headers")
+        text_line = raw.decode("latin-1").rstrip("\r\n")
+        if not text_line:
+            break
+        name, sep, value = text_line.partition(":")
+        if not sep:
+            raise _HttpError(400, "malformed header")
+        headers[name.strip().lower()] = value.strip()
+        if len(headers) > _MAX_HEADERS:
+            raise _HttpError(400, "too many headers")
+    body = b""
+    if method in ("POST", "PUT"):
+        if "transfer-encoding" in headers:
+            raise _HttpError(501, "chunked bodies are not supported")
+        raw_length = headers.get("content-length")
+        if raw_length is None:
+            raise _HttpError(411, "Content-Length required")
+        try:
+            length = int(raw_length)
+        except ValueError:
+            raise _HttpError(400, "bad Content-Length")
+        if length < 0:
+            raise _HttpError(400, "bad Content-Length")
+        if length > MAX_BODY_BYTES:
+            raise _HttpError(413,
+                             f"body exceeds {MAX_BODY_BYTES} bytes")
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            raise _HttpError(400, "truncated body")
+    return _HttpRequest(method, target.split("?", 1)[0], headers, body)
+
+
+def _encode(status: int, body_obj, close: bool = False,
+            extra: tuple = ()) -> bytes:
+    body = json.dumps(body_obj).encode()
+    lines = [f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}",
+             "Content-Type: application/json",
+             f"Content-Length: {len(body)}",
+             f"Connection: {'close' if close else 'keep-alive'}"]
+    lines += [f"{name}: {value}" for name, value in extra]
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+
+
+class HttpVerificationServer:
+    """The asyncio server: admission-gated verify plus health/metrics.
+
+    One instance owns one listening socket, one shared
+    :class:`~repro.service.service.VerificationService` and one
+    :class:`~repro.service.admission.AdmissionController` (wired onto
+    the service for deadline clamping and latency observation).
+    Batches execute on a thread pool sized to the in-flight cap; the
+    cap itself is enforced *before* dispatch, so the pool can never
+    hold more than ``max_inflight`` units of admitted work.
+    """
+
+    def __init__(self, service: VerificationService | None = None,
+                 admission: AdmissionController | None = None,
+                 host: str = "127.0.0.1", port: int = 0):
+        self.service = service or VerificationService()
+        self.admission = admission or AdmissionController()
+        if self.service.admission is None:
+            self.service.admission = self.admission
+        self.host = host
+        self.port = port
+        self._server: asyncio.base_events.Server | None = None
+        self._slots: asyncio.Condition | None = None
+        self._drain_event: asyncio.Event | None = None
+        self._forced = False
+        self._writers: set = set()
+        self._conn_tasks: set = set()
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.admission.max_inflight,
+            thread_name_prefix="fveval-http")
+        # metrics counters -- mutated on the event-loop thread only
+        self.http_requests = 0
+        self.status_totals: dict[str, int] = {}
+        self.verdict_totals: dict[str, int] = {}
+        self.fault_totals: dict[str, int] = {}
+        self.retried_faults = 0
+        self.degraded_responses = 0
+        self.shed_responses = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        self._slots = asyncio.Condition()
+        self._drain_event = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_conn, self.host, self.port)
+
+    @property
+    def address(self) -> tuple[str, int]:
+        assert self._server is not None and self._server.sockets
+        name = self._server.sockets[0].getsockname()
+        return name[0], name[1]
+
+    def install_signal_handlers(self) -> None:
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, self._on_signal)
+            except (NotImplementedError, RuntimeError):
+                signal.signal(signum, lambda *_: self._on_signal())
+
+    def _on_signal(self) -> None:
+        if self._drain_event is not None and self._drain_event.is_set():
+            self.force_shutdown()
+        else:
+            self.begin_drain()
+
+    def begin_drain(self) -> None:
+        """Stop admitting and stop listening; in-flight work finishes.
+
+        Must be called on the event-loop thread (the signal handlers
+        and :class:`BackgroundServer` both arrange that).
+        """
+        self.admission.begin_drain()
+        if self._drain_event is not None:
+            self._drain_event.set()
+
+    def force_shutdown(self) -> None:
+        """Second-signal path: kill worker processes via the procpool
+        backstop and abandon the drain."""
+        self._forced = True
+        try:
+            self.service.close()
+        except Exception:
+            pass
+        if self._slots is not None:
+            asyncio.get_running_loop().create_task(self._notify_slots())
+
+    @property
+    def forced(self) -> bool:
+        return self._forced
+
+    async def wait_drained(self) -> int:
+        """Block until a drain completes; 0 on graceful, 1 on forced."""
+        assert self._drain_event is not None
+        await self._drain_event.wait()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        # every admitted unit must be answered (and written -- tickets
+        # finish after the response bytes are flushed) before exit
+        while not self.admission.idle() and not self._forced:
+            await asyncio.sleep(0.02)
+        for writer in list(self._writers):
+            try:
+                writer.close()
+            except Exception:
+                pass
+        # let handler tasks observe the closed transports and return,
+        # so loop teardown never cancels a task mid-await
+        lingering = set(self._conn_tasks)
+        if lingering and not self._forced:
+            await asyncio.wait(lingering, timeout=5)
+        self._executor.shutdown(wait=False)
+        return 1 if self._forced else 0
+
+    async def _notify_slots(self) -> None:
+        assert self._slots is not None
+        async with self._slots:
+            self._slots.notify_all()
+
+    # -- connection handling -------------------------------------------------
+
+    async def _handle_conn(self, reader, writer) -> None:
+        self._writers.add(writer)
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        conn = object()  # identity key for the per-connection unit cap
+        try:
+            while True:
+                try:
+                    request = await _read_request(reader)
+                except _HttpError as exc:
+                    await self._write(writer, exc.status,
+                                      {"ok": False, "error": exc.message},
+                                      close=True)
+                    return
+                except (ConnectionError, OSError):
+                    return
+                if request is None:
+                    return
+                self.http_requests += 1
+                close = request.wants_close
+                if (request.method == "POST"
+                        and request.path == "/v1/verify"):
+                    await self._handle_verify(request, writer, conn, close)
+                else:
+                    status, body = self._route_simple(request)
+                    await self._write(writer, status, body, close=close)
+                if close or (self._drain_event is not None
+                             and self._drain_event.is_set()):
+                    return
+        finally:
+            self._writers.discard(writer)
+            if task is not None:
+                self._conn_tasks.discard(task)
+            try:
+                writer.close()
+            except Exception:
+                pass
+
+    def _route_simple(self, request: _HttpRequest):
+        if request.path == "/healthz":
+            if request.method != "GET":
+                return 405, {"ok": False, "error": "GET only"}
+            # liveness must answer under overload and during drain:
+            # no admission check, no locks beyond the stats snapshot
+            return 200, {"status": "alive",
+                         "draining": self.admission.draining}
+        if request.path == "/readyz":
+            if request.method != "GET":
+                return 405, {"ok": False, "error": "GET only"}
+            if self.admission.ready():
+                return 200, {"status": "ready"}
+            state = ("draining" if self.admission.draining
+                     else "saturated")
+            return 503, {"status": state}
+        if request.path == "/metrics":
+            if request.method != "GET":
+                return 405, {"ok": False, "error": "GET only"}
+            return 200, self.metrics()
+        if request.path == "/v1/verify":
+            return 405, {"ok": False, "error": "POST only"}
+        return 404, {"ok": False, "error": f"no route {request.path}"}
+
+    # -- the verify path -----------------------------------------------------
+
+    async def _handle_verify(self, request: _HttpRequest, writer, conn,
+                             close: bool) -> None:
+        try:
+            payload = json.loads(request.body.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError):
+            await self._write(writer, 400,
+                              {"ok": False,
+                               "error": "body is not valid JSON"},
+                              close=close)
+            return
+        single = not isinstance(payload, list)
+        items = [payload] if single else payload
+        if not items:
+            await self._write(writer, 400,
+                              {"ok": False, "error": "empty batch"},
+                              close=close)
+            return
+
+        # validate positions up front; invalid items never cost units
+        parsed: list[tuple[int, object, VerifyResponse | None]] = []
+        for position, item in enumerate(items):
+            try:
+                parsed.append((position, request_from_json(item), None))
+            except (RequestError, TypeError) as exc:
+                rid = (item.get("request_id", "")
+                       if isinstance(item, dict) else "")
+                kind = (str(item.get("kind", ""))
+                        if isinstance(item, dict) else "")
+                error = VerifyResponse(request_id=rid, kind=kind)
+                error.ok = False
+                error.verdict = "error"
+                error.detail = str(exc)[:200]
+                parsed.append((position, None, error))
+        live = [(pos, req) for pos, req, _err in parsed if req is not None]
+
+        if single and not live:
+            wire = response_to_json(parsed[0][2])
+            wire["index"] = 0
+            self._fold(wire)
+            await self._write(writer, 400, wire, close=close)
+            return
+
+        ticket = None
+        if live:
+            ticket = self.admission.try_admit(len(live), conn=conn)
+            if ticket is None:
+                retry_after = self.admission.retry_after_s()
+                rid = live[0][1].request_id if single else ""
+                shed = self.admission.shed_response(
+                    rid, live[0][1].kind if single else "")
+                wire = response_to_json(shed)
+                wire["meta"]["shed_units"] = len(live)
+                self.shed_responses += 1
+                self._fold(wire)
+                await self._write(
+                    writer, 503, wire, close=close,
+                    extra=(("Retry-After",
+                            str(math.ceil(retry_after))),))
+                return
+
+        status = 200
+        responses: list[VerifyResponse] = []
+        infra_failed = False
+        try:
+            if ticket is not None:
+                assert self._slots is not None
+                async with self._slots:
+                    # the in-flight cap: dispatch only when this
+                    # batch's units fit under max_inflight
+                    await self._slots.wait_for(
+                        lambda: self._forced
+                        or (self.admission.inflight + ticket.units
+                            <= self.admission.max_inflight))
+                    if self._forced:
+                        await self._write(
+                            writer, 503,
+                            {"ok": False, "error": "shutting down"},
+                            close=True)
+                        return
+                    ticket.start()
+                loop = asyncio.get_running_loop()
+                responses, infra_failed = await loop.run_in_executor(
+                    self._executor, self._run_batch,
+                    [req for _pos, req in live])
+                if infra_failed:
+                    status = 500
+            wire_out: list[dict | None] = [None] * len(items)
+            for pos, _req, err in parsed:
+                if err is not None:
+                    wire = response_to_json(err)
+                    wire["index"] = pos
+                    wire_out[pos] = wire
+            for (pos, _req), response in zip(live, responses):
+                wire = response_to_json(response)
+                wire["index"] = pos
+                wire_out[pos] = wire
+            for wire in wire_out:
+                self._fold(wire)
+            await self._write(writer, status,
+                              wire_out[0] if single else wire_out,
+                              close=close)
+        finally:
+            if ticket is not None:
+                # finish-after-write: drain's "idle" implies every owed
+                # response index has been emitted
+                ticket.finish()
+                await self._notify_slots()
+
+    def _run_batch(self, requests):
+        """Execute one admitted batch on a pool thread.
+
+        Never raises: an infrastructure failure maps to one ``ok=False``
+        error response per index (the JSON-lines frontend's mid-batch
+        contract), flagged so the HTTP status becomes 500.
+        """
+        try:
+            return self.service.run(requests), False
+        except Exception as exc:
+            from ..core.faults import classify
+            event = classify(exc, stage="service").as_dict()
+            out = []
+            for index, request in enumerate(requests):
+                response = VerifyResponse(
+                    request_id=request.request_id or "",
+                    kind=request.kind)
+                response.ok = False
+                response.verdict = "error"
+                response.detail = event["detail"]
+                response.degraded = [event]
+                response.index = index
+                out.append(response)
+            return out, True
+
+    # -- metrics -------------------------------------------------------------
+
+    def _fold(self, wire: dict | None) -> None:
+        if not wire:
+            return
+        verdict = wire.get("verdict") or ""
+        self.verdict_totals[verdict] = \
+            self.verdict_totals.get(verdict, 0) + 1
+        degraded = wire.get("degraded") or []
+        if degraded:
+            self.degraded_responses += 1
+        for event in degraded:
+            code = event.get("code", "?")
+            self.fault_totals[code] = self.fault_totals.get(code, 0) + 1
+            if event.get("retryable"):
+                self.retried_faults += 1
+
+    def metrics(self) -> dict:
+        cache = self.service.cache_stats()
+        lookups = cache.get("hits", 0) + cache.get("misses", 0)
+        cache = {**cache,
+                 "hit_rate": (round(cache.get("hits", 0) / lookups, 4)
+                              if lookups else 0.0)}
+        service_stats = self.service.stats()
+        service_stats.pop("cache", None)
+        service_stats.pop("admission", None)
+        return {
+            "admission": self.admission.stats(),
+            "retry_after_s": round(self.admission.retry_after_s(), 3),
+            "verdicts": dict(self.verdict_totals),
+            "faults": dict(self.fault_totals),
+            "retried_faults": self.retried_faults,
+            "degraded_responses": self.degraded_responses,
+            "timeout_responses": self.verdict_totals.get("timeout", 0),
+            "shed_responses": self.shed_responses,
+            "http": {"requests": self.http_requests,
+                     "responses": dict(self.status_totals)},
+            "cache": cache,
+            "service": service_stats,
+        }
+
+    async def _write(self, writer, status: int, body, close: bool = False,
+                     extra: tuple = ()) -> None:
+        bucket = f"{status // 100}xx"
+        self.status_totals[bucket] = self.status_totals.get(bucket, 0) + 1
+        try:
+            writer.write(_encode(status, body, close=close, extra=extra))
+            await writer.drain()
+        except (ConnectionError, OSError, RuntimeError):
+            pass  # the client went away; the work is still accounted
+
+
+def parse_address(spec: str) -> tuple[str, int]:
+    """``HOST:PORT`` (port 0 binds an ephemeral port)."""
+    host, sep, port = spec.rpartition(":")
+    if not sep:
+        raise ValueError(f"--http expects HOST:PORT, got {spec!r}")
+    try:
+        port_num = int(port)
+    except ValueError:
+        raise ValueError(f"--http port must be an integer, got {port!r}")
+    return host or "127.0.0.1", port_num
+
+
+async def _serve_async(server: HttpVerificationServer) -> int:
+    await server.start()
+    server.install_signal_handlers()
+    host, port = server.address
+    # scraped by tests/CI to learn an ephemeral port; stderr so stdout
+    # stays clean for tooling
+    print(f"serving on http://{host}:{port}", file=sys.stderr, flush=True)
+    return await server.wait_drained()
+
+
+def serve_http(spec: str, service: VerificationService | None = None,
+               admission: AdmissionController | None = None) -> int:
+    """Run the HTTP frontend until a signal drains it; returns the
+    process exit status (0 graceful drain, 1 forced)."""
+    host, port = parse_address(spec)
+    server = HttpVerificationServer(service=service, admission=admission,
+                                    host=host, port=port)
+    status = asyncio.run(_serve_async(server))
+    if server.forced:
+        # worker processes are already SIGKILLed; wedged executor
+        # threads must not block the forced exit
+        print("forced shutdown", file=sys.stderr, flush=True)
+        os._exit(1)
+    return status
+
+
+class BackgroundServer:
+    """In-process server for tests and benchmarks.
+
+    Runs the event loop in a daemon thread; ``stop()`` performs the
+    graceful drain (every admitted unit answered) and joins the thread.
+    Usable as a context manager.
+    """
+
+    def __init__(self, service: VerificationService | None = None,
+                 admission: AdmissionController | None = None,
+                 host: str = "127.0.0.1", port: int = 0):
+        self.server = HttpVerificationServer(
+            service=service, admission=admission, host=host, port=port)
+        self.address: tuple[str, int] | None = None
+        self._thread: threading.Thread | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop: asyncio.Event | None = None
+        self._error: BaseException | None = None
+
+    def __enter__(self) -> "BackgroundServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    def start(self) -> None:
+        ready = threading.Event()
+        self._thread = threading.Thread(
+            target=self._main, args=(ready,),
+            name="fveval-http-server", daemon=True)
+        self._thread.start()
+        if not ready.wait(30) or self._error is not None:
+            raise RuntimeError(
+                f"HTTP server failed to start: {self._error}")
+
+    def _main(self, ready: threading.Event) -> None:
+        try:
+            asyncio.run(self._arun(ready))
+        except BaseException as exc:  # surfaced by start()/stop()
+            self._error = exc
+        finally:
+            ready.set()
+
+    async def _arun(self, ready: threading.Event) -> None:
+        await self.server.start()
+        self.address = self.server.address
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        ready.set()
+        await self._stop.wait()
+        self.server.begin_drain()
+        await self.server.wait_drained()
+
+    def stop(self) -> None:
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        if self._thread is not None:
+            self._thread.join(60)

@@ -86,6 +86,29 @@ def resolve_executor(requested: str | None = None) -> str:
     return value
 
 
+def executor_env_fault():
+    """A ``config`` FaultEvent describing the ``FVEVAL_EXECUTOR`` typo
+    this process is silently falling back from, or None when the env is
+    unset or names a real tier.
+
+    :func:`resolve_executor` deliberately tolerates the typo (an env
+    mistake must not take the service down), but the fallback changed
+    the execution tier -- crash isolation, deadline SIGKILL backstop --
+    so the service attaches this event to the first affected response
+    (:meth:`~repro.service.service.VerificationService._process`)
+    instead of staying silent.
+    """
+    raw = os.environ.get("FVEVAL_EXECUTOR", "")
+    value = raw.strip().lower()
+    if not value or value in _EXECUTORS:
+        return None
+    from ..core.faults import FaultEvent
+    return FaultEvent(
+        "config", stage="config",
+        detail=f"FVEVAL_EXECUTOR={raw.strip()!r} is not one of "
+               f"{_EXECUTORS}; fell back to 'thread'")
+
+
 def _profile_delta(current: dict, base: dict) -> dict:
     """What one unit added to a worker's profile (high-water keys ship
     their absolute value; the parent merges them with max)."""

@@ -178,15 +178,25 @@ class VerificationService:
                  max_cache_entries: int | None = None,
                  workers: int | None = None,
                  deadline_s: float | None = None,
-                 executor: str | None = None):
+                 executor: str | None = None,
+                 max_cache_bytes: int | None = None,
+                 admission=None):
         from .procpool import resolve_executor
         self.batching = batching
         self.profile: dict = {} if profile is None else profile
         self.max_provers = max_provers
-        #: per-namespace cap on the in-memory verdict layer; benchmark
+        #: per-namespace caps on the in-memory verdict layer; benchmark
         #: runs terminate and default unbounded, long-running `serve`
-        #: sessions pass a cap so verdict memory cannot grow forever
+        #: sessions pass caps so verdict memory cannot grow forever
         self.max_cache_entries = max_cache_entries
+        self.max_cache_bytes = max_cache_bytes
+        #: shared :class:`~repro.service.admission.AdmissionController`
+        #: (None outside `serve`): clamps request deadlines to the
+        #: server ceiling and receives per-unit latency observations
+        #: for its Retry-After estimate.  Admission itself -- shedding
+        #: at the bounded queue -- happens in the frontends, before
+        #: requests ever reach the scheduler.
+        self.admission = admission
         #: in-service worker-thread count (None: FVEVAL_WORKERS)
         self.workers = workers
         #: default per-request wall-clock deadline in seconds
@@ -207,6 +217,9 @@ class VerificationService:
         #: eviction so presimulated batch state survives its own flush
         self._active: set[tuple] = set()
         self._pending: list[Handle] = []
+        #: FVEVAL_EXECUTOR typos already reported as `config` events
+        #: (one FaultEvent per distinct bad value per service)
+        self._config_faults: set[str] = set()
         self._seq = 0
         self._batch_seq = 0
         self.requests = 0
@@ -239,6 +252,9 @@ class VerificationService:
         state["_provers"] = OrderedDict()
         state["_active"] = set()
         state["_pending"] = []
+        # the admission controller (locks, per-connection state) belongs
+        # to the serving process; a forked worker schedules unguarded
+        state["admission"] = None
         for name in ("_sched_lock", "_state_lock", "_pool", "_procpool"):
             state.pop(name, None)
         return state
@@ -330,13 +346,16 @@ class VerificationService:
         return totals
 
     def stats(self) -> dict:
-        return {
+        stats = {
             "requests": self.requests,
             "dedup_hits": self.dedup_hits,
             "batch_groups": self.batch_groups,
             "batch_members": self.batch_members,
             "cache": self.cache_stats(),
         }
+        if self.admission is not None:
+            stats["admission"] = self.admission.stats()
+        return stats
 
     # -- scheduling ---------------------------------------------------------
 
@@ -344,7 +363,8 @@ class VerificationService:
         cache = self._caches.get(namespace)
         if cache is None:
             cache = self._caches[namespace] = _cache_module().VerdictCache(
-                namespace, max_mem_entries=self.max_cache_entries)
+                namespace, max_mem_entries=self.max_cache_entries,
+                max_mem_bytes=self.max_cache_bytes)
         return cache
 
     def _response(self, request: VerifyRequest) -> VerifyResponse:
@@ -382,6 +402,7 @@ class VerificationService:
                         else self.batching)
             workers = resolve_workers(self.workers)
             crossproc = resolve_executor(self.executor) == "process"
+            config_event = self._executor_config_event()
             parallel = False
             pool = None
             if crossproc:
@@ -405,15 +426,27 @@ class VerificationService:
                     # the single-worker contract is in-request-order
                     # responses (mirrors _execute_serial); one worker
                     # gains nothing from streaming out of order
-                    yield from sorted(stream, key=lambda pair: pair[0])
-                else:
-                    yield from stream
+                    stream = sorted(stream, key=lambda pair: pair[0])
             elif parallel:
-                yield from self._execute_parallel(plan, groups, batch_ids,
-                                                  batching, pool, workers)
+                stream = self._execute_parallel(plan, groups, batch_ids,
+                                                batching, pool, workers)
             else:
-                yield from self._execute_serial(plan, groups, batch_ids,
-                                                batching)
+                stream = self._execute_serial(plan, groups, batch_ids,
+                                              batching)
+            if config_event is None:
+                yield from stream
+            else:
+                # an env typo silently changed the execution tier once
+                # already; the first response of the affected flush
+                # carries the `config` event so the fallback is
+                # observable on the wire (docs/robustness.md)
+                first = True
+                for index, response in stream:
+                    if first:
+                        first = False
+                        response.degraded = [config_event.as_dict(),
+                                             *response.degraded]
+                    yield index, response
         finally:
             # the batch memo is per-flush state: entries persist while
             # the flush's textual duplicates read them, then go, so a
@@ -431,6 +464,20 @@ class VerificationService:
                 self._active.difference_update(owned)
                 if parallel:
                     self._inflight -= 1
+
+    def _executor_config_event(self):
+        """A ``config`` FaultEvent when this flush's execution tier was
+        silently downgraded by an ``FVEVAL_EXECUTOR`` typo (None on the
+        clean path, and only once per distinct bad value -- the event
+        marks the *first* affected response, not every one)."""
+        if self.executor is not None:
+            return None  # explicit setting: the env is never consulted
+        from .procpool import executor_env_fault
+        event = executor_env_fault()
+        if event is None or event.detail in self._config_faults:
+            return None
+        self._config_faults.add(event.detail)
+        return event
 
     def _plan(self, requests: list[VerifyRequest]):
         """Serial planning pass: ids, keys, cache, dedup, prove groups."""
@@ -452,6 +499,11 @@ class VerificationService:
                                           else self.deadline_s
                                           if self.deadline_s is not None
                                           else deadline_from_env())}
+            if self.admission is not None:
+                # mandatory effective deadline: the server ceiling wins
+                # over whatever the request asked for (or didn't)
+                entry["deadline_s"] = self.admission.effective_deadline(
+                    entry["deadline_s"])
             plan.append(entry)
             try:
                 try:
@@ -1055,6 +1107,9 @@ class VerificationService:
         t0 = time.perf_counter()
         response = getattr(self, f"_compute_{request.kind}")(request, entry)
         response.elapsed_s = time.perf_counter() - t0
+        if self.admission is not None:
+            # feed the Retry-After estimator with real unit latency
+            self.admission.observe(response.elapsed_s)
         response.batch_id = entry.get("batch_id")
         if entry["faults"]:  # planning/pre-pass degradations
             response.degraded = [*entry["faults"], *response.degraded]

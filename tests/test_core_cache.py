@@ -70,7 +70,7 @@ class TestVerdictCache:
         assert cache.get(k) is None
 
     def test_mem_cap_evicts_oldest(self, tmp_path):
-        """A capped memory layer (long-running serve) evicts FIFO; a
+        """A capped memory layer (long-running serve) evicts LRU; a
         persisted entry survives via the disk layer."""
         cache = VerdictCache("t", disk_dir=str(tmp_path), max_mem_entries=2)
         keys = [cache.key("entry", i) for i in range(3)]
@@ -83,11 +83,60 @@ class TestVerdictCache:
         assert cache.stats()["disk_hits"] == 1
         assert len(cache.mem) == 2  # the disk re-read respects the cap
 
+    def test_lru_get_refreshes_recency(self):
+        """Eviction order follows last *read*, not insertion: a serve
+        workload's hot entries survive a scan of cold ones."""
+        cache = VerdictCache("t", disk_dir="", max_mem_entries=2)
+        ka, kb, kc = (VerdictCache.key("entry", x) for x in "abc")
+        cache.put(ka, {"verdict": "a"})
+        cache.put(kb, {"verdict": "b"})
+        assert cache.get(ka) == {"verdict": "a"}  # a is now most recent
+        cache.put(kc, {"verdict": "c"})  # evicts b, the LRU entry
+        assert kb not in cache.mem
+        assert cache.get(ka) == {"verdict": "a"}
+        assert cache.get(kc) == {"verdict": "c"}
+
+    def test_byte_cap_bounds_memory(self):
+        payload = {"verdict": "proven", "pad": "x" * 200}
+        size = len(json.dumps(payload, separators=(",", ":")))
+        cache = VerdictCache("t", disk_dir="", max_mem_bytes=3 * size)
+        keys = [VerdictCache.key("entry", i) for i in range(5)]
+        for k in keys:
+            cache.put(k, dict(payload))
+        assert len(cache.mem) == 3  # oldest two evicted by bytes
+        assert keys[0] not in cache.mem and keys[1] not in cache.mem
+        stats = cache.stats()
+        assert 0 < stats["mem_bytes"] <= 3 * size
+
+    def test_byte_cap_keeps_one_oversized_entry(self):
+        """An entry bigger than the whole cap is still usable -- the
+        cap bounds growth, it does not reject work."""
+        cache = VerdictCache("t", disk_dir="", max_mem_bytes=8)
+        k = VerdictCache.key("entry")
+        cache.put(k, {"verdict": "proven", "pad": "y" * 100})
+        assert cache.get(k) is not None
+        assert len(cache.mem) == 1
+
     def test_env_controls(self, monkeypatch, tmp_path):
         monkeypatch.setenv("FVEVAL_CACHE", str(tmp_path))
         assert cache_dir_from_env() == str(tmp_path)
         monkeypatch.setenv("FVEVAL_NO_CACHE", "1")
         assert cache_dir_from_env() is None
+
+    @pytest.mark.parametrize("raw,expected", [
+        ("", (None, None)),
+        ("50000", (50000, None)),
+        ("64M", (None, 64 * 1024 ** 2)),
+        ("50000,64K", (50000, 64 * 1024)),
+        ("64k", (None, 64 * 1024)),  # case-insensitive suffix
+        ("junk", (None, None)),
+        ("-5,0", (None, None)),  # non-positive terms cap nothing
+        ("2G", (None, 2 * 1024 ** 3)),
+    ])
+    def test_mem_cap_from_env(self, monkeypatch, raw, expected):
+        from repro.core.cache import mem_cap_from_env
+        monkeypatch.setenv("FVEVAL_CACHE_MEM_MAX", raw)
+        assert mem_cap_from_env() == expected
 
 
 class TestDedupParity:
