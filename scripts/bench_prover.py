@@ -38,10 +38,18 @@ fault-tolerant execution tier (docs/robustness.md).  ``--http`` drives the
 identical workload through the admission-controlled HTTP frontend (an
 in-process server, ``--clients`` concurrent client threads, one ``POST
 /v1/verify`` batch per design) so a ``--http`` row against a plain row
-reads off the wire + admission overhead.  ``--expect-mix`` exits
-nonzero unless every category produced both ``proven`` and ``cex``
-verdicts and no errors (the CI smoke gate; no timing assertions, so slow
-shared runners cannot flake it).
+reads off the wire + admission overhead.  ``--cache-tiers SPEC`` runs
+the workload under a verdict-cache tier stack (docs/cache.md grammar;
+a bare ``disk`` gets a fresh temp directory, a bare ``remote`` gets an
+in-process ``cache-serve`` instance) and benches each category
+**twice** -- a cold pass then a warm pass against the now-populated
+tiers -- recording the warm wall-clock, verdict mix and speedup as a
+``warm`` block on the row: the cache A/B without hand-running two
+invocations.  ``--expect-mix`` exits nonzero unless every category
+produced both ``proven`` and ``cex`` verdicts and no errors, and (with
+``--cache-tiers``) the warm verdict mix matches the cold one (the CI
+smoke gate; no timing assertions, so slow shared runners cannot flake
+it).
 """
 
 from __future__ import annotations
@@ -83,7 +91,8 @@ def bench_category(category: str, count: int, prover_kwargs: dict,
                    use_cache: bool, with_profile: bool,
                    batching: bool = True,
                    workers: int | None = None,
-                   executor: str | None = None) -> dict:
+                   executor: str | None = None,
+                   with_cache_stats: bool = False) -> dict:
     from repro.core.tasks import Design2SvaTask
     task = Design2SvaTask(category, count=count,
                           prover_kwargs=dict(prover_kwargs),
@@ -145,7 +154,39 @@ def bench_category(category: str, count: int, prover_kwargs: dict,
             result["win_rates"] = {k: round(v, 4) for k, v in rates.items()}
         if portfolio:
             result["portfolio"] = portfolio
+    elif with_cache_stats:
+        result["cache"] = task.cache_stats()
     return result
+
+
+def _resolve_cache_tiers(spec: str) -> tuple[str, list]:
+    """Materialize a ``--cache-tiers`` spec for a self-contained bench.
+
+    A bare ``disk`` term (no path, no ``$FVEVAL_CACHE``) gets a fresh
+    temp directory; a bare ``remote`` term gets an in-process
+    ``cache-serve`` instance.  Returns the resolved spec plus cleanup
+    callables to run once the bench is done.
+    """
+    import os
+    import shutil
+    import tempfile
+    cleanups = []
+    terms = []
+    for term in spec.split(","):
+        term = term.strip()
+        if term == "disk" and not os.environ.get("FVEVAL_CACHE"):
+            tmp = tempfile.mkdtemp(prefix="fveval-bench-cache-")
+            term = f"disk={tmp}"
+            cleanups.append(
+                lambda t=tmp: shutil.rmtree(t, ignore_errors=True))
+        elif term == "remote":
+            from repro.service.cacheserve import BackgroundCacheServer
+            bg = BackgroundCacheServer()
+            bg.start()
+            term = f"remote={bg.address_spec}"
+            cleanups.append(bg.stop)
+        terms.append(term)
+    return ",".join(terms), cleanups
 
 
 def _wire_source(design, response: str) -> str:
@@ -375,6 +416,11 @@ def check_mix(entry: dict) -> list[str]:
             if verdicts.get(bad, 0):
                 problems.append(
                     f"{category}: {verdicts[bad]} {bad!r} verdicts")
+        warm = data.get("warm")
+        if warm and warm["verdicts"] != verdicts:
+            problems.append(
+                f"{category}: warm verdict mix {warm['verdicts']} "
+                f"!= cold {verdicts}")
     return problems
 
 
@@ -426,6 +472,13 @@ def build_parser() -> argparse.ArgumentParser:
     ap.add_argument("--clients", type=int, default=4,
                     help="with --http: concurrent client threads "
                          "(default 4)")
+    ap.add_argument("--cache-tiers", default=None, metavar="SPEC",
+                    help="verdict-cache tier stack (docs/cache.md "
+                         "grammar, e.g. memory,disk,remote; a bare "
+                         "'disk' gets a temp directory, a bare "
+                         "'remote' an in-process cache-serve); each "
+                         "category runs twice -- cold then warm -- "
+                         "and the row records the warm A/B block")
     ap.add_argument("--expect-mix", action="store_true",
                     help="fail unless every category has proven+cex verdicts")
     ap.add_argument("--output", default=str(
@@ -466,25 +519,59 @@ def main() -> int:
     }
     if args.http:
         entry["http"] = True
-    for category in CATEGORIES:
+
+    cache_cleanups: list = []
+    if args.cache_tiers:
+        import os
+        spec, cache_cleanups = _resolve_cache_tiers(args.cache_tiers)
+        os.environ["FVEVAL_CACHE_TIERS"] = spec
+        entry["cache_tiers"] = spec
+
+    def run_category(category):
         if args.http:
-            entry["categories"][category] = bench_category_http(
+            return bench_category_http(
                 category, args.count, prover_kwargs,
                 use_cache=not args.no_cache,
                 batching=not args.no_batch, workers=args.workers,
                 executor=args.executor, clients=args.clients)
-        else:
-            entry["categories"][category] = bench_category(
-                category, args.count, prover_kwargs,
-                use_cache=not args.no_cache, with_profile=args.profile,
-                batching=not args.no_batch, workers=args.workers,
-                executor=args.executor)
-        data = entry["categories"][category]
-        print(f"{category:>9}: designs={data['designs']} "
-              f"proofs={data['proofs']} wall={data['wall_s']}s "
-              f"per_proof={data['per_proof_ms']}ms "
-              f"verdicts={data['verdicts']}")
-        print_profile(category, data)
+        return bench_category(
+            category, args.count, prover_kwargs,
+            use_cache=not args.no_cache, with_profile=args.profile,
+            batching=not args.no_batch, workers=args.workers,
+            executor=args.executor,
+            with_cache_stats=bool(args.cache_tiers))
+
+    try:
+        for category in CATEGORIES:
+            data = run_category(category)
+            if args.cache_tiers:
+                # the A/B second pass: a fresh task whose memory tier
+                # is cold but whose disk/remote tiers the cold pass
+                # just populated
+                warm = run_category(category)
+                data["warm"] = {
+                    k: warm[k]
+                    for k in ("wall_s", "per_proof_ms", "verdicts")}
+                if "cache" in warm:
+                    data["warm"]["cache"] = warm["cache"]
+                if warm["wall_s"] > 0:
+                    data["warm"]["speedup"] = round(
+                        data["wall_s"] / warm["wall_s"], 3)
+            entry["categories"][category] = data
+            print(f"{category:>9}: designs={data['designs']} "
+                  f"proofs={data['proofs']} wall={data['wall_s']}s "
+                  f"per_proof={data['per_proof_ms']}ms "
+                  f"verdicts={data['verdicts']}")
+            if "warm" in data:
+                warm = data["warm"]
+                print(f"{category:>9}  warm : wall={warm['wall_s']}s "
+                      f"per_proof={warm['per_proof_ms']}ms "
+                      f"speedup={warm.get('speedup', 'n/a')}x "
+                      f"verdicts={warm['verdicts']}")
+            print_profile(category, data)
+    finally:
+        for cleanup in cache_cleanups:
+            cleanup()
 
     path = Path(args.output)
     doc = {"runs": []}

@@ -14,6 +14,10 @@ Commands:
                                     stdin/stdout, or an admission-
                                     controlled HTTP server with --http
                                     (docs/service.md)
+    cache-serve [--listen HOST:PORT] [--dir DIR] [--max-entries N]
+          [--max-bytes N]           shared warm-tier verdict-cache
+                                    server for the 'remote' cache tier
+                                    (docs/cache.md)
     cache-gc [DIR] [--max-age-days N] [--max-entries N] [--max-bytes N]
                                     compact an FVEVAL_CACHE directory
 """
@@ -120,13 +124,26 @@ def _cmd_serve(args) -> int:
                                   workers=args.workers,
                                   deadline_s=args.deadline,
                                   executor=args.executor,
-                                  admission=admission)
+                                  admission=admission,
+                                  cache_tiers=args.cache_tiers)
     try:
         if args.http:
             return serve_http(args.http, service, admission)
         return serve_stream(sys.stdin, sys.stdout, service, admission)
     finally:
         service.close()
+
+
+def _cmd_cache_serve(args) -> int:
+    from .core.cache import mem_cap_from_env
+    from .service.cacheserve import serve_cache
+    max_entries, max_bytes = args.max_entries, args.max_bytes
+    if max_entries is None and max_bytes is None:
+        max_entries, max_bytes = mem_cap_from_env()
+        if max_entries is None and max_bytes is None:
+            max_entries = 65536  # a long-running server must be bounded
+    return serve_cache(args.listen, max_entries=max_entries,
+                       max_bytes=max_bytes, disk_dir=args.dir)
 
 
 def _cmd_cache_gc(args) -> int:
@@ -235,7 +252,32 @@ def build_parser() -> argparse.ArgumentParser:
                         "effective deadline is clamped to this, "
                         "including requests that asked for none "
                         "(default: no ceiling)")
+    p.add_argument("--cache-tiers", default=None, metavar="SPEC",
+                   help="verdict-cache tier stack, e.g. "
+                        "'memory,disk,remote=HOST:PORT' -- reads promote "
+                        "front-ward, writes go to every tier, a dead "
+                        "tier fails open (default: $FVEVAL_CACHE_TIERS, "
+                        "else memory plus $FVEVAL_CACHE disk; "
+                        "docs/cache.md)")
     p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser("cache-serve",
+                       help="shared warm-tier verdict-cache server "
+                            "(the 'remote' cache tier)")
+    p.add_argument("--listen", default="127.0.0.1:0", metavar="HOST:PORT",
+                   help="listen address (default 127.0.0.1:0 -- an "
+                        "ephemeral port, printed to stderr)")
+    p.add_argument("--dir", default=None, metavar="DIR",
+                   help="write-through disk directory so the warm tier "
+                        "survives restarts (compacted by cache-gc; "
+                        "default: memory only)")
+    p.add_argument("--max-entries", type=int, default=None, metavar="N",
+                   help="in-memory LRU entry cap per namespace "
+                        "(default: $FVEVAL_CACHE_MEM_MAX, else 65536)")
+    p.add_argument("--max-bytes", type=int, default=None, metavar="N",
+                   help="approximate in-memory byte cap per namespace "
+                        "(default: $FVEVAL_CACHE_MEM_MAX, else none)")
+    p.set_defaults(fn=_cmd_cache_serve)
 
     p = sub.add_parser("cache-gc",
                        help="compact a verdict-cache directory (age/LRU)")

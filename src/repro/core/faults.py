@@ -43,6 +43,7 @@ FAULT_CODES = (
     "packed_sim",     # unexpected packed-sim failure -> scalar oracle
     "engine_error",   # unclassified engine exception
     "cache_corrupt",  # corrupt/truncated disk-cache entry quarantined
+    "cache_remote",   # remote cache tier unreachable -> fail-open skip
     "unpicklable",    # work unit could not cross the process boundary
     "overload",       # admission control shed the request (bounded queue)
     "config",         # invalid env/config value replaced by a default

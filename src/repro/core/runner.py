@@ -247,34 +247,46 @@ _HIGH_WATER_KEYS = {"learned_db"}
 
 def _diff_stats(current: dict, baseline: dict) -> dict:
     """Counters accumulated since *baseline* (high-water marks pass
-    through unchanged -- a peak cannot be meaningfully subtracted)."""
+    through unchanged -- a peak cannot be meaningfully subtracted).
+    Nested sections (the verdict cache's per-tier counters) diff
+    recursively."""
     out: dict = {}
-    for section, counters in current.items():
-        base = baseline.get(section, {})
-        dst = out.setdefault(section, {})
-        for key, value in counters.items():
-            if isinstance(value, (int, float)) \
-                    and key not in _HIGH_WATER_KEYS:
-                dst[key] = value - base.get(key, 0)
-            else:
-                dst[key] = value
+    for key, value in current.items():
+        base = baseline.get(key)
+        if isinstance(value, dict):
+            out[key] = _diff_stats(value, base if isinstance(base, dict)
+                                   else {})
+        elif isinstance(value, (int, float)) \
+                and key not in _HIGH_WATER_KEYS:
+            out[key] = value - (base if isinstance(base, (int, float))
+                                else 0)
+        else:
+            out[key] = value
     return out
 
 
 def _sum_stats(snapshots) -> dict:
-    """Merge per-worker stats snapshots: sum counters, max the peaks."""
+    """Merge per-worker stats snapshots: sum counters, max the peaks.
+    Nested sections (per-tier cache counters) merge recursively."""
     merged: dict = {}
     for snapshot in snapshots:
-        for section, counters in snapshot.items():
-            dst = merged.setdefault(section, {})
-            for key, value in counters.items():
-                if not isinstance(value, (int, float)):
-                    continue
-                if key in _HIGH_WATER_KEYS:
-                    dst[key] = max(dst.get(key, 0), value)
-                else:
-                    dst[key] = dst.get(key, 0) + value
+        _merge_stats(merged, snapshot)
     return merged
+
+
+def _merge_stats(dst: dict, src: dict) -> dict:
+    for key, value in src.items():
+        if isinstance(value, dict):
+            into = dst.setdefault(key, {})
+            if isinstance(into, dict):
+                _merge_stats(into, value)
+        elif not isinstance(value, (int, float)):
+            continue
+        elif key in _HIGH_WATER_KEYS:
+            dst[key] = max(dst.get(key, 0), value)
+        else:
+            dst[key] = dst.get(key, 0) + value
+    return dst
 
 
 class _PoolUnavailable(Exception):

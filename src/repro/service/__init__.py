@@ -19,7 +19,8 @@ harnesses reach it over JSON lines via ``python -m repro serve``
     response.verdict        # 'equivalent'
 
 Inside: canonical-key deduplication of identical in-flight requests,
-two-layer verdict caching (:mod:`repro.core.cache`), and a batch
+tiered verdict caching (:mod:`repro.core.cache`, with an optional
+shared remote tier served by :mod:`repro.service.cacheserve`), and a batch
 scheduler that groups ``prove`` requests by design signature so one
 shared prover serves each group and the group's candidate assertions
 are scored by a single bit-parallel falsification pass per design cone
@@ -27,6 +28,7 @@ are scored by a single bit-parallel falsification pass per design cone
 """
 
 from .admission import AdmissionController
+from .cacheserve import BackgroundCacheServer, CacheServer, serve_cache
 from .api import (
     KINDS,
     RequestError,
@@ -48,10 +50,11 @@ from .service import (
 )
 
 __all__ = [
-    "KINDS", "AdmissionController", "BackgroundServer", "Handle",
+    "KINDS", "AdmissionController", "BackgroundCacheServer",
+    "BackgroundServer", "CacheServer", "Handle",
     "HttpVerificationServer", "RequestError", "VerificationService",
     "VerifyRequest", "VerifyResponse", "batching_disabled",
     "deadline_from_env", "design_signature", "request_from_json",
     "resolve_executor", "resolve_workers", "response_to_json",
-    "serve_http", "serve_stream",
+    "serve_cache", "serve_http", "serve_stream",
 ]

@@ -26,7 +26,12 @@ Wire protocol (documented in docs/service.md):
   full produces an immediate ``{"ok": false, "verdict": "overloaded",
   ...}`` response -- carrying an ``overload`` fault event and a
   ``retry_after_s`` estimate in ``meta`` -- instead of buffering
-  without bound (docs/robustness.md).
+  without bound (docs/robustness.md);
+* a degraded verdict-cache tier (a dead ``cache-serve`` host in
+  ``FVEVAL_CACHE_TIERS`` / ``serve --cache-tiers``) never fails a
+  request: the response stays ``ok=true`` and carries a
+  ``cache_remote`` fault event in ``degraded`` (docs/cache.md) -- the
+  exit status is unaffected.
 
 Responses echo ``request_id`` (assigned ``req<n>`` when the caller sent
 none), so callers may correlate out-of-band; out-of-order consumers

@@ -500,10 +500,23 @@ class HttpVerificationServer:
 
     def metrics(self) -> dict:
         cache = self.service.cache_stats()
-        lookups = cache.get("hits", 0) + cache.get("misses", 0)
-        cache = {**cache,
-                 "hit_rate": (round(cache.get("hits", 0) / lookups, 4)
-                              if lookups else 0.0)}
+        hits = cache.get("hits", 0)
+        # uncacheable results (timeout/error verdicts are never stored)
+        # leave a plan-time miss that can never become a hit: exclude
+        # them from the denominator, or a timeout-heavy workload reads
+        # as a cold cache
+        effective = max(hits + cache.get("misses", 0)
+                        - cache.get("uncacheable", 0), 0)
+        tiers = {}
+        for name, tier in (cache.get("tiers") or {}).items():
+            tier_lookups = tier.get("hits", 0) + tier.get("misses", 0)
+            tiers[name] = {**tier,
+                           "hit_rate": (round(tier.get("hits", 0)
+                                              / tier_lookups, 4)
+                                        if tier_lookups else 0.0)}
+        cache = {**cache, "tiers": tiers,
+                 "hit_rate": (round(hits / effective, 4)
+                              if effective else 0.0)}
         service_stats = self.service.stats()
         service_stats.pop("cache", None)
         service_stats.pop("admission", None)

@@ -180,7 +180,7 @@ class VerificationService:
                  deadline_s: float | None = None,
                  executor: str | None = None,
                  max_cache_bytes: int | None = None,
-                 admission=None):
+                 admission=None, cache_tiers: str | None = None):
         from .procpool import resolve_executor
         self.batching = batching
         self.profile: dict = {} if profile is None else profile
@@ -190,6 +190,11 @@ class VerificationService:
         #: sessions pass caps so verdict memory cannot grow forever
         self.max_cache_entries = max_cache_entries
         self.max_cache_bytes = max_cache_bytes
+        #: verdict-cache tier stack spec (``FVEVAL_CACHE_TIERS`` grammar,
+        #: e.g. ``"memory,disk,remote=HOST:PORT"``; None reads the
+        #: environment, falling back to the legacy memory+disk pair --
+        #: docs/cache.md)
+        self.cache_tiers = cache_tiers
         #: shared :class:`~repro.service.admission.AdmissionController`
         #: (None outside `serve`): clamps request deadlines to the
         #: server ceiling and receives per-unit latency observations
@@ -335,14 +340,27 @@ class VerificationService:
 
     # -- observability ------------------------------------------------------
 
-    def cache_stats(self) -> dict[str, int]:
-        """Aggregate verdict-cache counters over all namespaces."""
-        totals = {"hits": 0, "misses": 0, "disk_hits": 0, "puts": 0,
-                  "entries": 0, "corrupt": 0}
-        for cache in self._caches.values():
-            for key, value in cache.stats().items():
+    def cache_stats(self) -> dict:
+        """Aggregate verdict-cache counters over all namespaces.
+
+        Per-tier counters (``stats()["tiers"]``) are nested dicts and
+        merge recursively, so two namespaces sharing a tier layout sum
+        tier by tier.
+        """
+        totals: dict = {"hits": 0, "misses": 0, "disk_hits": 0, "puts": 0,
+                        "entries": 0, "corrupt": 0}
+
+        def merge(into: dict, stats: dict) -> dict:
+            for key, value in stats.items():
                 # tolerant of counters this service version predates
-                totals[key] = totals.get(key, 0) + value
+                if isinstance(value, dict):
+                    into[key] = merge(into.get(key) or {}, value)
+                elif isinstance(value, (int, float)):
+                    into[key] = into.get(key, 0) + value
+            return into
+
+        for cache in self._caches.values():
+            merge(totals, cache.stats())
         return totals
 
     def stats(self) -> dict:
@@ -364,7 +382,8 @@ class VerificationService:
         if cache is None:
             cache = self._caches[namespace] = _cache_module().VerdictCache(
                 namespace, max_mem_entries=self.max_cache_entries,
-                max_mem_bytes=self.max_cache_bytes)
+                max_mem_bytes=self.max_cache_bytes,
+                tiers=self.cache_tiers)
         return cache
 
     def _response(self, request: VerifyRequest) -> VerifyResponse:
@@ -536,9 +555,17 @@ class VerificationService:
                         continue
                     entry["cache"], entry["key"] = cache, key
                     hit = cache.get(key)
+                    # a degraded tier (dead cache-serve process, bad
+                    # FVEVAL_CACHE_TIERS term) fails open: it surfaces
+                    # as response provenance, never as an error
+                    entry["faults"].extend(cache.drain_faults())
                     if hit is not None:
-                        entry["response"] = self._from_entry(request, hit,
-                                                             cache_hit=True)
+                        response = self._from_entry(request, hit,
+                                                    cache_hit=True)
+                        if entry["faults"]:
+                            response.degraded = [*entry["faults"],
+                                                 *response.degraded]
+                        entry["response"] = response
                         continue
                     primaries[(request.namespace, key)] = index
             if request.kind == "prove":
@@ -1122,8 +1149,12 @@ class VerificationService:
         budget, not the sample, and must not mask a future verdict
         computed under a longer (or no) deadline."""
         cache, key = entry.get("cache"), entry.get("key")
-        if (cache is None or key is None or not response.ok
-                or response.verdict == "timeout"):
+        if cache is None or key is None:
+            return
+        if not response.ok or response.verdict == "timeout":
+            # the plan-time miss can never become a hit: flag it so
+            # hit-rate denominators exclude it (/metrics)
+            cache.note_uncacheable()
             return
         payload = {}
         for name in _CACHED_FIELDS[entry["request"].kind]:
@@ -1131,6 +1162,9 @@ class VerificationService:
             payload[name] = dict(value) if isinstance(value, dict) \
                 else value
         cache.put(key, payload)
+        events = cache.drain_faults()
+        if events:  # write-through tier failed open mid-put
+            response.degraded = [*response.degraded, *events]
 
     def _compute_syntax(self, request: VerifyRequest,
                         entry: dict) -> VerifyResponse:

@@ -341,4 +341,81 @@ class TestCacheGc:
         monkeypatch.setenv("FVEVAL_CACHE", str(tmp_path))
         assert main(["cache-gc", "--max-entries", "1", "--dry-run"]) == 0
         assert "would remove 2" in capsys.readouterr().out
-        assert len(list(tmp_path.rglob("*.json"))) == 3
+
+
+def _process_race_writer(root, namespace, n_keys, rounds, seed):
+    """Child-process body for TestDiskBackendProcessRace (module level
+    so ProcessPoolExecutor can pickle it)."""
+    import random
+
+    from repro.core.cache import VerdictCache
+
+    cache = VerdictCache(namespace, disk_dir=root)
+    rng = random.Random(seed)
+    for _ in range(rounds):
+        i = rng.randrange(n_keys)
+        key = cache.key("race", i)
+        cache.put(key, {"verdict": "proven", "i": i,
+                        "witness": f"writer{seed}", "pad": "x" * 512})
+    return cache.stats()["puts"]
+
+
+class TestDiskBackendProcessRace:
+    """Racing writer *processes* against one disk directory -- the
+    FVEVAL_JOBS deployment shape -- with and without a concurrent
+    ``cache-gc``.  Atomic temp-file writes are the only lock."""
+
+    N_KEYS = 8
+    ROUNDS = 60
+
+    def _race(self, tmp_path, workers=3, gc_loop=None):
+        from concurrent.futures import ProcessPoolExecutor
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [pool.submit(_process_race_writer, str(tmp_path),
+                                   "race_ns", self.N_KEYS, self.ROUNDS,
+                                   seed)
+                       for seed in range(workers)]
+            if gc_loop is not None:
+                gc_loop(futures)
+            return [f.result(timeout=120) for f in futures]
+
+    def test_no_lost_or_torn_verdicts(self, tmp_path):
+        puts = self._race(tmp_path)
+        assert all(p == self.ROUNDS for p in puts)
+        reader = VerdictCache("race_ns", disk_dir=str(tmp_path))
+        writers = {f"writer{i}" for i in range(3)}
+        for i in range(self.N_KEYS):
+            value = reader.get(reader.key("race", i))
+            # every key written by at least one racer is complete:
+            # correct index, a real writer's witness, full padding
+            assert value is not None
+            assert value["i"] == i and value["pad"] == "x" * 512
+            assert value["witness"] in writers
+        stats = reader.stats()
+        assert stats["corrupt"] == 0
+        assert stats["disk_hits"] == self.N_KEYS
+
+    def test_concurrent_gc_never_corrupts(self, tmp_path):
+        """cache-gc compacting *while* writers race: readers still see
+        only complete entries and GC never reaps an in-flight temp."""
+        from repro.core.cache import gc_cache_dir
+
+        def gc_loop(futures):
+            while not all(f.done() for f in futures):
+                gc_cache_dir(tmp_path, max_entries=self.N_KEYS // 2)
+
+        puts = self._race(tmp_path, gc_loop=gc_loop)
+        assert all(p == self.ROUNDS for p in puts)
+        gc_cache_dir(tmp_path, max_entries=self.N_KEYS // 2)
+        survivors = list(tmp_path.rglob("*.json"))
+        assert len(survivors) <= self.N_KEYS // 2
+        for path in survivors:  # all parse: no torn write survived
+            value = json.loads(path.read_text())
+            assert value["i"] == int(value["i"])
+        assert not list(tmp_path.rglob("*.corrupt"))
+        assert not list(tmp_path.rglob("*.tmp"))
+        # the directory is still a working cache afterwards
+        cache = VerdictCache("race_ns", disk_dir=str(tmp_path))
+        key = cache.key("post-race")
+        cache.put(key, {"verdict": "cex"})
+        assert cache.get(key) == {"verdict": "cex"}

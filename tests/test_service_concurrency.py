@@ -83,8 +83,9 @@ EXPECTED_MULTI_CONE = ["proven", "cex"] * 3 + ["error"]
 
 @pytest.fixture(autouse=True)
 def _hermetic_env(monkeypatch):
-    for name in ("FVEVAL_CACHE", "FVEVAL_JOBS", "FVEVAL_NO_CACHE",
-                 "FVEVAL_NO_BATCH", "FVEVAL_POOL_JOBS"):
+    for name in ("FVEVAL_CACHE", "FVEVAL_CACHE_TIERS", "FVEVAL_JOBS",
+                 "FVEVAL_NO_CACHE", "FVEVAL_NO_BATCH",
+                 "FVEVAL_POOL_JOBS"):
         monkeypatch.delenv(name, raising=False)
 
 
@@ -514,3 +515,94 @@ class TestCacheContention:
             [r.verdict for r in second] == EXPECTED_MULTI_CONE
         assert all(r.cache_hit for r in second
                    if r.verdict in ("proven", "cex"))
+
+
+class TestRemoteTierContention:
+    """Concurrent workers/services sharing one ``cache-serve`` tier:
+    verdicts are never lost, duplicated, or torn, and killing the
+    server mid-deployment degrades fail-open."""
+
+    @pytest.fixture()
+    def cache_server(self):
+        from repro.service.cacheserve import BackgroundCacheServer
+        with BackgroundCacheServer() as bg:
+            yield bg
+
+    def test_counters_consistent_against_remote(self, cache_server):
+        from repro.core.cache import RemoteBackend
+        tiers = f"remote={cache_server.address_spec}"
+        cache = VerdictCache("remote_contend", tiers=tiers)
+        keys = [cache.key("shared", i) for i in range(6)]
+        rounds = 30
+        threads = 6
+
+        def worker(tid: int) -> None:
+            for i in range(rounds):
+                key = keys[(tid + i) % len(keys)]
+                if cache.get(key) is None:
+                    cache.put(key, {"verdict": "proven", "key": key})
+
+        pool = [threading.Thread(target=worker, args=(i,), daemon=True)
+                for i in range(threads)]
+        for t in pool:
+            t.start()
+        for t in pool:
+            t.join(timeout=60.0)
+        stats = cache.stats()
+        assert stats["hits"] + stats["misses"] == threads * rounds
+        assert stats["tiers"]["remote"]["errors"] == 0
+        # no lost or duplicated verdicts on the server: exactly the six
+        # shared keys, each a complete entry
+        server_keys = RemoteBackend(
+            cache_server.address_spec).scan("remote_contend")
+        assert sorted(server_keys) == sorted(keys)
+        for key in keys:
+            assert cache.get(key) == {"verdict": "proven", "key": key}
+
+    def test_concurrent_services_share_one_remote_tier(self,
+                                                       cache_server):
+        """Two replicas with disjoint memory tiers: the second is
+        served from the warm remote tier, record-identically."""
+        tiers = f"memory,remote={cache_server.address_spec}"
+        first = VerificationService(workers=4, cache_tiers=tiers)
+        second = VerificationService(workers=4, cache_tiers=tiers)
+        cold = first.run(multi_cone_requests())
+        warm = second.run(multi_cone_requests())
+        assert [r.verdict for r in cold] == \
+            [r.verdict for r in warm] == EXPECTED_MULTI_CONE
+        assert all(r.cache_hit for r in warm
+                   if r.verdict in ("proven", "cex"))
+        # warm replica's records match the cold ones field-for-field
+        for a, b in zip(cold, warm):
+            assert (a.verdict, a.kind, a.detail) == \
+                (b.verdict, b.kind, b.detail)
+        # a healthy tier never contributes degradation provenance
+        assert not [e for r in [*cold, *warm] for e in r.degraded
+                    if e["code"] == "cache_remote"]
+        assert second.cache_stats()["tiers"]["remote"]["hits"] > 0
+
+    def test_killed_cache_serve_fails_open(self):
+        """The acceptance scenario: kill cache-serve under a live
+        service -- every response still succeeds, the outage is recorded
+        as cache_remote degradation, and the run's verdicts match."""
+        from repro.service.cacheserve import BackgroundCacheServer
+        bg = BackgroundCacheServer()
+        bg.start()
+        tiers = f"memory,remote={bg.address_spec}"
+        try:
+            warm = VerificationService(
+                workers=2, cache_tiers=tiers).run(multi_cone_requests())
+            assert [r.verdict for r in warm] == EXPECTED_MULTI_CONE
+        finally:
+            bg.stop()  # the deployment loses its warm tier mid-flight
+        survivor = VerificationService(workers=2, cache_tiers=tiers)
+        responses = survivor.run(multi_cone_requests())
+        # zero failed responses: verdicts identical to a healthy run
+        assert [r.verdict for r in responses] == EXPECTED_MULTI_CONE
+        assert all(r.ok for r in responses if r.verdict != "error")
+        # ... and the outage is visible in degradation provenance
+        faults = [e for r in responses for e in r.degraded
+                  if e["code"] == "cache_remote"]
+        assert faults and all(e["retryable"] for e in faults)
+        stats = survivor.cache_stats()["tiers"]["remote"]
+        assert stats["errors"] >= 1

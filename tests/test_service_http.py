@@ -69,7 +69,8 @@ def _hermetic_env(monkeypatch):
     """Admission/fault behaviour must come from the test, not the
     ambient environment."""
     for name in ("FVEVAL_FAULTS", "FVEVAL_FAULTS_SEED", "FVEVAL_CACHE",
-                 "FVEVAL_NO_CACHE", "FVEVAL_WORKERS", "FVEVAL_EXECUTOR",
+                 "FVEVAL_CACHE_TIERS", "FVEVAL_NO_CACHE",
+                 "FVEVAL_WORKERS", "FVEVAL_EXECUTOR",
                  "FVEVAL_MAX_QUEUE", "FVEVAL_MAX_INFLIGHT",
                  "FVEVAL_DEADLINE_S", "FVEVAL_CACHE_MEM_MAX",
                  "FVEVAL_NO_BATCH", "FVEVAL_JOBS", "FVEVAL_POOL_JOBS"):
@@ -416,6 +417,43 @@ class TestHttpOverload:
         assert statuses == [503, 503, 200]
         assert metrics["faults"]["overload"] == 2
         assert metrics["admission"]["shed_units"] == 2
+
+
+class TestMetricsCacheTiers:
+    def test_per_tier_hit_rates_and_uncacheable_denominator(
+            self, tmp_path):
+        """/metrics splits hit rates per tier, and the top-level rate
+        excludes uncacheable (timeout) verdicts from the denominator --
+        a timeout-heavy workload must not read as a cold cache."""
+        service = VerificationService(
+            cache_tiers=f"memory,disk={tmp_path}")
+        with BackgroundServer(service=service) as bg:
+            host, port = bg.address
+            # identical cacheable proves: one miss + put, one hit
+            for rid in ("m1", "m2"):
+                status, body, _ = _post(
+                    host, port, _prove_wire(rid, use_cache=True))
+                assert status == 200 and body["verdict"] == "proven"
+            # a timeout verdict is never stored: its plan-time miss can
+            # never become a hit
+            status, body, _ = _post(
+                host, port, {**_deep_wire("t1"), "use_cache": True})
+            assert status == 200 and body["verdict"] == "timeout"
+            _, metrics, _ = _get(host, port, "/metrics")
+        service.close()
+        cache = metrics["cache"]
+        assert (cache["hits"], cache["misses"]) == (1, 2)
+        assert cache["uncacheable"] == 1
+        # denominator = hits + misses - uncacheable = 2, not 3
+        assert cache["hit_rate"] == 0.5
+        tiers = cache["tiers"]
+        assert set(tiers) == {"memory", "disk"}
+        assert tiers["memory"]["hits"] == 1
+        assert tiers["memory"]["hit_rate"] == pytest.approx(1 / 3,
+                                                            abs=1e-3)
+        assert tiers["disk"]["hits"] == 0
+        assert tiers["disk"]["hit_rate"] == 0.0
+        assert tiers["disk"]["puts"] == 1  # write-through reached disk
 
 
 class _StubService:

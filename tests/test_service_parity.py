@@ -62,6 +62,7 @@ def arbiter_records(**kwargs):
 @pytest.fixture(autouse=True)
 def _hermetic_cache(monkeypatch):
     monkeypatch.delenv("FVEVAL_CACHE", raising=False)
+    monkeypatch.delenv("FVEVAL_CACHE_TIERS", raising=False)
     monkeypatch.delenv("FVEVAL_JOBS", raising=False)
     monkeypatch.delenv("FVEVAL_NO_CACHE", raising=False)
     monkeypatch.delenv("FVEVAL_NO_BATCH", raising=False)
@@ -162,6 +163,59 @@ class TestCacheParity:
         second, result = run_records(design_task("fsm"))
         assert second == GOLDEN["design2sva_fsm"]
         assert result.stats["cache"]["disk_hits"] > 0
+
+
+class TestTieredCacheParity:
+    """``FVEVAL_CACHE_TIERS`` runs stay record-identical to the goldens
+    -- cold and warm, with the in-service worker pool and the process
+    executor -- because tiers change where verdicts are *stored*, never
+    what they are."""
+
+    @pytest.fixture()
+    def tiered_env(self, monkeypatch, tmp_path):
+        from repro.service.cacheserve import BackgroundCacheServer
+        with BackgroundCacheServer() as bg:
+            monkeypatch.setenv("FVEVAL_CACHE", str(tmp_path))
+            monkeypatch.setenv("FVEVAL_CACHE_TIERS",
+                               f"memory,disk,remote={bg.address_spec}")
+            yield bg
+
+    def test_cold_and_warm_match_goldens(self, tiered_env):
+        cold, _ = run_records(design_task("fsm"))
+        assert cold == GOLDEN["design2sva_fsm"]
+        # a fresh task: memory tier is cold, disk/remote tiers are warm
+        warm, result = run_records(design_task("fsm"))
+        assert warm == GOLDEN["design2sva_fsm"]
+        tiers = result.stats["cache"]["tiers"]
+        assert tiers["disk"]["hits"] + tiers["remote"]["hits"] > 0
+
+    def test_workers_with_tiered_cache(self, tiered_env):
+        cold, _ = run_records(design_task("fsm", workers=4))
+        assert cold == GOLDEN["design2sva_fsm"]
+        warm, result = run_records(design_task("fsm", workers=4))
+        assert warm == GOLDEN["design2sva_fsm"]
+        tiers = result.stats["cache"]["tiers"]
+        assert tiers["disk"]["hits"] + tiers["remote"]["hits"] > 0
+
+    def test_process_executor_with_tiered_cache(self, tiered_env,
+                                                monkeypatch):
+        monkeypatch.setenv("FVEVAL_JOBS", "2")
+        cold, _ = run_records(design_task("fsm"))
+        assert cold == GOLDEN["design2sva_fsm"]
+        warm, result = run_records(design_task("fsm"))
+        assert warm == GOLDEN["design2sva_fsm"]
+        tiers = result.stats["cache"]["tiers"]
+        assert tiers["disk"]["hits"] + tiers["remote"]["hits"] > 0
+
+    def test_warm_remote_only_replica(self, tiered_env, monkeypatch):
+        """A second replica with no local disk tier reuses the first's
+        verdicts purely through the shared remote tier."""
+        cold, _ = run_records(design_task("fsm"))
+        monkeypatch.setenv("FVEVAL_CACHE_TIERS",
+                           f"memory,remote={tiered_env.address_spec}")
+        warm, result = run_records(design_task("fsm"))
+        assert cold == warm == GOLDEN["design2sva_fsm"]
+        assert result.stats["cache"]["tiers"]["remote"]["hits"] > 0
 
 
 class TestWorkerPoolParity:
