@@ -38,7 +38,13 @@ fault-tolerant execution tier (docs/robustness.md).  ``--http`` drives the
 identical workload through the admission-controlled HTTP frontend (an
 in-process server, ``--clients`` concurrent client threads, one ``POST
 /v1/verify`` batch per design) so a ``--http`` row against a plain row
-reads off the wire + admission overhead.  ``--cache-tiers SPEC`` runs
+reads off the wire + admission overhead.  ``--route N`` fronts N
+in-process serve replicas with the consistent-hash router
+(docs/router.md) and drives the same HTTP workload through it,
+recording a ``route`` block -- per-replica routed counts, failover
+count, and the aggregate prover-pool hit rate -- so a ``--route 1``
+row against a ``--route N`` row reads off what signature affinity
+preserves of prover reuse under horizontal scale.  ``--cache-tiers SPEC`` runs
 the workload under a verdict-cache tier stack (docs/cache.md grammar;
 a bare ``disk`` gets a fresh temp directory, a bare ``remote`` gets an
 in-process ``cache-serve`` instance) and benches each category
@@ -138,6 +144,15 @@ def bench_category(category: str, count: int, prover_kwargs: dict,
         "per_proof_ms": round(1000.0 * elapsed / max(1, proofs), 3),
         "verdicts": dict(sorted(verdicts.items())),
     }
+    if workers is not None:
+        service_stats = task.service.stats()
+        hits = service_stats.get("prover_hits", 0)
+        builds = service_stats.get("prover_builds", 0)
+        # the worker-affinity A/B: reuse of pinned provers should hold
+        # up as --workers grows (docs/router.md)
+        result["prover_pool"] = {
+            "hits": hits, "builds": builds,
+            "hit_rate": round(hits / max(1, hits + builds), 4)}
     if with_profile:
         prof = task.profile
         stages = {k: round(prof[k], 4) for k in STAGE_KEYS if k in prof}
@@ -219,7 +234,8 @@ def bench_category_http(category: str, count: int, prover_kwargs: dict,
                         use_cache: bool, batching: bool = True,
                         workers: int | None = None,
                         executor: str | None = None,
-                        clients: int = 4) -> dict:
+                        clients: int = 4,
+                        route: int | None = None) -> dict:
     """Benchmark one category through the HTTP frontend, end to end.
 
     The workload of :func:`bench_category` -- one correct and one
@@ -227,7 +243,11 @@ def bench_category_http(category: str, count: int, prover_kwargs: dict,
     POSTed to an in-process ``BackgroundServer`` by *clients*
     concurrent client threads, one ``/v1/verify`` batch per design.
     Times the full path: HTTP parse, admission, scheduling, engines,
-    response serialization.
+    response serialization.  With *route*, N replicas are started and
+    the batches go through an in-process consistent-hash router
+    instead; the result gains a ``route`` block with per-replica
+    routed counts, the failover count and the aggregate prover-pool
+    hit rate (docs/router.md).
     """
     import json as _json
     import queue
@@ -236,7 +256,8 @@ def bench_category_http(category: str, count: int, prover_kwargs: dict,
 
     from repro.datasets.design2sva.sweep import build_benchmark
     from repro.service import (
-        AdmissionController, BackgroundServer, VerificationService,
+        AdmissionController, BackgroundRouter, BackgroundServer,
+        VerificationService,
     )
 
     problems = build_benchmark(category, count=count)
@@ -259,11 +280,29 @@ def bench_category_http(category: str, count: int, prover_kwargs: dict,
     errors: list[str] = []
     lock = threading.Lock()
 
-    admission = AdmissionController()
-    service = VerificationService(batching=batching, workers=workers,
-                                  executor=executor, admission=admission)
-    with BackgroundServer(service=service, admission=admission) as bg:
-        host, port = bg.address
+    replicas_n = max(1, route) if route else 1
+    members = []
+    for _ in range(replicas_n):
+        admission = AdmissionController()
+        service = VerificationService(batching=batching, workers=workers,
+                                      executor=executor,
+                                      admission=admission)
+        members.append((admission, service,
+                        BackgroundServer(service=service,
+                                         admission=admission)))
+    router = None
+    route_metrics = None
+    try:
+        for _, _, bg in members:
+            bg.start()
+        if route:
+            spec = ",".join(f"{bg.address[0]}:{bg.address[1]}"
+                            for _, _, bg in members)
+            router = BackgroundRouter(spec, health_interval=5.0)
+            router.start()
+            host, port = router.address
+        else:
+            host, port = members[0][2].address
 
         def client():
             nonlocal proofs
@@ -296,23 +335,50 @@ def bench_category_http(category: str, count: int, prover_kwargs: dict,
         for t in threads:
             t.join()
         elapsed = time.perf_counter() - t0
-        stats = admission.stats()
-    service.close()
+        admissions = [a.stats() for a, _, _ in members]
+        pool_hits = sum(s.stats().get("prover_hits", 0)
+                        for _, s, _ in members)
+        pool_builds = sum(s.stats().get("prover_builds", 0)
+                          for _, s, _ in members)
+        if router is not None:
+            route_metrics = router.router.metrics()
+    finally:
+        if router is not None:
+            router.stop()
+        for _, _, bg in members:
+            bg.stop()
+        for _, service, _ in members:
+            service.close()
 
     if errors:
         raise RuntimeError(f"http bench had non-200 batches: {errors[:3]}")
-    return {
+    result = {
         "designs": len(problems),
         "proofs": proofs,
         "wall_s": round(elapsed, 4),
         "per_proof_ms": round(1000.0 * elapsed / max(1, proofs), 3),
         "verdicts": dict(sorted(verdicts.items())),
         "http": {"clients": max(1, clients),
-                 "admitted_units": stats["admitted_units"],
-                 "shed_units": stats["shed_units"],
-                 "peak_inflight": stats["peak_inflight"],
-                 "unit_latency_s": stats["unit_latency_s"]},
+                 "admitted_units": sum(s["admitted_units"]
+                                       for s in admissions),
+                 "shed_units": sum(s["shed_units"] for s in admissions),
+                 "peak_inflight": max(s["peak_inflight"]
+                                      for s in admissions),
+                 "unit_latency_s": admissions[0]["unit_latency_s"]
+                 if replicas_n == 1 else None},
     }
+    if route_metrics is not None:
+        hits, builds = pool_hits, pool_builds
+        result["route"] = {
+            "replicas": replicas_n,
+            "routed": {name: r["routed"] for name, r
+                       in route_metrics["replicas"].items()},
+            "failovers": route_metrics["failovers"],
+            "prover_pool": {
+                "hits": hits, "builds": builds,
+                "hit_rate": round(hits / max(1, hits + builds), 4)},
+        }
+    return result
 
 
 def scheduling_stats(task) -> dict:
@@ -472,6 +538,14 @@ def build_parser() -> argparse.ArgumentParser:
     ap.add_argument("--clients", type=int, default=4,
                     help="with --http: concurrent client threads "
                          "(default 4)")
+    ap.add_argument("--route", type=int, default=None, metavar="N",
+                    help="front N in-process serve replicas with the "
+                         "consistent-hash router and drive the HTTP "
+                         "workload through it (implies --http); the "
+                         "row gains a 'route' block -- per-replica "
+                         "routed counts, failovers, prover-pool hit "
+                         "rate -- so --route 1 vs --route N reads off "
+                         "affinity under scale (docs/router.md)")
     ap.add_argument("--cache-tiers", default=None, metavar="SPEC",
                     help="verdict-cache tier stack (docs/cache.md "
                          "grammar, e.g. memory,disk,remote; a bare "
@@ -517,8 +591,10 @@ def main() -> int:
         "batch": not args.no_batch,
         "categories": {},
     }
-    if args.http:
+    if args.http or args.route:
         entry["http"] = True
+    if args.route:
+        entry["route"] = args.route
 
     cache_cleanups: list = []
     if args.cache_tiers:
@@ -528,12 +604,13 @@ def main() -> int:
         entry["cache_tiers"] = spec
 
     def run_category(category):
-        if args.http:
+        if args.http or args.route:
             return bench_category_http(
                 category, args.count, prover_kwargs,
                 use_cache=not args.no_cache,
                 batching=not args.no_batch, workers=args.workers,
-                executor=args.executor, clients=args.clients)
+                executor=args.executor, clients=args.clients,
+                route=args.route)
         return bench_category(
             category, args.count, prover_kwargs,
             use_cache=not args.no_cache, with_profile=args.profile,
@@ -568,6 +645,18 @@ def main() -> int:
                       f"per_proof={warm['per_proof_ms']}ms "
                       f"speedup={warm.get('speedup', 'n/a')}x "
                       f"verdicts={warm['verdicts']}")
+            if "route" in data:
+                block = data["route"]
+                pool = block["prover_pool"]
+                print(f"{category:>9}  route: replicas={block['replicas']} "
+                      f"routed={sorted(block['routed'].values())} "
+                      f"failovers={block['failovers']} "
+                      f"pool_hit_rate={pool['hit_rate']:.0%}")
+            if "prover_pool" in data:
+                pool = data["prover_pool"]
+                print(f"{category:>9}  pool : hits={pool['hits']} "
+                      f"builds={pool['builds']} "
+                      f"hit_rate={pool['hit_rate']:.0%}")
             print_profile(category, data)
     finally:
         for cleanup in cache_cleanups:

@@ -14,8 +14,15 @@ Commands:
                                     stdin/stdout, or an admission-
                                     controlled HTTP server with --http
                                     (docs/service.md)
+    route --replicas HOST:PORT,... [--listen HOST:PORT] [--max-hops N]
+          [--health-interval SECONDS] [--vnodes N]
+                                    consistent-hash router over N serve
+                                    replicas with design-signature
+                                    affinity and bounded failover
+                                    (docs/router.md)
     cache-serve [--listen HOST:PORT] [--dir DIR] [--max-entries N]
-          [--max-bytes N]           shared warm-tier verdict-cache
+          [--max-bytes N] [--ttl SECONDS]
+                                    shared warm-tier verdict-cache
                                     server for the 'remote' cache tier
                                     (docs/cache.md)
     cache-gc [DIR] [--max-age-days N] [--max-entries N] [--max-bytes N]
@@ -134,6 +141,14 @@ def _cmd_serve(args) -> int:
         service.close()
 
 
+def _cmd_route(args) -> int:
+    from .service.router import serve_route
+    return serve_route(args.replicas, args.listen,
+                       max_hops=args.max_hops,
+                       health_interval=args.health_interval,
+                       vnodes=args.vnodes)
+
+
 def _cmd_cache_serve(args) -> int:
     from .core.cache import mem_cap_from_env
     from .service.cacheserve import serve_cache
@@ -143,7 +158,8 @@ def _cmd_cache_serve(args) -> int:
         if max_entries is None and max_bytes is None:
             max_entries = 65536  # a long-running server must be bounded
     return serve_cache(args.listen, max_entries=max_entries,
-                       max_bytes=max_bytes, disk_dir=args.dir)
+                       max_bytes=max_bytes, disk_dir=args.dir,
+                       ttl_s=args.ttl)
 
 
 def _cmd_cache_gc(args) -> int:
@@ -261,6 +277,35 @@ def build_parser() -> argparse.ArgumentParser:
                         "docs/cache.md)")
     p.set_defaults(fn=_cmd_serve)
 
+    p = sub.add_parser("route",
+                       help="consistent-hash router over N serve "
+                            "replicas (design-signature affinity)")
+    p.add_argument("--replicas", required=True,
+                   metavar="HOST:PORT,...",
+                   help="comma-separated serve replica addresses; each "
+                        "request routes to the ring owner of its design "
+                        "signature, so one design cone's candidate "
+                        "assertions share one replica's pooled prover "
+                        "and warm cache (docs/router.md)")
+    p.add_argument("--listen", default="127.0.0.1:0", metavar="HOST:PORT",
+                   help="listen address (default 127.0.0.1:0 -- an "
+                        "ephemeral port, printed to stderr)")
+    p.add_argument("--max-hops", type=int, default=3, metavar="N",
+                   help="failover budget: how many distinct replicas "
+                        "one request may try on connect error or 503 "
+                        "before a structured overloaded/upstream "
+                        "response (default 3)")
+    p.add_argument("--health-interval", type=float, default=1.0,
+                   metavar="SECONDS",
+                   help="seconds between /readyz probes of every "
+                        "replica; a failing member is ejected from the "
+                        "ring and re-admitted when ready again "
+                        "(default 1.0)")
+    p.add_argument("--vnodes", type=int, default=64, metavar="N",
+                   help="virtual nodes per ring member; more vnodes "
+                        "smooth the keyspace split (default 64)")
+    p.set_defaults(fn=_cmd_route)
+
     p = sub.add_parser("cache-serve",
                        help="shared warm-tier verdict-cache server "
                             "(the 'remote' cache tier)")
@@ -277,6 +322,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-bytes", type=int, default=None, metavar="N",
                    help="approximate in-memory byte cap per namespace "
                         "(default: $FVEVAL_CACHE_MEM_MAX, else none)")
+    p.add_argument("--ttl", type=float, default=None, metavar="SECONDS",
+                   help="entry time-to-live: entries older than this "
+                        "answer 404 and are dropped (lazy on GET plus "
+                        "a periodic sweep; default: no expiry)")
     p.set_defaults(fn=_cmd_cache_serve)
 
     p = sub.add_parser("cache-gc",

@@ -463,7 +463,7 @@ class DiskBackend(CacheBackend):
 
 
 class RemoteBackend(CacheBackend):
-    """HTTP client tier against a ``python -m repro cache-serve`` endpoint.
+    """HTTP client tier against ``python -m repro cache-serve`` endpoints.
 
     Content-addressed wire protocol (docs/cache.md):
 
@@ -472,10 +472,19 @@ class RemoteBackend(CacheBackend):
     * ``DELETE /v1/cache/<ns>/<key>`` -> 204 (404 for absent is fine)
     * ``GET /v1/keys/<ns>`` -> ``{"keys": [...]}``
 
-    One persistent ``http.client`` connection per thread; any transport
-    failure closes it and raises :class:`CacheBackendError` -- the tiered
-    cache above fails open.  The timeout is deliberately short: a dead
-    cache host must cost milliseconds, not a prover deadline.
+    ``address`` is one ``HOST:PORT`` or several joined with ``;``: with
+    multiple endpoints the tier shards client-side over the same
+    consistent-hash ring the routing tier uses
+    (:class:`repro.service.ring.HashRing`), so every client agrees on
+    which endpoint owns a ``(namespace, key)`` without coordination and
+    an endpoint change only moves that member's keyspace.  ``scan``
+    unions all endpoints.
+
+    One persistent ``http.client`` connection per thread per endpoint;
+    any transport failure closes it and raises
+    :class:`CacheBackendError` -- the tiered cache above fails open.
+    The timeout is deliberately short: a dead cache host must cost
+    milliseconds, not a prover deadline.
     """
 
     name = "remote"
@@ -483,92 +492,127 @@ class RemoteBackend(CacheBackend):
     def __init__(self, address: str, timeout: float = 2.0):
         super().__init__()
         from ..service.http import parse_address
-        self.host, self.port = parse_address(address)
-        self.address = f"{self.host}:{self.port}"
+        from ..service.ring import HashRing
+        self.endpoints: list[str] = []
+        for part in str(address).split(";"):
+            part = part.strip()
+            if not part:
+                continue
+            host, port = parse_address(part)
+            name = f"{host}:{port}"
+            if name not in self.endpoints:
+                self.endpoints.append(name)
+        if not self.endpoints:
+            raise ValueError(
+                f"remote tier expects HOST:PORT[;HOST:PORT...], "
+                f"got {address!r}")
+        # single-endpoint compatibility surface (and the common case)
+        self.host, _, port_text = self.endpoints[0].rpartition(":")
+        self.port = int(port_text)
+        self.address = ";".join(self.endpoints)
+        self.ring = HashRing(self.endpoints)
         self.timeout = timeout
         self._local = threading.local()
 
-    def _connection(self):
-        conn = getattr(self._local, "conn", None)
+    def _endpoint_for(self, namespace: str, key: str) -> str:
+        return self.ring.node_for((namespace, key))
+
+    def _connection(self, endpoint: str):
+        conns = getattr(self._local, "conns", None)
+        if conns is None:
+            conns = self._local.conns = {}
+        conn = conns.get(endpoint)
         if conn is None:
             from http.client import HTTPConnection
-            conn = HTTPConnection(self.host, self.port,
-                                  timeout=self.timeout)
-            self._local.conn = conn
+            host, _, port = endpoint.rpartition(":")
+            conn = HTTPConnection(host, int(port), timeout=self.timeout)
+            conns[endpoint] = conn
         return conn
 
-    def _drop_connection(self) -> None:
-        conn = getattr(self._local, "conn", None)
-        if conn is not None:
-            try:
-                conn.close()
-            except Exception:
-                pass
-            self._local.conn = None
+    def _drop_connection(self, endpoint: str | None = None) -> None:
+        conns = getattr(self._local, "conns", None)
+        if not conns:
+            return
+        for name in (list(conns) if endpoint is None else [endpoint]):
+            conn = conns.pop(name, None)
+            if conn is not None:
+                try:
+                    conn.close()
+                except Exception:
+                    pass
 
     def _request(self, method: str, path: str,
-                 body: bytes | None = None) -> tuple[int, bytes]:
+                 body: bytes | None = None,
+                 endpoint: str | None = None) -> tuple[int, bytes]:
+        endpoint = endpoint or self.endpoints[0]
         headers = {}
         if body is not None:
             headers["Content-Type"] = "application/json"
         try:
-            conn = self._connection()
+            conn = self._connection(endpoint)
             conn.request(method, path, body=body, headers=headers)
             response = conn.getresponse()
             payload = response.read()
             return response.status, payload
         except Exception as exc:
-            self._drop_connection()
+            self._drop_connection(endpoint)
             raise CacheBackendError(
-                f"cache-serve {self.address} unreachable: "
+                f"cache-serve {endpoint} unreachable: "
                 f"{type(exc).__name__}: {exc}") from exc
 
     def _get(self, namespace: str, key: str) -> dict | None:
+        endpoint = self._endpoint_for(namespace, key)
         status, payload = self._request(
-            "GET", f"/v1/cache/{namespace}/{key}")
+            "GET", f"/v1/cache/{namespace}/{key}", endpoint=endpoint)
         if status == 404:
             return None
         if status != 200:
             raise CacheBackendError(
-                f"cache-serve {self.address} GET -> {status}")
+                f"cache-serve {endpoint} GET -> {status}")
         try:
             value = json.loads(payload)
             if not isinstance(value, dict):
                 raise ValueError("entry is not a JSON object")
         except ValueError as exc:
             raise CacheBackendError(
-                f"cache-serve {self.address} sent a malformed entry: "
+                f"cache-serve {endpoint} sent a malformed entry: "
                 f"{exc}") from exc
         return value
 
     def _put(self, namespace: str, key: str, value: dict) -> None:
+        endpoint = self._endpoint_for(namespace, key)
         body = json.dumps(value, separators=(",", ":"),
                           default=str).encode()
         status, _payload = self._request(
-            "PUT", f"/v1/cache/{namespace}/{key}", body)
+            "PUT", f"/v1/cache/{namespace}/{key}", body,
+            endpoint=endpoint)
         if status not in (200, 204):
             raise CacheBackendError(
-                f"cache-serve {self.address} PUT -> {status}")
+                f"cache-serve {endpoint} PUT -> {status}")
 
     def _delete(self, namespace: str, key: str) -> None:
+        endpoint = self._endpoint_for(namespace, key)
         status, _payload = self._request(
-            "DELETE", f"/v1/cache/{namespace}/{key}")
+            "DELETE", f"/v1/cache/{namespace}/{key}", endpoint=endpoint)
         if status not in (200, 204, 404):
             raise CacheBackendError(
-                f"cache-serve {self.address} DELETE -> {status}")
+                f"cache-serve {endpoint} DELETE -> {status}")
 
     def _scan(self, namespace: str) -> list[str]:
-        status, payload = self._request("GET", f"/v1/keys/{namespace}")
-        if status != 200:
-            raise CacheBackendError(
-                f"cache-serve {self.address} scan -> {status}")
-        try:
-            keys = json.loads(payload).get("keys", [])
-        except ValueError as exc:
-            raise CacheBackendError(
-                f"cache-serve {self.address} sent malformed keys: "
-                f"{exc}") from exc
-        return list(keys)
+        keys: set[str] = set()
+        for endpoint in self.endpoints:
+            status, payload = self._request(
+                "GET", f"/v1/keys/{namespace}", endpoint=endpoint)
+            if status != 200:
+                raise CacheBackendError(
+                    f"cache-serve {endpoint} scan -> {status}")
+            try:
+                keys.update(json.loads(payload).get("keys", []))
+            except ValueError as exc:
+                raise CacheBackendError(
+                    f"cache-serve {endpoint} sent malformed keys: "
+                    f"{exc}") from exc
+        return sorted(keys)
 
     def close(self) -> None:
         self._drop_connection()
@@ -590,7 +634,9 @@ def parse_tiers(spec: str, *,
     """Build a backend stack from a ``FVEVAL_CACHE_TIERS`` spec.
 
     Grammar: comma-separated terms, front tier first --
-    ``memory`` | ``disk`` | ``disk=/path`` | ``remote=HOST:PORT``.
+    ``memory`` | ``disk`` | ``disk=/path`` |
+    ``remote=HOST:PORT[;HOST:PORT...]`` (``;``-joined endpoints shard
+    client-side over a consistent-hash ring).
     ``disk`` without a path resolves ``FVEVAL_CACHE`` per operation.
     Returns ``(backends, errors)``; an unknown/malformed term is skipped
     and reported, never fatal (the caller records a ``config`` fault).

@@ -47,6 +47,8 @@ FAULT_CODES = (
     "unpicklable",    # work unit could not cross the process boundary
     "overload",       # admission control shed the request (bounded queue)
     "config",         # invalid env/config value replaced by a default
+    "upstream",       # router-side replica failure (connect error, dead
+                      # pipe or exhausted failover chain)
 )
 
 

@@ -41,6 +41,9 @@ from .executor import resolve_workers
 from .frontend import serve_stream
 from .http import BackgroundServer, HttpVerificationServer, serve_http
 from .procpool import resolve_executor
+from .ring import HashRing, stable_hash
+from .router import BackgroundRouter, RouterServer, serve_route
+from .signature import routing_signature
 from .service import (
     Handle,
     VerificationService,
@@ -51,10 +54,12 @@ from .service import (
 
 __all__ = [
     "KINDS", "AdmissionController", "BackgroundCacheServer",
-    "BackgroundServer", "CacheServer", "Handle",
-    "HttpVerificationServer", "RequestError", "VerificationService",
-    "VerifyRequest", "VerifyResponse", "batching_disabled",
-    "deadline_from_env", "design_signature", "request_from_json",
-    "resolve_executor", "resolve_workers", "response_to_json",
-    "serve_cache", "serve_http", "serve_stream",
+    "BackgroundRouter", "BackgroundServer", "CacheServer", "Handle",
+    "HashRing", "HttpVerificationServer", "RequestError",
+    "RouterServer", "VerificationService", "VerifyRequest",
+    "VerifyResponse", "batching_disabled", "deadline_from_env",
+    "design_signature", "request_from_json", "resolve_executor",
+    "resolve_workers", "response_to_json", "routing_signature",
+    "serve_cache", "serve_http", "serve_route", "serve_stream",
+    "stable_hash",
 ]

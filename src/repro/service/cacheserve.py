@@ -38,6 +38,7 @@ import json
 import signal
 import sys
 import threading
+import time
 
 from .http import _encode, _HttpError, _HttpRequest, _read_request
 
@@ -63,13 +64,24 @@ class CacheServer:
     def __init__(self, host: str = "127.0.0.1", port: int = 0,
                  max_entries: int | None = None,
                  max_bytes: int | None = None,
-                 disk_dir: str | None = None):
+                 disk_dir: str | None = None,
+                 ttl_s: float | None = None):
         from ..core.cache import DiskBackend, MemoryBackend
         self.memory = MemoryBackend(max_entries=max_entries,
                                     max_bytes=max_bytes)
         self.disk = DiskBackend(disk_dir) if disk_dir else None
         self.host = host
         self.port = port
+        #: entry time-to-live (None = entries never expire).  Expiry is
+        #: lazy -- a stale entry found on GET is dropped and answered
+        #: 404 -- plus a periodic sweep so untouched entries do not
+        #: linger in memory for the full LRU horizon.
+        self.ttl_s = float(ttl_s) if ttl_s else None
+        #: (namespace, key) -> time.time() of the last PUT (entries
+        #: inherited from a pre-existing --dir fall back to file mtime)
+        self._stamps: dict[tuple[str, str], float] = {}
+        self.expired = 0
+        self._sweep_task: asyncio.Task | None = None
         self._server: asyncio.base_events.Server | None = None
         self._drain_event: asyncio.Event | None = None
         self._writers: set = set()
@@ -84,6 +96,9 @@ class CacheServer:
         self._drain_event = asyncio.Event()
         self._server = await asyncio.start_server(
             self._handle_conn, self.host, self.port)
+        if self.ttl_s is not None:
+            self._sweep_task = asyncio.get_running_loop().create_task(
+                self._sweep_loop())
 
     @property
     def address(self) -> tuple[str, int]:
@@ -106,6 +121,8 @@ class CacheServer:
     async def wait_drained(self) -> int:
         assert self._drain_event is not None
         await self._drain_event.wait()
+        if self._sweep_task is not None:
+            self._sweep_task.cancel()
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -195,6 +212,8 @@ class CacheServer:
     def _route_entry(self, request: _HttpRequest, namespace: str,
                      key: str) -> tuple[int, object]:
         if request.method == "GET":
+            if self._expire_if_stale(namespace, key):
+                return 404, {"ok": False, "error": "expired"}
             value = self.memory.get(namespace, key)
             if value is None and self.disk is not None:
                 value = self.disk.get(namespace, key)
@@ -215,6 +234,8 @@ class CacheServer:
             self.memory.put(namespace, key, value)
             if self.disk is not None:
                 self.disk.put(namespace, key, value)
+            if self.ttl_s is not None:
+                self._stamps[(namespace, key)] = time.time()
             return 204, None
         if request.method == "DELETE":
             present = self.memory.get(namespace, key) is not None
@@ -223,8 +244,54 @@ class CacheServer:
                 present = (self.disk.get(namespace, key) is not None
                            or present)
                 self.disk.delete(namespace, key)
+            self._stamps.pop((namespace, key), None)
             return (204, None) if present else (404, None)
         return 405, {"ok": False, "error": "GET/PUT/DELETE only"}
+
+    # -- entry TTLs ----------------------------------------------------------
+
+    def _entry_age_s(self, namespace: str, key: str) -> float | None:
+        """Seconds since the entry was written, or None when unknown."""
+        stamp = self._stamps.get((namespace, key))
+        if stamp is None and self.disk is not None:
+            # inherited from a pre-existing --dir: age by file mtime
+            path = self.disk._path(namespace, key)
+            if path is not None:
+                try:
+                    stamp = path.stat().st_mtime
+                except OSError:
+                    stamp = None
+        if stamp is None:
+            return None
+        return time.time() - stamp
+
+    def _expire_if_stale(self, namespace: str, key: str) -> bool:
+        """Drop the entry from both stores when its TTL has elapsed."""
+        if self.ttl_s is None:
+            return False
+        age = self._entry_age_s(namespace, key)
+        if age is None:
+            # unknown age but the entry exists (memory-resident,
+            # pre-TTL restart): stamp it now so it ages from here
+            if self.memory.get(namespace, key) is not None:
+                self._stamps[(namespace, key)] = time.time()
+            return False
+        if age <= self.ttl_s:
+            return False
+        self.memory.delete(namespace, key)
+        if self.disk is not None:
+            self.disk.delete(namespace, key)
+        self._stamps.pop((namespace, key), None)
+        self.expired += 1
+        return True
+
+    async def _sweep_loop(self) -> None:
+        assert self.ttl_s is not None
+        interval = min(max(1.0, self.ttl_s / 2.0), 60.0)
+        while True:
+            await asyncio.sleep(interval)
+            for namespace, key in list(self._stamps):
+                self._expire_if_stale(namespace, key)
 
     def metrics(self) -> dict:
         backends = {"memory": self.memory.stats()}
@@ -234,6 +301,8 @@ class CacheServer:
             "http": {"requests": self.http_requests,
                      "responses": dict(self.status_totals)},
             "backends": backends,
+            "ttl_s": self.ttl_s,
+            "expired": self.expired,
         }
 
     async def _write(self, writer, status: int, body,
@@ -267,13 +336,15 @@ async def _serve_async(server: CacheServer) -> int:
 
 def serve_cache(spec: str, max_entries: int | None = None,
                 max_bytes: int | None = None,
-                disk_dir: str | None = None) -> int:
+                disk_dir: str | None = None,
+                ttl_s: float | None = None) -> int:
     """Run the cache server until a signal stops it; returns exit
     status (always 0 -- there is no forced-drain path to fail)."""
     from .http import parse_address
     host, port = parse_address(spec)
     server = CacheServer(host=host, port=port, max_entries=max_entries,
-                         max_bytes=max_bytes, disk_dir=disk_dir)
+                         max_bytes=max_bytes, disk_dir=disk_dir,
+                         ttl_s=ttl_s)
     return asyncio.run(_serve_async(server))
 
 
@@ -288,10 +359,12 @@ class BackgroundCacheServer:
     def __init__(self, host: str = "127.0.0.1", port: int = 0,
                  max_entries: int | None = None,
                  max_bytes: int | None = None,
-                 disk_dir: str | None = None):
+                 disk_dir: str | None = None,
+                 ttl_s: float | None = None):
         self.server = CacheServer(host=host, port=port,
                                   max_entries=max_entries,
-                                  max_bytes=max_bytes, disk_dir=disk_dir)
+                                  max_bytes=max_bytes, disk_dir=disk_dir,
+                                  ttl_s=ttl_s)
         self.address: tuple[str, int] | None = None
         self._thread: threading.Thread | None = None
         self._loop: asyncio.AbstractEventLoop | None = None

@@ -1,4 +1,4 @@
-"""In-service worker pool: threads that execute scheduled groups.
+"""In-service worker pool: affinity-aware thread lanes executing groups.
 
 :class:`~repro.service.service.VerificationService` plans a batch
 serially (validation, semantic keys, dedup, cache, grouping) and then --
@@ -9,6 +9,18 @@ one unit, every other computed request is its own unit, and in-flight
 duplicates ride in their primary's unit.  Units never share mutable
 engine state (one prover belongs to exactly one unit per flush), which
 is what makes the fan-out verdict-preserving by construction.
+
+The pool is a set of single-thread *lanes* rather than one shared
+``ThreadPoolExecutor``: a unit that carries an **affinity** key (the
+stable hash of its design signature -- :mod:`repro.service.ring`) is
+preferentially dispatched to lane ``affinity % workers``, so across
+flushes the same design cone keeps landing on the same worker thread
+and provenance (``worker_id``) is stable.  When the preferred lane is
+busy and another lane is idle the unit *spills* to the least-loaded
+lane (keeping the machine busy always beats placement), and units with
+no affinity just take the least-loaded lane.  Hits and spills are
+counted (``affinity_stats``) so the bench can report how often
+placement held (docs/router.md).
 
 Worker-count resolution (:func:`resolve_workers`):
 
@@ -27,13 +39,13 @@ Workers are plain OS threads (the engine is pure Python, so on a
 GIL build they interleave rather than truly parallelize -- the pool's
 value there is overlap of independent groups, out-of-order streaming
 and interrupt-driven cancellation; on free-threaded builds the same
-code scales).  Each pool thread gets a small integer ``worker id``
-surfaced as response provenance (``VerifyResponse.worker_id``).
+code scales).  Each lane's thread carries its lane index as the
+``worker id`` surfaced as response provenance
+(``VerifyResponse.worker_id``).
 """
 
 from __future__ import annotations
 
-import itertools
 import os
 import threading
 from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
@@ -43,16 +55,15 @@ from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 MAX_WORKERS = 64
 
 _tls = threading.local()
-_worker_ids = itertools.count()
 
 
 def current_worker_id() -> int | None:
-    """The pool-thread ordinal of the calling thread (None off-pool)."""
+    """The pool-lane ordinal of the calling thread (None off-pool)."""
     return getattr(_tls, "worker_id", None)
 
 
-def _init_worker() -> None:
-    _tls.worker_id = next(_worker_ids)
+def _init_worker(lane: int) -> None:
+    _tls.worker_id = lane
 
 
 def pool_jobs() -> int:
@@ -99,43 +110,70 @@ def resolve_workers(requested: int | None = None) -> int:
 
 
 class WorkerPool:
-    """A named thread pool that yields unit results in completion order.
+    """Affinity-aware thread lanes yielding results in completion order.
 
-    Thin wrapper over :class:`concurrent.futures.ThreadPoolExecutor`
-    that (a) tags every pool thread with a worker id for response
-    provenance and (b) exposes :meth:`map_unordered`, the only shape the
-    service scheduler needs: submit all units, yield each unit's result
-    as soon as it completes.  The pool is lazily grown and reused across
+    One single-thread executor per lane: a lane executes its queue
+    serially, so "dispatch to lane L" is a real placement decision, not
+    a hint.  :meth:`map_unordered` is the only shape the service
+    scheduler needs -- submit units, yield each unit's result as soon
+    as it completes -- now with an optional per-unit affinity key
+    steering placement.  The pool is lazily grown and reused across
     flushes; it is never pickled (the owning service drops it on
     ``__getstate__``).
     """
 
     def __init__(self, workers: int):
         self.workers = max(1, workers)
-        self._executor = ThreadPoolExecutor(
-            max_workers=self.workers, initializer=_init_worker,
-            thread_name_prefix="fveval-worker")
+        self._lanes = [
+            ThreadPoolExecutor(max_workers=1, initializer=_init_worker,
+                               initargs=(lane,),
+                               thread_name_prefix=f"fveval-worker-{lane}")
+            for lane in range(self.workers)]
+        self._stats_lock = threading.Lock()
+        #: units placed on their preferred lane / spilled off it
+        #: (units without an affinity key count in neither)
+        self.affinity_hits = 0
+        self.affinity_spills = 0
 
-    def map_unordered(self, fn, units, limit: int | None = None):
+    def affinity_stats(self) -> dict[str, int]:
+        with self._stats_lock:
+            return {"hits": self.affinity_hits,
+                    "spills": self.affinity_spills}
+
+    def map_unordered(self, fn, units, limit: int | None = None,
+                      affinity=None):
         """Yield ``fn(unit)`` results as they complete (not input order).
 
         ``limit`` caps how many units are in flight at once -- the pool
         itself is shared and only ever grows, so the *caller's* width
         (one flush's resolved worker count) is enforced here by pacing
-        submissions, not by pool size.  A unit that raises propagates
-        its exception when its result is reaped; remaining futures are
-        cancelled/awaited first so no worker is left running against a
-        half-torn-down batch.
+        submissions, not by pool size.  ``affinity`` maps a unit to an
+        optional stable int: the unit prefers lane ``key % workers``,
+        spilling to the least-loaded lane when its preferred lane is
+        busy and some other lane is idle.  A unit that raises
+        propagates its exception when its result is reaped; remaining
+        futures are cancelled/awaited first so no worker is left
+        running against a half-torn-down batch.
         """
         pending = list(units)
-        pending.reverse()  # pop() submits in input order
-        futures = set()
+        futures: dict = {}  # future -> lane
+        lane_load = [0] * self.workers
         try:
             while pending or futures:
-                while pending and (limit is None or len(futures) < limit):
-                    futures.add(self._executor.submit(fn, pending.pop()))
-                done, futures = wait(futures, return_when=FIRST_COMPLETED)
+                submitted = True
+                while (pending and submitted
+                       and (limit is None or len(futures) < limit)):
+                    submitted, lane = self._place(pending, lane_load,
+                                                  affinity)
+                    if submitted:
+                        unit = pending.pop(submitted - 1)
+                        lane_load[lane] += 1
+                        futures[self._lanes[lane].submit(fn, unit)] = lane
+                if not futures:
+                    continue
+                done, _ = wait(futures, return_when=FIRST_COMPLETED)
                 for future in done:
+                    lane_load[futures.pop(future)] -= 1
                     yield future.result()
         finally:
             for future in futures:
@@ -144,5 +182,38 @@ class WorkerPool:
                 if not future.cancelled():
                     future.exception()
 
+    def _place(self, pending: list, lane_load: list[int],
+               affinity) -> tuple[int, int]:
+        """Pick the next unit to submit and its lane.
+
+        Returns ``(1-based pending position, lane)``; position 0 means
+        "nothing placeable now" (every lane busy -- wait for a
+        completion rather than queue blindly on a busy lane, so a
+        just-freed lane can claim the unit that prefers it).
+        """
+        if affinity is None or self.workers == 1:
+            # no placement preference: head of line, least-loaded lane
+            lane = min(range(self.workers), key=lane_load.__getitem__)
+            return 1, lane
+        # first pending unit whose preferred lane is idle wins
+        for position, unit in enumerate(pending):
+            key = affinity(unit)
+            if key is None:
+                continue
+            lane = key % self.workers
+            if lane_load[lane] == 0:
+                with self._stats_lock:
+                    self.affinity_hits += 1
+                return position + 1, lane
+        # otherwise: spill the head of the line to any idle lane
+        lane = min(range(self.workers), key=lane_load.__getitem__)
+        if lane_load[lane] > 0:
+            return 0, 0  # all lanes busy: wait for a completion
+        if affinity(pending[0]) is not None:
+            with self._stats_lock:
+                self.affinity_spills += 1
+        return 1, lane
+
     def shutdown(self) -> None:
-        self._executor.shutdown(wait=True)
+        for lane in self._lanes:
+            lane.shutdown(wait=True)

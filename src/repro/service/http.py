@@ -68,7 +68,8 @@ _MAX_HEADERS = 100
 _REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
             405: "Method Not Allowed", 411: "Length Required",
             413: "Payload Too Large", 500: "Internal Server Error",
-            501: "Not Implemented", 503: "Service Unavailable"}
+            501: "Not Implemented", 502: "Bad Gateway",
+            503: "Service Unavailable"}
 
 
 class _HttpError(Exception):

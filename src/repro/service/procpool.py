@@ -155,6 +155,8 @@ def _worker_main(conn, slot: int) -> None:
         base = dict(service.profile)
         groups0 = service.batch_groups
         members0 = service.batch_members
+        hits0 = service.prover_hits
+        builds0 = service.prover_builds
         try:
             for response in service.stream(requests):
                 response.worker_id = slot
@@ -163,6 +165,8 @@ def _worker_main(conn, slot: int) -> None:
                 "profile": _profile_delta(service.profile, base),
                 "batch_groups": service.batch_groups - groups0,
                 "batch_members": service.batch_members - members0,
+                "prover_hits": service.prover_hits - hits0,
+                "prover_builds": service.prover_builds - builds0,
             }))
         except (EOFError, OSError, BrokenPipeError):
             return
@@ -204,6 +208,12 @@ class ProcessExecutor:
             "fork" if "fork" in methods else "spawn")
         self._slots: list[_Worker | None] = [None] * self.workers
         self._lock = threading.Lock()
+        #: units dispatched to their affinity slot / spilled off it
+        #: (units without an affinity key count in neither); each slot's
+        #: persistent single-worker service pools provers, so placement
+        #: here is what keeps a design cone's prover warm across units
+        self.affinity_hits = 0
+        self.affinity_spills = 0
         #: pid the pool was built in -- a forked FVEVAL_JOBS child
         #: inherits the object but not the worker processes (they stay
         #: children of the original parent), so it must not touch them
@@ -213,6 +223,10 @@ class ProcessExecutor:
     def busy(self) -> bool:
         """True while a batch is executing on this pool."""
         return self._lock.locked()
+
+    def affinity_stats(self) -> dict[str, int]:
+        return {"hits": self.affinity_hits,
+                "spills": self.affinity_spills}
 
     # -- worker lifecycle ---------------------------------------------------
 
@@ -278,13 +292,12 @@ class ProcessExecutor:
             unit["events"] = []
         busy: dict[int, dict] = {}  # slot -> unit
         while pending or busy:
-            # dispatch onto free slots
+            # dispatch onto free slots, affinity first
             while pending and len(busy) < self.workers:
-                free = next(s for s in range(self.workers)
-                            if s not in busy)
-                unit = pending.pop(0)
-                if self._dispatch(free, unit):
-                    busy[free] = unit
+                index, slot = self._pick(pending, busy)
+                unit = pending.pop(index)
+                if self._dispatch(slot, unit):
+                    busy[slot] = unit
                 else:
                     yield ("failed", unit, self._unanswered(unit),
                            "unpicklable")
@@ -318,6 +331,29 @@ class ProcessExecutor:
                     unit["timed_out"] = True
                     self._slots[slot].proc.kill()
             del ready
+
+    def _pick(self, pending: list[dict], busy: dict) -> tuple[int, int]:
+        """Choose ``(pending index, slot)`` for the next dispatch.
+
+        Prefer the first pending unit whose affinity slot (stable
+        signature hash mod worker count -- the same rule as the thread
+        tier's lanes) is currently free; otherwise dispatch the head of
+        the line to the lowest free slot.  Spilling beats idling: with
+        every affinity slot busy the head unit still runs, it just pays
+        a cold prover pool on the slot it lands on.
+        """
+        free = [s for s in range(self.workers) if s not in busy]
+        if self.workers > 1:
+            for index, unit in enumerate(pending):
+                key = unit.get("affinity")
+                if key is not None and key % self.workers in busy:
+                    continue
+                if key is not None:
+                    self.affinity_hits += 1
+                    return index, key % self.workers
+        if self.workers > 1 and pending[0].get("affinity") is not None:
+            self.affinity_spills += 1
+        return 0, free[0]
 
     def _unanswered(self, unit: dict) -> list[int]:
         return [p for p in range(len(unit["entries"]))

@@ -1,0 +1,170 @@
+"""Consistent-hash ring with virtual nodes (the routing substrate).
+
+One ring implementation serves three layers of the multi-replica story
+(docs/router.md):
+
+* the :mod:`repro.service.router` front tier maps each request's design
+  signature to one of N ``serve`` replicas;
+* :class:`repro.core.cache.RemoteBackend` shards cache keys across
+  multiple ``cache-serve`` endpoints (``remote=HOST:PORT;HOST:PORT``);
+* the thread and process executors map prove-group signatures to a
+  preferred worker slot so pooled provers stop bouncing between
+  workers.
+
+Why consistent hashing rather than ``hash(key) % n``: ring membership
+changes at runtime (a replica is ejected by a failed health check, then
+re-admitted).  With modular hashing every membership change remaps
+almost every key; on the ring only the leaving node's keyspace moves,
+so the other replicas' pooled provers and warm caches stay hot
+(``tests/test_router.py`` pins the bounded-redistribution property).
+
+Virtual nodes smooth the keyspace split: each node owns
+:data:`DEFAULT_VNODES` pseudo-random arc positions instead of one, so
+the expected per-node share stays near ``1/n`` even for small ``n``.
+
+Everything here is deterministic across processes and platforms
+(SHA-256, no ``PYTHONHASHSEED`` dependence): the router and the
+replicas beneath it must agree on where a signature lands without ever
+talking to each other.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import json
+
+#: virtual-node count per ring member; 64 keeps the max/min keyspace
+#: share within ~2x for two nodes and far tighter for larger rings
+DEFAULT_VNODES = 64
+
+#: ring positions live on [0, 2**POSITION_BITS)
+POSITION_BITS = 64
+
+__all__ = ["DEFAULT_VNODES", "HashRing", "stable_hash"]
+
+
+def stable_hash(obj) -> int:
+    """Deterministic 64-bit hash of any JSON-representable object.
+
+    Process- and platform-stable (unlike builtin ``hash``): SHA-256
+    over a canonical compact-JSON rendering with sorted keys, unknown
+    types rendered through ``str`` -- the same convention
+    :meth:`repro.core.cache.VerdictCache.key` uses, so tuples and lists
+    collide intentionally and dict ordering never matters.
+    """
+    blob = json.dumps(obj, sort_keys=True, separators=(",", ":"),
+                      default=str)
+    digest = hashlib.sha256(blob.encode()).digest()
+    return int.from_bytes(digest[:POSITION_BITS // 8], "big")
+
+
+def _position(node: str, replica: int) -> int:
+    digest = hashlib.sha256(f"{node}#{replica}".encode()).digest()
+    return int.from_bytes(digest[:POSITION_BITS // 8], "big")
+
+
+class HashRing:
+    """A consistent-hash ring over string node names.
+
+    ``node_for(key)`` walks clockwise from the key's position to the
+    first virtual node; ``nodes_for(key, n)`` continues the walk to
+    collect up to *n* **distinct** owners -- the router's failover
+    chain, ordered so every client agrees on the fallback sequence.
+
+    Not thread-safe: callers that mutate membership from multiple
+    threads (the router's health loop runs on one event loop, so it
+    does not) must serialize externally.
+    """
+
+    def __init__(self, nodes=(), vnodes: int = DEFAULT_VNODES):
+        self.vnodes = max(1, int(vnodes))
+        self._nodes: set[str] = set()
+        #: sorted virtual-node positions and the parallel owner list
+        self._positions: list[int] = []
+        self._owners: list[str] = []
+        for node in nodes:
+            self.add(node)
+
+    # -- membership ----------------------------------------------------------
+
+    def add(self, node: str) -> None:
+        if node in self._nodes:
+            return
+        self._nodes.add(node)
+        for replica in range(self.vnodes):
+            position = _position(node, replica)
+            index = bisect.bisect(self._positions, position)
+            self._positions.insert(index, position)
+            self._owners.insert(index, node)
+
+    def remove(self, node: str) -> None:
+        if node not in self._nodes:
+            return
+        self._nodes.discard(node)
+        keep = [(p, o) for p, o in zip(self._positions, self._owners)
+                if o != node]
+        self._positions = [p for p, _o in keep]
+        self._owners = [o for _p, o in keep]
+
+    @property
+    def nodes(self) -> list[str]:
+        return sorted(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    # -- lookup --------------------------------------------------------------
+
+    def node_for(self, key) -> str | None:
+        """The owner of *key* (None on an empty ring).  *key* may be any
+        JSON-representable object, or an ``int`` taken as a precomputed
+        :func:`stable_hash`."""
+        if not self._positions:
+            return None
+        position = key if isinstance(key, int) else stable_hash(key)
+        index = bisect.bisect(self._positions,
+                              position % (1 << POSITION_BITS))
+        if index == len(self._positions):
+            index = 0  # wrap: the ring is circular
+        return self._owners[index]
+
+    def nodes_for(self, key, count: int) -> list[str]:
+        """Up to *count* distinct owners, walking clockwise from *key*.
+
+        The first element is :meth:`node_for`'s answer; the rest are
+        the failover order every client derives identically.
+        """
+        if not self._positions or count <= 0:
+            return []
+        position = key if isinstance(key, int) else stable_hash(key)
+        start = bisect.bisect(self._positions,
+                              position % (1 << POSITION_BITS))
+        found: list[str] = []
+        seen: set[str] = set()
+        for step in range(len(self._positions)):
+            owner = self._owners[(start + step) % len(self._positions)]
+            if owner not in seen:
+                seen.add(owner)
+                found.append(owner)
+                if len(found) >= count:
+                    break
+        return found
+
+    def occupancy(self) -> dict[str, float]:
+        """Fraction of the keyspace each node owns (sums to ~1.0);
+        surfaced by the router's ``/metrics`` to make the virtual-node
+        split observable."""
+        if not self._positions:
+            return {}
+        shares: dict[str, float] = {node: 0.0 for node in self._nodes}
+        total = float(1 << POSITION_BITS)
+        for index, owner in enumerate(self._owners):
+            position = self._positions[index]
+            previous = self._positions[index - 1] if index else \
+                self._positions[-1] - (1 << POSITION_BITS)
+            shares[owner] += (position - previous) / total
+        return shares

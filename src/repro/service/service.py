@@ -55,6 +55,9 @@ from typing import TYPE_CHECKING
 
 from ..sva.canonical import CanonicalizationError, canonical_key
 from .api import RequestError, VerifyRequest, VerifyResponse
+from .signature import design_signature  # noqa: F401  (re-exported; the
+# canonical definition moved to repro.service.signature so the routing
+# tier computes the same key without importing the whole service)
 
 if TYPE_CHECKING:  # the runtime import is deferred (see _cache_module)
     from ..core.cache import VerdictCache
@@ -231,6 +234,13 @@ class VerificationService:
         self.dedup_hits = 0
         self.batch_groups = 0
         self.batch_members = 0
+        #: prover-pool reuse counters: a ``hit`` reuses a pooled prover
+        #: (sessions, unrolled AIGs, sim traces and all), a ``build``
+        #: constructs a fresh one -- the signature-affinity layers exist
+        #: to raise the hit share, and the bench's --route/affinity rows
+        #: report it (docs/router.md)
+        self.prover_hits = 0
+        self.prover_builds = 0
         self._init_runtime()
 
     def _init_runtime(self) -> None:
@@ -369,6 +379,8 @@ class VerificationService:
             "dedup_hits": self.dedup_hits,
             "batch_groups": self.batch_groups,
             "batch_members": self.batch_members,
+            "prover_hits": self.prover_hits,
+            "prover_builds": self.prover_builds,
             "cache": self.cache_stats(),
         }
         if self.admission is not None:
@@ -594,6 +606,7 @@ class VerificationService:
                 batch_ids[pool_key] = f"b{self._batch_seq}"
                 design = plan[members[0]]["design"]
                 if pool_key in self._active:
+                    self.prover_builds += 1
                     prover = Prover(design, profile=self.profile,
                                     **dict(pool_key[1]))
                 else:
@@ -686,6 +699,7 @@ class VerificationService:
         (the primary always executes first within it).
         """
         from .executor import current_worker_id
+        from .ring import stable_hash
         units: list[dict] = []
         unit_by_group: dict[tuple, dict] = {}
         unit_by_index: dict[int, dict] = {}
@@ -700,15 +714,20 @@ class VerificationService:
             if group is not None:
                 unit = unit_by_group.get(group)
                 if unit is None:
+                    # affinity on the design signature alone (not the
+                    # engine fingerprint): every engine variant of one
+                    # cone prefers the same lane
                     unit = {"indices": [], "group": group,
                             "batch_id": batch_ids[group],
-                            "prover": entry["prover"]}
+                            "prover": entry["prover"],
+                            "affinity": stable_hash(group[0])}
                     unit_by_group[group] = unit
                     units.append(unit)
                 unit["indices"].append(entry["index"])
             else:
                 unit = {"indices": [entry["index"]], "group": None,
-                        "batch_id": None, "prover": None}
+                        "batch_id": None, "prover": None,
+                        "affinity": None}
                 units.append(unit)
             unit_by_index[entry["index"]] = unit
         for entry in plan:
@@ -748,8 +767,9 @@ class VerificationService:
         # is shared and only ever grows, but at most `workers` units of
         # this batch are in flight at once, so a lowered FVEVAL_WORKERS
         # (or the FVEVAL_JOBS clamp) takes effect on the next flush
-        for results in pool.map_unordered(run_unit, units,
-                                          limit=workers):
+        for results in pool.map_unordered(
+                run_unit, units, limit=workers,
+                affinity=lambda unit: unit["affinity"]):
             yield from results
 
     def _execute_process(self, plan: list[dict], groups: dict,
@@ -797,9 +817,11 @@ class VerificationService:
                 entry["response"].index = entry["index"]
                 yield entry["index"], entry["response"]
 
+        from .ring import stable_hash
         units: list[dict] = []
 
-        def make_unit(indices: list[int], batch_id: str | None) -> None:
+        def make_unit(indices: list[int], batch_id: str | None,
+                      affinity: int | None = None) -> None:
             entries, deadlines = [], []
             for i in indices:
                 entry = plan[i]
@@ -810,13 +832,18 @@ class VerificationService:
                 deadlines.append(entry["deadline_s"])
             units.append({"id": len(units), "entries": entries,
                           "deadline_s": deadlines, "batching": batching,
-                          "batch_id": batch_id})
+                          "batch_id": batch_id, "affinity": affinity})
 
         grouped: set[int] = set()
         for pool_key, members in groups.items():
             live = [i for i in members if plan[i]["response"] is None]
             if live:
-                make_unit(live, batch_ids[pool_key])
+                # signature-only affinity, as in the thread tier: the
+                # worker slot's own single-worker service pools provers
+                # by (signature, engine), so keeping a cone on one slot
+                # is what makes its pool hit across flushes
+                make_unit(live, batch_ids[pool_key],
+                          affinity=stable_hash(pool_key[0]))
                 grouped.update(live)
         for entry in plan:
             if (entry["dup_of"] is None and entry["response"] is None
@@ -895,6 +922,8 @@ class VerificationService:
         with self._state_lock:
             self.batch_groups += stats.get("batch_groups", 0)
             self.batch_members += stats.get("batch_members", 0)
+            self.prover_hits += stats.get("prover_hits", 0)
+            self.prover_builds += stats.get("prover_builds", 0)
 
     def _process_pool(self, workers: int):
         """The shared process pool, grown on demand (mirrors
@@ -1054,7 +1083,9 @@ class VerificationService:
         prover = self._provers.get(pool_key)
         if prover is not None:
             self._provers.move_to_end(pool_key)
+            self.prover_hits += 1
             return prover
+        self.prover_builds += 1
         # evict least-recently-used provers to bound proof-session
         # memory, but never one the executing batch still needs -- its
         # presimulated packed masks must survive its own flush
@@ -1262,32 +1293,6 @@ class _LazyParts:
 
     def __iter__(self):
         return iter(self._thunk())
-
-
-def design_signature(design) -> tuple:
-    """Assertion-independent fingerprint of an elaborated design.
-
-    The grouping key of the batch scheduler and the design part of every
-    ``prove`` cache key: the n samples of one problem splice different
-    assertions into the *same* support logic, so equal signatures let
-    them share one prover (COI cones, unrolled AIGs, incremental
-    solvers, simulation traces) and one packed falsification pass.
-    """
-    from ..sva.unparse import unparse
-    return (
-        design.name,
-        tuple(sorted(design.widths.items())),
-        tuple(sorted(design.inputs)),
-        tuple(sorted(design.state)),
-        tuple(sorted(design.init.items())),
-        tuple(sorted(design.params.items())),
-        design.clock,
-        tuple(design.resets),
-        tuple(sorted((n, unparse(e))
-                     for n, e in design.next_exprs.items())),
-        tuple(sorted((n, unparse(e))
-                     for n, e in design.comb_exprs.items())),
-    )
 
 
 def _freeze(value):
