@@ -51,11 +51,19 @@ in-process ``cache-serve`` instance) and benches each category
 **twice** -- a cold pass then a warm pass against the now-populated
 tiers -- recording the warm wall-clock, verdict mix and speedup as a
 ``warm`` block on the row: the cache A/B without hand-running two
-invocations.  ``--expect-mix`` exits nonzero unless every category
-produced both ``proven`` and ``cex`` verdicts and no errors, and (with
-``--cache-tiers``) the warm verdict mix matches the cold one (the CI
-smoke gate; no timing assertions, so slow shared runners cannot flake
-it).
+invocations.  ``--equiv-count N`` adds an ``equiv`` category -- N
+NL2SVA-Machine problems, four simulated candidates each, one service
+batch through the shared-reference equivalence sessions
+(docs/engine.md) -- whose ``equiv`` block records sessions built,
+candidates per session, total conflicts and checker-pool hits/builds;
+``--no-equiv-share`` swaps in the isolated per-candidate oracle so a
+row pair reads off what session sharing saves at an identical verdict
+mix.  ``--expect-mix`` exits nonzero unless every category
+produced both ``proven`` and ``cex`` verdicts and no errors (for the
+``equiv`` category: at least one ``equivalent`` plus one
+distinguishing verdict), and (with ``--cache-tiers``) the warm verdict
+mix matches the cold one (the CI smoke gate; no timing assertions, so
+slow shared runners cannot flake it).
 """
 
 from __future__ import annotations
@@ -172,6 +180,73 @@ def bench_category(category: str, count: int, prover_kwargs: dict,
     elif with_cache_stats:
         result["cache"] = task.cache_stats()
     return result
+
+
+def bench_equiv(count: int, use_cache: bool, share: bool,
+                workers: int | None = None,
+                executor: str | None = None) -> dict:
+    """The NL2SVA-Machine equivalence workload as ONE service batch.
+
+    *count* problems, four simulated samples each -- every reference
+    checked against multiple candidates, the shape the shared-reference
+    equivalence sessions (docs/engine.md) amortize.  ``share=False``
+    runs the isolated per-candidate oracle instead, so a default row
+    against a ``--no-equiv-share`` row is the session-sharing A/B on an
+    identical workload (identical verdict mix enforced by
+    ``--expect-mix``).  Requests come from the task adapter's own
+    construction path (``Nl2SvaMachineTask._equiv_request``), built
+    outside the timing.
+    """
+    from dataclasses import replace
+
+    from repro.core.tasks import Nl2SvaMachineTask
+    from repro.models.base import GenerationRequest, SimulatedModel
+    from repro.service import VerificationService
+    task = Nl2SvaMachineTask(count=count)
+    problems = task.problems()
+    model = SimulatedModel("gpt-4o")
+    requests = []
+    for index, problem in enumerate(problems):
+        for response in model.generate(GenerationRequest(
+                task="nl2sva_machine", problem=problem, n_samples=4,
+                temperature=0.8,
+                quantile=(index + 0.5) / max(1, len(problems)))):
+            request = task._equiv_request(problem, response)
+            if not use_cache:
+                request = replace(request, use_cache=False)
+            requests.append(request)
+    service = VerificationService(share_equiv=share, workers=workers,
+                                  executor=executor)
+    verdicts: dict[str, int] = {}
+    try:
+        t0 = time.perf_counter()
+        for response in service.run(requests):
+            verdicts[response.verdict] = \
+                verdicts.get(response.verdict, 0) + 1
+        elapsed = time.perf_counter() - t0
+        stats = service.stats()
+        profile = dict(service.profile)
+    finally:
+        service.close()
+    candidates = profile.get("equiv_candidates", 0)
+    sessions = profile.get("equiv_sessions", 0)
+    return {
+        "designs": len(problems),
+        "proofs": len(requests),
+        "wall_s": round(elapsed, 4),
+        "per_proof_ms": round(1000.0 * elapsed / max(1, len(requests)), 3),
+        "verdicts": dict(sorted(verdicts.items())),
+        "equiv": {
+            "shared": share,
+            "sessions": sessions,
+            "candidates": candidates,
+            "candidates_per_session": round(
+                candidates / max(1, sessions), 3),
+            "conflicts": profile.get("equiv_conflicts", 0),
+            "pool": {"hits": stats.get("equiv_hits", 0),
+                     "builds": stats.get("equiv_builds", 0)},
+        },
+    }
 
 
 def _resolve_cache_tiers(spec: str) -> tuple[str, list]:
@@ -475,6 +550,19 @@ def check_mix(entry: dict) -> list[str]:
     problems = []
     for category, data in entry["categories"].items():
         verdicts = data["verdicts"]
+        if "equiv" in data:
+            # equivalence workload: the gate is one 'equivalent' plus at
+            # least one distinguishing verdict (the mix a sharing bug
+            # would flatten), and no crashes
+            if verdicts.get("equivalent", 0) == 0:
+                problems.append(f"{category}: no 'equivalent' verdicts")
+            if sum(n for v, n in verdicts.items()
+                   if v != "equivalent") == 0:
+                problems.append(f"{category}: no non-equivalent verdicts")
+            if verdicts.get("error", 0):
+                problems.append(
+                    f"{category}: {verdicts['error']} 'error' verdicts")
+            continue
         for needed in ("proven", "cex"):
             if verdicts.get(needed, 0) == 0:
                 problems.append(f"{category}: no {needed!r} verdicts")
@@ -553,6 +641,22 @@ def build_parser() -> argparse.ArgumentParser:
                          "'remote' an in-process cache-serve); each "
                          "category runs twice -- cold then warm -- "
                          "and the row records the warm A/B block")
+    ap.add_argument("--equiv-count", type=int, default=None, metavar="N",
+                    help="add an 'equiv' category: N NL2SVA-Machine "
+                         "problems, four simulated samples each, run as "
+                         "one service batch through the shared-reference "
+                         "equivalence sessions (docs/engine.md); the row "
+                         "gains an 'equiv' block -- sessions built, "
+                         "candidates per session, total conflicts, "
+                         "checker-pool hits/builds -- so a default row "
+                         "against a --no-equiv-share row reads off what "
+                         "session sharing saves")
+    ap.add_argument("--no-equiv-share", action="store_true",
+                    help="with --equiv-count: run the isolated "
+                         "per-candidate oracle (one solver pair per "
+                         "candidate, as FVEVAL_NO_EQUIV_SHARE=1 would) "
+                         "instead of shared sessions -- the B side of "
+                         "the session-sharing A/B")
     ap.add_argument("--expect-mix", action="store_true",
                     help="fail unless every category has proven+cex verdicts")
     ap.add_argument("--output", default=str(
@@ -595,6 +699,9 @@ def main() -> int:
         entry["http"] = True
     if args.route:
         entry["route"] = args.route
+    if args.equiv_count:
+        entry["equiv_count"] = args.equiv_count
+        entry["equiv_share"] = not args.no_equiv_share
 
     cache_cleanups: list = []
     if args.cache_tiers:
@@ -658,6 +765,23 @@ def main() -> int:
                       f"builds={pool['builds']} "
                       f"hit_rate={pool['hit_rate']:.0%}")
             print_profile(category, data)
+        if args.equiv_count:
+            data = bench_equiv(args.equiv_count,
+                               use_cache=not args.no_cache,
+                               share=not args.no_equiv_share,
+                               workers=args.workers,
+                               executor=args.executor)
+            entry["categories"]["equiv"] = data
+            eq = data["equiv"]
+            print(f"{'equiv':>9}: designs={data['designs']} "
+                  f"proofs={data['proofs']} wall={data['wall_s']}s "
+                  f"per_proof={data['per_proof_ms']}ms "
+                  f"verdicts={data['verdicts']}")
+            print(f"{'equiv':>9}  sess : shared={eq['shared']} "
+                  f"sessions={eq['sessions']} "
+                  f"cands/session={eq['candidates_per_session']} "
+                  f"conflicts={eq['conflicts']} "
+                  f"pool={eq['pool']['hits']}h/{eq['pool']['builds']}b")
     finally:
         for cleanup in cache_cleanups:
             cleanup()

@@ -26,6 +26,8 @@ from .bitvec import (
 )
 from .coi import assertion_roots, coi_stats, cone_of_influence
 from .equivalence import (
+    EquivChecker,
+    EquivSession,
     EquivalenceResult,
     Verdict,
     check_equivalence,
@@ -47,6 +49,7 @@ from .semantics import EncodingError, PropertyEncoder, horizon_of
 
 __all__ = [
     "AIG", "AigBackend", "CnfWriter", "DEFAULT_LADDER", "EncodingError",
+    "EquivChecker", "EquivSession",
     "EquivalenceResult", "EvalError", "ExprEvaluator", "FALSE",
     "FixedTraceSource", "FreeSignalSource", "IntBackend", "ProofResult",
     "ProofSession", "PortfolioScheduler", "PropertyEncoder", "Prover",

@@ -710,6 +710,10 @@ class FreeSignalSource(SignalSource):
         self.widths = dict(widths)
         self.default_width = default_width
         self._cache: dict[tuple[str, int], tuple] = {}
+        # when a set is installed here, every (signal, cycle) key read --
+        # memo hit or not -- is recorded into it; shared equivalence
+        # sessions use this to learn which keys one candidate's cone spans
+        self._touched: set[tuple[str, int]] | None = None
 
     def width(self, name: str) -> int:
         return self.widths.get(name, self.default_width)
@@ -717,6 +721,8 @@ class FreeSignalSource(SignalSource):
     def read(self, name: str, t: int):
         w = self.width(name)
         key = (name, t)
+        if self._touched is not None:
+            self._touched.add(key)
         bits = self._cache.get(key)
         if bits is None:
             bits = tuple(self.aig.new_input() for _ in range(w))

@@ -21,9 +21,9 @@ from enum import Enum
 
 from ..sva.ast_nodes import Assertion
 from ..sva.parser import ParseError, parse_assertion
-from .aig import AIG, FALSE, TRUE, CnfWriter, neg
+from .aig import AIG, FALSE, TRUE, CnfWriter, Sweeper, neg
 from .bitvec import FreeSignalSource
-from .sat import Solver, solve_cnf
+from .sat import Solver
 from .semantics import EncodingError, PropertyEncoder, horizon_of
 
 MAX_HORIZON = 40
@@ -88,67 +88,154 @@ def _clocks_compatible(a: Assertion, b: Assertion) -> bool:
     return ea == eb and unparse(a.clocking.signal) == unparse(b.clocking.signal)
 
 
-class _Check:
-    """One bounded check at a fixed horizon.
+class EquivSession:
+    """One incremental equivalence session: a reference cone at a fixed
+    horizon, shared across many candidate assertions.
 
-    The miter and both implication directions run on a single incremental
-    solver: each query literal is Tseitin-encoded as a delta by the shared
-    :class:`~.aig.CnfWriter` and activated as an assumption, so the three
-    solves reuse one CNF of the (heavily overlapping) ref/candidate cones
-    plus whatever the earlier queries learned.
+    The AIG, :class:`~.bitvec.FreeSignalSource`, :class:`CnfWriter` and CDCL
+    solver are built once and the reference assertion is encoded once; each
+    :meth:`check` Tseitin-streams only the candidate's delta and activates
+    the miter/implication queries as assumption literals, so learned clauses
+    over the (heavily reconvergent) reference cone carry from candidate to
+    candidate.  Counterexamples are canonicalized to the lexicographically
+    minimal witness (assumption-prefix minimization with complete solves),
+    which makes the extracted trace a function of the formula alone --
+    byte-identical whether the session served one candidate or a hundred.
     """
 
-    def __init__(self, ref: Assertion, cand: Assertion, horizon: int,
+    def __init__(self, ref: Assertion, horizon: int,
                  widths: dict[str, int], default_width: int,
                  params: dict[str, int] | None):
-        from .aig import Sweeper
         self.aig = AIG()
         self.source = FreeSignalSource(self.aig, widths, default_width)
-        encoder = PropertyEncoder(self.aig, self.source, horizon, params)
-        self.ref_lit = encoder.encode_assertion(ref)
-        self.cand_lit = encoder.encode_assertion(cand)
+        self.encoder = PropertyEncoder(self.aig, self.source, horizon, params)
+        ref_keys: set[tuple[str, int]] = set()
+        self.source._touched = ref_keys
+        try:
+            self.ref_lit = self.encoder.encode_assertion(ref)
+        finally:
+            self.source._touched = None
+        self.ref_keys = ref_keys
         self.horizon = horizon
-        self.conflicts = 0
-        self.propagations = 0
-        self.decisions = 0
+        self.candidates = 0
         self.solver = Solver()
         self.writer = CnfWriter(self.aig, self.solver)
-        self._sweeper = Sweeper(self.aig)
+        self.sweeper = Sweeper(self.aig)
 
-    def _sat(self, lit: int, max_conflicts: int):
-        """Solve satisfiability of an AIG literal; returns (status, model)."""
+    def check(self, cand: Assertion, max_conflicts: int):
+        """Run the miter + both implications for one candidate.
+
+        Returns ``(verdict, cex_or_None, stats_delta)`` where the
+        counterexample (when present) is the canonical minimal witness over
+        exactly the (signal, cycle) keys the reference and this candidate's
+        cones touch -- other candidates sharing the session never leak keys
+        into the trace.
+        """
+        stats = {"conflicts": 0, "decisions": 0, "propagations": 0}
+        touched: set[tuple[str, int]] = set()
+        self.source._touched = touched
+        try:
+            cand_lit = self.encoder.encode_assertion(cand)
+        finally:
+            self.source._touched = None
+        self.candidates += 1
+        keys = self.ref_keys | touched
+        g = self.aig
+        miter = g.xor_(self.ref_lit, cand_lit)
+        status, cex = self._query(miter, max_conflicts, stats, keys)
+        if status == "unsat":
+            return Verdict.EQUIVALENT, None, stats
+        if status == "unknown":
+            return Verdict.UNDETERMINED, None, stats
+        # not equivalent; check each implication direction (their witnesses
+        # are discarded, so skip minimization for them)
+        cand_not_ref = g.and_(cand_lit, neg(self.ref_lit))
+        s1, _ = self._query(cand_not_ref, max_conflicts, stats)
+        if s1 == "unsat":
+            return Verdict.CANDIDATE_IMPLIES_REF, cex, stats
+        ref_not_cand = g.and_(self.ref_lit, neg(cand_lit))
+        s2, _ = self._query(ref_not_cand, max_conflicts, stats)
+        if s2 == "unsat":
+            return Verdict.REF_IMPLIES_CANDIDATE, cex, stats
+        if s1 == "unknown" or s2 == "unknown":
+            return Verdict.UNDETERMINED, cex, stats
+        return Verdict.INEQUIVALENT, cex, stats
+
+    def _query(self, lit: int, max_conflicts: int, stats: dict,
+               keys: set | None = None):
+        """Solve satisfiability of an AIG literal; returns (status, witness).
+
+        A witness trace is extracted only when *keys* is given.
+        """
         # pre-CNF sweep: the miter/implication cones of two near-identical
         # assertions collapse heavily under the two-level rules, so the
         # writer streams a much smaller delta (a swept constant decides
         # the query without touching the solver)
-        lit = self._sweeper.lit(lit)
+        lit = self.sweeper.lit(lit)
         if lit == TRUE:
-            return "sat", ({}, 0)
+            if keys is None:
+                return "sat", None
+            # every assignment satisfies the query, so the all-zeros trace
+            # over the touched window is its (lex-minimal) model -- a
+            # concrete counterexample, never a vacuous ``{}``
+            return "sat", self._build_trace(keys, {})
         if lit == FALSE:
             return "unsat", None
         self.writer.encode([lit])
-        result = self.solver.solve([self.writer.lit(lit)],
-                                   max_conflicts=max_conflicts)
-        self.conflicts += result.conflicts
-        self.propagations += result.propagations
-        self.decisions += result.decisions
+        assume = self.writer.lit(lit)
+        result = self.solver.solve([assume], max_conflicts=max_conflicts)
+        stats["conflicts"] += result.conflicts
+        stats["decisions"] += result.decisions
+        stats["propagations"] += result.propagations
         if result.is_sat:
-            return "sat", self._extract_trace(result.model,
-                                              self.writer.node2var)
+            if keys is None:
+                return "sat", None
+            return "sat", self._witness(assume, result.model, keys)
         if result.is_unsat:
             return "unsat", None
         return "unknown", None
 
-    def _extract_trace(self, model,
-                       node2var) -> tuple[dict[str, list[int]], int]:
+    def _witness(self, assume: int, model: dict, keys: set):
+        """Canonical lex-minimal witness of a satisfiable query.
+
+        Bits are fixed in (signal name, cycle, bit index) order by
+        assumption-prefix minimization: a bit already 0 in the running model
+        is fixed for free; a bit at 1 costs one *complete* (unbounded)
+        solve asking whether 0 is feasible.  Completeness is what pins the
+        result to the formula rather than to incidental solver state, so a
+        shared session and an isolated one extract identical traces.
+        """
+        node2var = self.writer.node2var
+        values: dict[tuple[str, int, int], bool] = {}
+        prefix = [assume]
+        for name, t in sorted(keys):
+            bits, _w = self.source.read(name, t)
+            for i, bit in enumerate(bits):
+                var = node2var.get(bit >> 1)
+                if var is None:
+                    # outside every encoded cone: unconstrained, lex-min 0
+                    continue
+                if not model.get(var, False):
+                    prefix.append(-var)
+                    continue
+                res = self.solver.solve([*prefix, -var])
+                if res.is_sat:
+                    model = res.model
+                    prefix.append(-var)
+                else:
+                    values[(name, t, i)] = True
+                    prefix.append(var)
+        return self._build_trace(keys, values)
+
+    def _build_trace(self, keys: set, values: dict):
         """Returns (trace, offset): series are indexed from cycle
         ``-offset`` so that $past/$rose prehistory is preserved."""
         times: dict[str, dict[int, int]] = {}
-        for (name, t), bits in self.source._cache.items():
+        for name, t in sorted(keys):
+            width = self.source.width(name)
             value = 0
-            for i, bit_lit in enumerate(bits):
-                var = node2var.get(bit_lit >> 1)
-                if var is not None and model.get(var, False):
+            for i in range(width):
+                if values.get((name, t, i)):
                     value |= 1 << i
             times.setdefault(name, {})[t] = value
         if not times:
@@ -160,26 +247,94 @@ class _Check:
                  for name, by_t in times.items()}
         return trace, -lo
 
-    def verdict(self, max_conflicts: int) -> tuple[Verdict, object]:
-        g = self.aig
-        miter = g.xor_(self.ref_lit, self.cand_lit)
-        status, cex = self._sat(miter, max_conflicts)
-        if status == "unsat":
-            return Verdict.EQUIVALENT, None
-        if status == "unknown":
-            return Verdict.UNDETERMINED, None
-        # not equivalent; check each implication direction
-        cand_not_ref = g.and_(self.cand_lit, neg(self.ref_lit))
-        s1, _ = self._sat(cand_not_ref, max_conflicts)
-        if s1 == "unsat":
-            return Verdict.CANDIDATE_IMPLIES_REF, cex
-        ref_not_cand = g.and_(self.ref_lit, neg(self.cand_lit))
-        s2, _ = self._sat(ref_not_cand, max_conflicts)
-        if s2 == "unsat":
-            return Verdict.REF_IMPLIES_CANDIDATE, cex
-        if s1 == "unknown" or s2 == "unknown":
-            return Verdict.UNDETERMINED, cex
-        return Verdict.INEQUIVALENT, cex
+
+class EquivChecker:
+    """Shared-reference equivalence checking: one :class:`EquivSession` per
+    horizon, reused across every candidate compared against *reference*.
+
+    The service pools one checker per (reference, widths, params, engine)
+    routing signature; a throwaway checker (built by
+    :func:`check_equivalence` when none is passed) is the isolated oracle --
+    same code path, fresh sessions, so shared-vs-isolated parity reduces to
+    the canonical-witness argument in :meth:`EquivSession._witness`.
+    """
+
+    def __init__(self, reference: Assertion | str,
+                 signal_widths: dict[str, int] | None = None,
+                 params: dict[str, int] | None = None,
+                 default_width: int = 1,
+                 max_candidates: int = 256):
+        try:
+            self.ref = _coerce(reference, params)
+        except ParseError as exc:
+            raise ValueError(
+                f"reference assertion does not parse: {exc}") from exc
+        self.widths = dict(signal_widths or {})
+        self.params = params
+        self.default_width = default_width
+        #: rebuild a session after this many candidates so the learned-clause
+        #: database and AIG of a very hot reference cannot grow unboundedly
+        self.max_candidates = max_candidates
+        self._sessions: dict[int, EquivSession] = {}
+        self.sessions_built = 0
+        self.candidates = 0
+
+    def _session(self, horizon: int) -> EquivSession:
+        session = self._sessions.get(horizon)
+        if session is None or session.candidates >= self.max_candidates:
+            session = EquivSession(self.ref, horizon, self.widths,
+                                   self.default_width, self.params)
+            self._sessions[horizon] = session
+            self.sessions_built += 1
+        return session
+
+    def check(self, candidate: Assertion | str,
+              horizons: tuple[int, ...] | None = None,
+              max_conflicts: int = DEFAULT_MAX_CONFLICTS
+              ) -> EquivalenceResult:
+        try:
+            cand = _coerce(candidate, self.params)
+        except ParseError as exc:
+            return EquivalenceResult(Verdict.ENCODING_ERROR,
+                                     detail=f"candidate parse error: {exc}")
+
+        if not _clocks_compatible(self.ref, cand):
+            return EquivalenceResult(Verdict.INEQUIVALENT,
+                                     detail="clocking events differ")
+
+        if horizons is None:
+            base = max(horizon_of(self.ref), horizon_of(cand)) + 2
+            base = max(base, 4)
+            if base > MAX_HORIZON:
+                base = MAX_HORIZON
+            horizons = (base, min(base + 3, MAX_HORIZON + 3))
+
+        built0 = self.sessions_built
+        verdicts: list[Verdict] = []
+        cex = None
+        cex_offset = 0
+        stats = {"conflicts": 0, "decisions": 0, "propagations": 0,
+                 "sessions": 0}
+        try:
+            for K in horizons:
+                session = self._session(K)
+                v, c, delta = session.check(cand, max_conflicts)
+                stats["conflicts"] += delta["conflicts"]
+                stats["decisions"] += delta["decisions"]
+                stats["propagations"] += delta["propagations"]
+                verdicts.append(v)
+                if c is not None:
+                    cex, cex_offset = c
+        except EncodingError as exc:
+            return EquivalenceResult(Verdict.ENCODING_ERROR, detail=str(exc))
+
+        stats["sessions"] = self.sessions_built - built0
+        self.candidates += 1
+        final = verdicts[-1]
+        stable = all(v == final for v in verdicts)
+        return EquivalenceResult(final, horizons=tuple(horizons),
+                                 counterexample=cex, cex_offset=cex_offset,
+                                 stable=stable, stats=stats)
 
 
 def check_equivalence(
@@ -190,6 +345,7 @@ def check_equivalence(
     default_width: int = 1,
     horizons: tuple[int, ...] | None = None,
     max_conflicts: int = DEFAULT_MAX_CONFLICTS,
+    checker: EquivChecker | None = None,
 ) -> EquivalenceResult:
     """Compare *candidate* against *reference* over all bounded traces.
 
@@ -198,51 +354,18 @@ def check_equivalence(
     and inequivalence.  Parse or encoding failures on the candidate yield
     ``ENCODING_ERROR`` (the evaluation harness scores those as functional
     failures; the *syntax* metric is computed separately).
+
+    When *checker* is given its sessions are reused and the
+    reference/widths/params arguments are ignored -- the caller (the
+    service's equivalence-group scheduler) guarantees they match the
+    checker's; otherwise a throwaway :class:`EquivChecker` runs the same
+    code on fresh sessions (the isolated oracle).
     """
-    try:
-        ref = _coerce(reference, params)
-    except ParseError as exc:
-        raise ValueError(f"reference assertion does not parse: {exc}") from exc
-    try:
-        cand = _coerce(candidate, params)
-    except ParseError as exc:
-        return EquivalenceResult(Verdict.ENCODING_ERROR,
-                                 detail=f"candidate parse error: {exc}")
-
-    if not _clocks_compatible(ref, cand):
-        return EquivalenceResult(Verdict.INEQUIVALENT,
-                                 detail="clocking events differ")
-
-    if horizons is None:
-        base = max(horizon_of(ref), horizon_of(cand)) + 2
-        base = max(base, 4)
-        if base > MAX_HORIZON:
-            base = MAX_HORIZON
-        horizons = (base, min(base + 3, MAX_HORIZON + 3))
-
-    widths = dict(signal_widths or {})
-    verdicts: list[Verdict] = []
-    cex = None
-    cex_offset = 0
-    stats = {"conflicts": 0, "decisions": 0, "propagations": 0}
-    try:
-        for K in horizons:
-            chk = _Check(ref, cand, K, widths, default_width, params)
-            v, c = chk.verdict(max_conflicts)
-            stats["conflicts"] += chk.conflicts
-            stats["decisions"] += chk.decisions
-            stats["propagations"] += chk.propagations
-            verdicts.append(v)
-            if c is not None:
-                cex, cex_offset = c
-    except EncodingError as exc:
-        return EquivalenceResult(Verdict.ENCODING_ERROR, detail=str(exc))
-
-    final = verdicts[-1]
-    stable = all(v == final for v in verdicts)
-    return EquivalenceResult(final, horizons=tuple(horizons),
-                             counterexample=cex, cex_offset=cex_offset,
-                             stable=stable, stats=stats)
+    if checker is None:
+        checker = EquivChecker(reference, signal_widths, params,
+                               default_width)
+    return checker.check(candidate, horizons=horizons,
+                         max_conflicts=max_conflicts)
 
 
 def is_tautology(assertion: Assertion | str,
@@ -257,11 +380,12 @@ def is_tautology(assertion: Assertion | str,
     aig = AIG()
     source = FreeSignalSource(aig, dict(signal_widths or {}), default_width)
     encoder = PropertyEncoder(aig, source, K, params)
-    lit = encoder.encode_assertion(a)
+    lit = Sweeper(aig).lit(encoder.encode_assertion(a))
     if lit == TRUE:
         return True
     if lit == FALSE:
         return False
-    clauses, node2var, nv = aig.to_cnf([neg(lit)])
-    clauses.append([aig.cnf_literal(neg(lit), node2var)])
-    return solve_cnf(nv, clauses).is_unsat
+    solver = Solver()
+    writer = CnfWriter(aig, solver)
+    writer.encode([neg(lit)])
+    return solver.solve([writer.lit(neg(lit))]).is_unsat

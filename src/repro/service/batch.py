@@ -31,6 +31,27 @@ from ..formal.bitsim import MAX_LANES, packed_violation_masks
 from ..formal.prover import bump, has_unbounded_strong
 from ..formal.semantics import PropertyEncoder, horizon_of
 from ..sva.unparse import unparse
+from .signature import routing_signature
+
+
+def equiv_group_key(request, engine_fingerprint) -> tuple:
+    """Pool/group key of an equivalence request: every candidate compared
+    against one (reference, widths, params) under one engine configuration
+    lands in the same group and reuses one
+    :class:`~repro.formal.equivalence.EquivChecker` -- the equivalence
+    analogue of the per-design-cone prove group.  The leading tag keeps the
+    keyspace disjoint from prove pool keys."""
+    return ("equiv", routing_signature(request), engine_fingerprint)
+
+
+def group_affinity(pool_key) -> object:
+    """The value both executors hash for worker/slot placement of a unit.
+
+    Prove pool keys are ``(design_signature, engine)`` -- affinity follows
+    the design signature so one cone's samples stay on one lane/slot;
+    equivalence keys are ``("equiv", routing_signature, engine)`` -- the
+    routing signature plays the same role."""
+    return pool_key[1] if pool_key[0] == "equiv" else pool_key[0]
 
 
 class BatchTraceChecker:

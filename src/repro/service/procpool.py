@@ -146,17 +146,20 @@ def _worker_main(conn, slot: int) -> None:
             return  # parent went away (or shut the pipe): exit quietly
         if message[0] == "stop":
             return
-        _kind, unit_id, requests, batching, crash = message
+        _kind, unit_id, requests, batching, share_equiv, crash = message
         if crash:
             # parent-drawn fault injection: die exactly like a
             # segfaulted/OOM-killed worker would
             os.kill(os.getpid(), signal.SIGKILL)
         service.batching = batching
+        service.share_equiv = share_equiv
         base = dict(service.profile)
         groups0 = service.batch_groups
         members0 = service.batch_members
         hits0 = service.prover_hits
         builds0 = service.prover_builds
+        ehits0 = service.equiv_hits
+        ebuilds0 = service.equiv_builds
         try:
             for response in service.stream(requests):
                 response.worker_id = slot
@@ -167,6 +170,8 @@ def _worker_main(conn, slot: int) -> None:
                 "batch_members": service.batch_members - members0,
                 "prover_hits": service.prover_hits - hits0,
                 "prover_builds": service.prover_builds - builds0,
+                "equiv_hits": service.equiv_hits - ehits0,
+                "equiv_builds": service.equiv_builds - ebuilds0,
             }))
         except (EOFError, OSError, BrokenPipeError):
             return
@@ -383,7 +388,8 @@ class ProcessExecutor:
         payload = [unit["entries"][p][1] for p in positions]
         try:
             worker.conn.send(("unit", unit["id"], payload,
-                              unit["batching"], crash))
+                              unit["batching"],
+                              unit.get("share_equiv"), crash))
         except (pickle.PicklingError, TypeError, AttributeError,
                 ValueError):
             return False

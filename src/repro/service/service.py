@@ -127,6 +127,30 @@ def batching_disabled() -> bool:
     return os.environ.get("FVEVAL_NO_BATCH", "") == "1"
 
 
+def equiv_sharing_disabled() -> bool:
+    """``FVEVAL_NO_EQUIV_SHARE=1`` disables shared-reference equivalence
+    sessions (every candidate gets a fresh isolated checker -- the parity
+    oracle path)."""
+    return os.environ.get("FVEVAL_NO_EQUIV_SHARE", "") == "1"
+
+
+class _EquivSlot:
+    """One pooled shared-equivalence slot: the lazily-built
+    :class:`~repro.formal.equivalence.EquivChecker` of one
+    (reference, widths, params, engine) routing signature.
+
+    Lazy because the reference may not even parse -- that failure must
+    surface as this request's error response at compute time (inside
+    ``_compute_guarded``'s classification), never abort pinning for the
+    whole batch.
+    """
+
+    __slots__ = ("checker",)
+
+    def __init__(self):
+        self.checker = None
+
+
 class Handle:
     """Future-like handle for one submitted request.
 
@@ -183,9 +207,14 @@ class VerificationService:
                  deadline_s: float | None = None,
                  executor: str | None = None,
                  max_cache_bytes: int | None = None,
-                 admission=None, cache_tiers: str | None = None):
+                 admission=None, cache_tiers: str | None = None,
+                 share_equiv: bool | None = None):
         from .procpool import resolve_executor
         self.batching = batching
+        #: shared-reference equivalence sessions (None reads
+        #: ``FVEVAL_NO_EQUIV_SHARE`` at flush time); ``False`` is the
+        #: isolated per-candidate oracle the parity suite pins against
+        self.share_equiv = share_equiv
         self.profile: dict = {} if profile is None else profile
         self.max_provers = max_provers
         #: per-namespace caps on the in-memory verdict layer; benchmark
@@ -221,6 +250,10 @@ class VerificationService:
         self._caches: dict[str, VerdictCache] = {}
         #: (design signature, engine fingerprint) -> Prover, LRU-ordered
         self._provers: OrderedDict[tuple, object] = OrderedDict()
+        #: equivalence pool-key -> _EquivSlot, LRU-ordered: the shared
+        #: EquivChecker of every reference the service has seen recently
+        self._equiv: OrderedDict[tuple, _EquivSlot] = OrderedDict()
+        self.max_equiv = 16
         #: pool keys of the batch currently executing -- pinned against
         #: eviction so presimulated batch state survives its own flush
         self._active: set[tuple] = set()
@@ -241,6 +274,11 @@ class VerificationService:
         #: report it (docs/router.md)
         self.prover_hits = 0
         self.prover_builds = 0
+        #: the equivalence analogues: a ``hit`` reuses a pooled shared
+        #: checker (reference cone, learned clauses and all), a ``build``
+        #: constructs a fresh slot
+        self.equiv_hits = 0
+        self.equiv_builds = 0
         self._init_runtime()
 
     def _init_runtime(self) -> None:
@@ -265,6 +303,7 @@ class VerificationService:
         from collections import OrderedDict
         state = dict(self.__dict__)
         state["_provers"] = OrderedDict()
+        state["_equiv"] = OrderedDict()
         state["_active"] = set()
         state["_pending"] = []
         # the admission controller (locks, per-connection state) belongs
@@ -381,6 +420,8 @@ class VerificationService:
             "batch_members": self.batch_members,
             "prover_hits": self.prover_hits,
             "prover_builds": self.prover_builds,
+            "equiv_hits": self.equiv_hits,
+            "equiv_builds": self.equiv_builds,
             "cache": self.cache_stats(),
         }
         if self.admission is not None:
@@ -428,7 +469,9 @@ class VerificationService:
         # pinning (_pin_provers): a pool key an in-flight batch owns is
         # answered by a private prover instead of the shared one.
         with self._sched_lock:
-            plan, groups = self._plan(requests)
+            share = (not equiv_sharing_disabled()
+                     if self.share_equiv is None else self.share_equiv)
+            plan, groups = self._plan(requests, share)
             batching = (not batching_disabled() if self.batching is None
                         else self.batching)
             workers = resolve_workers(self.workers)
@@ -452,7 +495,7 @@ class VerificationService:
         try:
             if crossproc:
                 stream = self._execute_process(plan, groups, batch_ids,
-                                               batching, pool)
+                                               batching, pool, share)
                 if workers == 1:
                     # the single-worker contract is in-request-order
                     # responses (mirrors _execute_serial); one worker
@@ -490,7 +533,10 @@ class VerificationService:
                 prover = plan[members[0]]["prover"]
                 if prover is not None and id(prover) not in seen:
                     seen.add(id(prover))
-                    prover._batch_sim.clear()
+                    # equivalence slots carry no batch memo
+                    memo = getattr(prover, "_batch_sim", None)
+                    if memo is not None:
+                        memo.clear()
             with self._state_lock:
                 self._active.difference_update(owned)
                 if parallel:
@@ -510,8 +556,11 @@ class VerificationService:
         self._config_faults.add(event.detail)
         return event
 
-    def _plan(self, requests: list[VerifyRequest]):
-        """Serial planning pass: ids, keys, cache, dedup, prove groups."""
+    def _plan(self, requests: list[VerifyRequest],
+              share_equiv: bool = True):
+        """Serial planning pass: ids, keys, cache, dedup, and work groups
+        (prove requests by design cone; equivalence requests by routing
+        signature when sharing is on)."""
         plan: list[dict] = []
         primaries: dict[tuple, int] = {}  # (ns, key) -> plan index
         groups: dict[tuple, list[int]] = {}  # prover pool key -> indices
@@ -580,7 +629,8 @@ class VerificationService:
                         entry["response"] = response
                         continue
                     primaries[(request.namespace, key)] = index
-            if request.kind == "prove":
+            if request.kind == "prove" or (request.kind == "equivalence"
+                                           and share_equiv):
                 group_key = entry["pool_key"]
                 groups.setdefault(group_key, []).append(index)
                 entry["group"] = group_key
@@ -604,7 +654,22 @@ class VerificationService:
             for pool_key, members in groups.items():
                 self._batch_seq += 1
                 batch_ids[pool_key] = f"b{self._batch_seq}"
-                design = plan[members[0]]["design"]
+                first = plan[members[0]]
+                if first["request"].kind == "equivalence":
+                    # equivalence groups pin a shared-checker slot by the
+                    # same protocol: a key an in-flight batch owns gets a
+                    # fresh private slot, never the pooled one
+                    if pool_key in self._active:
+                        self.equiv_builds += 1
+                        slot = _EquivSlot()
+                    else:
+                        self._active.add(pool_key)
+                        owned.add(pool_key)
+                        slot = self._equiv_slot_for(pool_key)
+                    for index in members:
+                        plan[index]["prover"] = slot
+                    continue
+                design = first["design"]
                 if pool_key in self._active:
                     self.prover_builds += 1
                     prover = Prover(design, profile=self.profile,
@@ -639,6 +704,8 @@ class VerificationService:
         aborting the batch.
         """
         from .batch import presimulate
+        if not members or plan[members[0]]["request"].kind != "prove":
+            return  # equivalence groups have no packed pre-pass
         members = [i for i in members if not plan[i]["assumes"]]
         if len(members) < 2:
             return
@@ -698,6 +765,7 @@ class VerificationService:
         request, and in-flight duplicates ride in their primary's unit
         (the primary always executes first within it).
         """
+        from .batch import group_affinity
         from .executor import current_worker_id
         from .ring import stable_hash
         units: list[dict] = []
@@ -714,13 +782,13 @@ class VerificationService:
             if group is not None:
                 unit = unit_by_group.get(group)
                 if unit is None:
-                    # affinity on the design signature alone (not the
-                    # engine fingerprint): every engine variant of one
-                    # cone prefers the same lane
+                    # affinity on the design/routing signature alone (not
+                    # the engine fingerprint): every engine variant of one
+                    # cone or reference prefers the same lane
                     unit = {"indices": [], "group": group,
                             "batch_id": batch_ids[group],
                             "prover": entry["prover"],
-                            "affinity": stable_hash(group[0])}
+                            "affinity": stable_hash(group_affinity(group))}
                     unit_by_group[group] = unit
                     units.append(unit)
                 unit["indices"].append(entry["index"])
@@ -773,7 +841,8 @@ class VerificationService:
             yield from results
 
     def _execute_process(self, plan: list[dict], groups: dict,
-                         batch_ids: dict, batching: bool, pool):
+                         batch_ids: dict, batching: bool, pool,
+                         share_equiv: bool = True):
         """Execute the plan's units on the process pool (crash-isolated).
 
         The parent owns planning, cache writes, dedup folding and stats;
@@ -817,6 +886,7 @@ class VerificationService:
                 entry["response"].index = entry["index"]
                 yield entry["index"], entry["response"]
 
+        from .batch import group_affinity
         from .ring import stable_hash
         units: list[dict] = []
 
@@ -832,6 +902,7 @@ class VerificationService:
                 deadlines.append(entry["deadline_s"])
             units.append({"id": len(units), "entries": entries,
                           "deadline_s": deadlines, "batching": batching,
+                          "share_equiv": share_equiv,
                           "batch_id": batch_id, "affinity": affinity})
 
         grouped: set[int] = set()
@@ -840,10 +911,11 @@ class VerificationService:
             if live:
                 # signature-only affinity, as in the thread tier: the
                 # worker slot's own single-worker service pools provers
-                # by (signature, engine), so keeping a cone on one slot
-                # is what makes its pool hit across flushes
+                # (and shared equivalence checkers) by signature+engine,
+                # so keeping a cone or reference on one slot is what
+                # makes its pool hit across flushes
                 make_unit(live, batch_ids[pool_key],
-                          affinity=stable_hash(pool_key[0]))
+                          affinity=stable_hash(group_affinity(pool_key)))
                 grouped.update(live)
         for entry in plan:
             if (entry["dup_of"] is None and entry["response"] is None
@@ -924,6 +996,8 @@ class VerificationService:
             self.batch_members += stats.get("batch_members", 0)
             self.prover_hits += stats.get("prover_hits", 0)
             self.prover_builds += stats.get("prover_builds", 0)
+            self.equiv_hits += stats.get("equiv_hits", 0)
+            self.equiv_builds += stats.get("equiv_builds", 0)
 
     def _process_pool(self, workers: int):
         """The shared process pool, grown on demand (mirrors
@@ -1018,6 +1092,9 @@ class VerificationService:
                 sorted(request.widths.items()),
                 sorted((request.params or {}).items()),
                 engine_key))
+            from .batch import equiv_group_key
+            entry["pool_key"] = equiv_group_key(request,
+                                                _freeze(request.engine))
             return None
         if kind == "prove":
             return self._prepare_prove(request, entry)
@@ -1097,6 +1174,23 @@ class VerificationService:
         prover = Prover(design, profile=self.profile, **engine)
         self._provers[pool_key] = prover
         return prover
+
+    def _equiv_slot_for(self, pool_key: tuple) -> _EquivSlot:
+        """The pooled shared-equivalence slot of one routing signature
+        (LRU, mirroring :meth:`_prover_for`; caller holds _state_lock)."""
+        slot = self._equiv.get(pool_key)
+        if slot is not None:
+            self._equiv.move_to_end(pool_key)
+            self.equiv_hits += 1
+            return slot
+        self.equiv_builds += 1
+        evictable = [key for key in self._equiv
+                     if key not in self._active]
+        while len(self._equiv) >= self.max_equiv and evictable:
+            del self._equiv[evictable.pop(0)]
+        slot = _EquivSlot()
+        self._equiv[pool_key] = slot
+        return slot
 
     # -- execution ----------------------------------------------------------
 
@@ -1213,13 +1307,31 @@ class VerificationService:
 
     def _compute_equivalence(self, request: VerifyRequest,
                              entry: dict) -> VerifyResponse:
-        from ..formal.equivalence import check_equivalence
+        from ..formal.equivalence import EquivChecker, check_equivalence
+        from ..formal.prover import bump
         options = {k: v for k, v in request.engine.items()
                    if k != "strategy"}
+        # shared-reference path: the pinned slot's checker serves every
+        # candidate of this routing signature (entry["prover"] is absent
+        # or None when sharing is off -- the isolated oracle)
+        slot = entry.get("prover")
+        checker = None
+        if slot is not None:
+            checker = slot.checker
+            if checker is None:
+                checker = slot.checker = EquivChecker(
+                    request.reference_ast or request.reference,
+                    dict(request.widths), request.params,
+                    options.get("default_width", 1))
         result = check_equivalence(
             request.reference_ast or request.reference, request.candidate,
             signal_widths=dict(request.widths), params=request.params,
-            **options)
+            checker=checker, **options)
+        bump(self.profile, "equiv_candidates", 1)
+        bump(self.profile, "equiv_conflicts",
+             result.stats.get("conflicts", 0))
+        bump(self.profile, "equiv_sessions",
+             result.stats.get("sessions", 0))
         response = self._response(request)
         response.verdict = result.verdict.value
         response.func = result.is_full
